@@ -1,0 +1,113 @@
+"""**Ablation A (the paper's central claim)**: simultaneous co-search vs
+architecture-only NAS with a fixed implementation vs random search.
+
+All three searchers share the search space, dataset, epochs and device model
+(recursive FPGA).  After searching, every derived solution is evaluated on
+the *same* un-normalised device model — expected latency units under the
+solution's own (re-tuned) implementation — plus proxy-task accuracy after
+identical retraining.  The co-search should dominate the hardware objective
+at comparable accuracy, because only it can trade bit-widths and parallel
+factors during the search.
+"""
+
+import numpy as np
+from conftest import bench_config, register_artifact
+
+from repro.baselines.fixed_impl_nas import FixedImplementationNAS
+from repro.baselines.random_search import random_search
+from repro.core.cosearch import EDDSearcher, build_hardware_model, quantization_for_target
+from repro.core.trainer import train_from_spec
+from repro.nas.supernet import constant_sample
+
+
+def _deployment_cost(space, spec, reference_model):
+    """Deployed latency of a derived spec under the shared device model.
+
+    Both solutions are deployed the same way the paper deploys Table 1
+    entries: chosen ops + chosen bit-widths, with integer parallel factors
+    re-tuned to the DSP budget (4-bit units are charged a LUT-proxy quarter
+    DSP, see FPGAModel.retune_parallel_factors).  Latency follows Eq. 11-12
+    directly: sum_i workload[i, m_i] * Phi(q_i) / pf_i.
+
+    Returns (latency_units, resource_used).
+    """
+    from repro.hw.fpga import phi_latency_calibration, psi_dsp
+
+    labels = spec.metadata["op_labels"]
+    menu = [op.label for op in space.candidate_ops()]
+    op_idx = [menu.index(label) for label in labels]
+    bits = spec.metadata.get("block_bits", [16] * space.num_blocks)
+    pf = reference_model.retune_parallel_factors(op_idx, bits)
+    latency = sum(
+        reference_model.workload[i, m] * phi_latency_calibration(bits[i]) / max(pf[i], 1)
+        for i, m in enumerate(op_idx)
+    )
+    # Resource: each distinct IP once, at its (shared) factor and precision.
+    used = {}
+    for i, m in enumerate(op_idx):
+        used[m] = max(psi_dsp(bits[i]), 0.25) * pf[i]
+    return float(latency), float(sum(used.values()))
+
+
+def _run_ablation(space, splits):
+    config = bench_config("fpga_recursive", resource_fraction=0.1)
+
+    co = EDDSearcher(space, splits, config)
+    co_result = co.search(name="co-search")
+
+    fixed = FixedImplementationNAS(space, splits, bench_config(
+        "fpga_recursive", resource_fraction=0.1), fixed_bits=16)
+    fixed_result = fixed.search(name="fixed-impl")
+    fixed_result.spec.metadata.setdefault(
+        "block_bits", [16] * space.num_blocks
+    )
+
+    rand_best, _ = random_search(
+        space, splits, bench_config("fpga_recursive", resource_fraction=0.1),
+        num_candidates=3, train_epochs=2, seed=5,
+    )
+
+    reference = build_hardware_model(
+        space, bench_config("fpga_recursive", resource_fraction=0.1)
+    )
+    rows = {}
+    for label, spec in (
+        ("EDD co-search", co_result.spec),
+        ("fixed-impl NAS", fixed_result.spec),
+        ("random search", rand_best.spec),
+    ):
+        if "block_bits" not in spec.metadata:
+            spec.metadata["block_bits"] = [16] * space.num_blocks
+        cost, resource = _deployment_cost(space, spec, reference)
+        trained = train_from_spec(spec, splits, epochs=5, batch_size=12, lr=0.08)
+        rows[label] = (cost, resource, trained.top1_error)
+    return rows, reference.resource_bound
+
+
+def test_ablation_cosearch_vs_fixed_impl(benchmark, bench_space, bench_splits):
+    rows, budget = benchmark.pedantic(
+        _run_ablation, args=(bench_space, bench_splits), rounds=1, iterations=1,
+    )
+    lines = [
+        "Ablation A: co-search vs fixed-implementation NAS vs random search",
+        "(recursive FPGA target; shared space/data/epochs; every solution",
+        "deployed with its own re-tuned integer parallel factors under the",
+        f"same {budget:.0f}-DSP budget; latency via Eqs. 11-12)",
+        "",
+        f"{'method':18s} {'latency units':>14s} {'DSP used':>10s} {'top-1 err %':>12s}",
+    ]
+    for label, (cost, resource, err) in rows.items():
+        lines.append(f"{label:18s} {cost:14.2e} {resource:10.1f} {err:12.1f}")
+    co_cost = rows["EDD co-search"][0]
+    fixed_cost = rows["fixed-impl NAS"][0]
+    lines.append("")
+    lines.append(
+        f"co-search latency advantage over fixed-impl: {fixed_cost / co_cost:.2f}x"
+        "\n(the co-search exploits low-precision paths: Phi(q) latency scaling"
+        "\nplus cheaper multipliers per Psi(q) — exactly the implementation"
+        "\ndimensions the fixed baseline cannot see; cf. paper Sec. 1)"
+    )
+    register_artifact("ablation_cosearch", "\n".join(lines))
+
+    # The central qualitative claim: searching I helps the hardware objective.
+    assert co_cost <= fixed_cost * 1.05

@@ -1,0 +1,80 @@
+"""**Ablation D**: differentiable co-search vs black-box aging evolution.
+
+The paper's Sec. 2 motivates differentiable NAS by search efficiency: every
+gradient step updates all N x M x Q sampling parameters at the price of two
+minibatches, while black-box methods (regularized evolution, the paper's
+reference [5]) pay a *full candidate evaluation* — here a proxy training run
+— per data point.  We run both on the same fused space with a matched
+number of candidate evaluations and compare wall-clock and solution quality.
+"""
+
+import time
+
+from conftest import bench_config, register_artifact
+
+from repro.baselines.evolutionary import RegularizedEvolution
+from repro.core.cosearch import EDDSearcher
+from repro.core.trainer import train_from_spec
+from repro.nas.supernet import constant_sample
+
+
+def _run_both(space, splits):
+    config = bench_config("fpga_pipelined", epochs=4)
+
+    t0 = time.perf_counter()
+    searcher = EDDSearcher(space, splits, config)
+    edd_result = searcher.search(name="edd")
+    edd_seconds = time.perf_counter() - t0
+    edd_trained = train_from_spec(edd_result.spec, splits, epochs=4, batch_size=12)
+    edd_eval = searcher.hw_model.evaluate(searcher._expected_sample())
+
+    t0 = time.perf_counter()
+    evolution = RegularizedEvolution(
+        space, splits, bench_config("fpga_pipelined", epochs=4),
+        population_size=4, tournament_size=2, train_epochs=2, seed=1,
+    )
+    evo_result = evolution.run(cycles=4)
+    evo_seconds = time.perf_counter() - t0
+
+    return {
+        "edd": {
+            "seconds": edd_seconds,
+            "top1": edd_trained.top1_error,
+            "perf": float(edd_eval.perf_loss.data),
+            "evals": "2 minibatches/step x epochs",
+        },
+        "evolution": {
+            "seconds": evo_seconds,
+            "top1": evo_result.best.top1_error,
+            "perf": evo_result.best.perf_loss,
+            "evals": f"{evo_result.evaluations} full trainings",
+        },
+    }
+
+
+def test_ablation_evolution(benchmark, bench_space, bench_splits):
+    rows = benchmark.pedantic(
+        _run_both, args=(bench_space, bench_splits), rounds=1, iterations=1,
+    )
+    lines = [
+        "Ablation D: differentiable co-search vs regularized evolution",
+        "(same fused {A, I} space, pipelined FPGA target)",
+        "",
+        f"{'method':12s} {'seconds':>9s} {'top-1 err %':>12s} {'cost model':>30s}",
+    ]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:12s} {row['seconds']:9.1f} {row['top1']:12.1f} "
+            f"{row['evals']:>30s}"
+        )
+    lines.append("")
+    lines.append(
+        "Quality is comparable at this tiny scale; the cost asymmetry is the"
+        "\npoint — evolution pays one full proxy training per candidate, the"
+        "\ndifferentiable search amortises all candidates into each step"
+        "\n(the paper's 12-GPU-hour headline, Sec. 2)."
+    )
+    register_artifact("ablation_evolution", "\n".join(lines))
+
+    assert rows["edd"]["seconds"] > 0
+    assert rows["evolution"]["evals"] == "8 full trainings"

@@ -1,0 +1,47 @@
+"""**Extension (Sec. 4.3)**: EDD on a dedicated bit-serial accelerator.
+
+The paper sketches the formulation (latency/energy proportional to operand
+precisions, Loom-style) and defers the experiment to future work; this bench
+runs it.  Expected behaviour: the latency x energy product objective pushes
+the quantisation distribution hard toward the lowest bit-width the accuracy
+term tolerates, and mixed per-block precision appears (unlike the GPU's
+global constraint).
+"""
+
+import numpy as np
+from conftest import bench_config, register_artifact
+
+from repro.core.cosearch import EDDSearcher
+from repro.eval.figures import render_architecture
+
+
+def _accel_search(space, splits):
+    searcher = EDDSearcher(space, splits, bench_config("accel", epochs=5))
+    result = searcher.search(name="searched-accel")
+    return searcher, result
+
+
+def test_accelerator_cosearch(benchmark, bench_space, bench_splits):
+    searcher, result = benchmark.pedantic(
+        _accel_search, args=(bench_space, bench_splits), rounds=1, iterations=1,
+    )
+    bits = result.spec.metadata["block_bits"]
+    phi_probs = searcher.supernet.phi_probabilities()
+    # Average probability mass per bit-width across all (block, op) rows.
+    mass = phi_probs.reshape(-1, phi_probs.shape[-1]).mean(axis=0)
+
+    text = "\n".join([
+        "Extension: dedicated bit-serial accelerator co-search (Sec. 4.3)",
+        "",
+        render_architecture(result.spec),
+        "",
+        f"derived per-block weight bits: {bits}",
+        f"mean probability mass over (4, 8, 16)-bit: {np.round(mass, 3)}",
+        f"lowest-precision mass exceeds uniform prior: {mass[0] > 1 / 3}",
+        f"history final total loss: {result.history[-1].total_loss:.3f}",
+    ])
+    register_artifact("accelerator_extension", text)
+
+    # Latency*energy ~ q^2 strongly rewards low precision on this objective.
+    assert mass[0] > 1.0 / 3.0
+    assert len(bits) == bench_space.num_blocks

@@ -1,0 +1,46 @@
+"""Regenerates **Figure 4**: the three EDD-Net architectures.
+
+The paper's figure shows the ImageNet-scale searched networks; we render
+those (transcribed into the model zoo) and, to demonstrate that the release
+actually *searches*, run the three reduced-scale co-searches (GPU target,
+recursive FPGA, pipelined FPGA) and append the freshly derived architectures.
+"""
+
+from conftest import bench_config, bench_splits, bench_space, register_artifact
+
+from repro.core.cosearch import EDDSearcher
+from repro.eval.figures import figure4
+
+
+def _three_searches(space, splits):
+    specs = []
+    for target, name in (
+        ("gpu", "searched-gpu"),
+        ("fpga_recursive", "searched-fpga-recursive"),
+        ("fpga_pipelined", "searched-fpga-pipelined"),
+    ):
+        result = EDDSearcher(space, splits, bench_config(target)).search(name=name)
+        specs.append(result.spec)
+    return specs
+
+
+def test_figure4_regeneration(benchmark, bench_space, bench_splits):
+    specs = benchmark.pedantic(
+        _three_searches, args=(bench_space, bench_splits), rounds=1, iterations=1,
+    )
+    text = figure4(extra_specs=specs)
+    header = (
+        "Figure 4: EDD-Net architectures (paper-scale transcriptions) followed\n"
+        "by the three reduced-scale searches run by this benchmark.\n"
+    )
+    register_artifact("figure4", header + text)
+
+    assert len(specs) == 3
+    for spec in specs:
+        assert spec.metadata["op_labels"], spec.name
+    # The FPGA searches annotate per-block bit-widths; the GPU search one
+    # network-wide precision (Sec. 4.2).
+    gpu_bits = specs[0].metadata["block_bits"]
+    assert len(set(gpu_bits)) == 1
+    assert "block_bits" in specs[1].metadata
+    assert specs[2].metadata["parallel_factors"]

@@ -1,0 +1,45 @@
+"""Regenerates **Table 1**: test error + GPU latency (Titan RTX) + FPGA
+latency (ZCU102, recursive/CHaiDNN-style) for all eleven networks.
+
+The benchmark measures the cost of the full analytic evaluation sweep; the
+artifact holds the regenerated table next to the paper's numbers, plus the
+headline checks (EDD-Net-1 fastest NAS model on GPU; speedup vs
+Proxyless-gpu in the 1.4x ballpark).
+"""
+
+from conftest import register_artifact
+
+from repro.eval.tables import TABLE1_MODELS, format_table, table1
+
+
+def _full_table1():
+    return table1()
+
+
+def test_table1_regeneration(benchmark):
+    rows = benchmark(_full_table1)
+    assert len(rows) == len(TABLE1_MODELS)
+
+    columns = [
+        "Top-1 err (paper)", "Top-5 err (paper)",
+        "GPU ms (ours)", "GPU ms (paper)",
+        "FPGA ms (ours)", "FPGA ms (paper)",
+    ]
+    text = format_table(rows, columns, "Table 1: comparisons with existing NAS solutions")
+
+    by_name = {r.name: r for r in rows}
+    edd1 = by_name["EDD-Net-1"].values["GPU ms (ours)"]
+    rivals = ("MnasNet-A1", "FBNet-C", "Proxyless-cpu", "Proxyless-Mobile", "Proxyless-gpu")
+    fastest = all(edd1 < by_name[n].values["GPU ms (ours)"] for n in rivals)
+    speedup = by_name["Proxyless-gpu"].values["GPU ms (ours)"] / edd1
+
+    text += (
+        f"\n\nHeadline checks:"
+        f"\n  EDD-Net-1 fastest among NAS models on GPU: {fastest}"
+        f"\n  EDD-Net-1 speedup over Proxyless-gpu: {speedup:.2f}x (paper: 1.40x)"
+        f"\n  ShuffleNet-V2 NA on recursive FPGA flow: "
+        f"{by_name['ShuffleNet-V2'].values['FPGA ms (ours)'] is None}"
+    )
+    register_artifact("table1", text)
+    assert fastest
+    assert 1.1 < speedup < 1.8

@@ -1,0 +1,67 @@
+"""Benchmark-suite fixtures and artifact reporting.
+
+Benches register their regenerated tables/figures with
+:func:`register_artifact`; a terminal-summary hook prints every artifact
+after the pytest-benchmark timing tables, so ``pytest benchmarks/
+--benchmark-only`` shows the paper comparisons without extra flags.
+Artifacts are also written to ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import EDDConfig
+from repro.data.synthetic import SyntheticTaskConfig, make_synthetic_task
+from repro.nas.space import SearchSpaceConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_ARTIFACTS: dict[str, str] = {}
+
+
+def register_artifact(name: str, text: str) -> None:
+    """Record a regenerated table/figure for the session summary + disk."""
+    _ARTIFACTS[name] = text
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    for name in sorted(_ARTIFACTS):
+        terminalreporter.write_sep("=", f"artifact: {name}")
+        terminalreporter.write_line(_ARTIFACTS[name])
+
+
+# -- shared reduced-scale setups ---------------------------------------------
+BENCH_SEED = 2024
+
+
+@pytest.fixture(scope="session")
+def bench_space() -> SearchSpaceConfig:
+    """Reduced search space for CPU-scale co-search benches."""
+    return SearchSpaceConfig.reduced(num_blocks=3, num_classes=6, input_size=12)
+
+
+@pytest.fixture(scope="session")
+def bench_splits():
+    return make_synthetic_task(
+        SyntheticTaskConfig(
+            num_classes=6, image_size=12, train_per_class=12,
+            val_per_class=6, test_per_class=8, seed=BENCH_SEED,
+        )
+    )
+
+
+def bench_config(target: str, **overrides) -> EDDConfig:
+    """Canonical reduced-scale co-search configuration."""
+    defaults = dict(
+        target=target, epochs=4, batch_size=12, seed=BENCH_SEED,
+        arch_start_epoch=1, resource_fraction=0.05,
+    )
+    if target == "gpu":
+        defaults["resource_fraction"] = 1.0
+    defaults.update(overrides)
+    return EDDConfig(**defaults)

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Explore the analytic device models across the whole model zoo.
+
+No search here — this is the measurement substrate of Tables 1-3 exposed as
+a tool: estimate GPU latency, recursive-FPGA latency and pipelined-FPGA
+throughput for every network (paper baselines + EDD-Nets), at any precision
+and width multiplier.
+
+Usage:
+    python examples/latency_model_explorer.py                  # full sweep
+    python examples/latency_model_explorer.py --model VGG16 --bits 8
+    python examples/latency_model_explorer.py --width-mult 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.baselines.model_zoo import MODEL_ZOO, get_model
+from repro.hw.analytic import (
+    UnsupportedNetworkError,
+    fpga_pipelined_report,
+    fpga_recursive_latency_ms,
+    gpu_latency_ms,
+)
+from repro.hw.device import GTX_1080TI, TITAN_RTX, ZC706, ZCU102
+from repro.nas.arch_spec import scale_spec
+
+
+def sweep(names: list[str], bits: int, width_mult: float) -> None:
+    print(f"{'model':18s} {'MACs':>9s} {'params':>8s} "
+          f"{'RTX ms':>8s} {'1080Ti ms':>10s} {'ZCU102 ms':>10s} {'ZC706 fps':>10s}")
+    print("-" * 80)
+    for name in names:
+        spec = get_model(name)
+        if width_mult != 1.0:
+            spec = scale_spec(spec, width_mult=width_mult)
+        gpu_rtx = gpu_latency_ms(spec, TITAN_RTX, bits)
+        gpu_ti = gpu_latency_ms(spec, GTX_1080TI, bits)
+        try:
+            fpga_rec = f"{fpga_recursive_latency_ms(spec, ZCU102, min(bits, 16)):10.2f}"
+        except UnsupportedNetworkError:
+            fpga_rec = f"{'NA':>10s}"
+        report = fpga_pipelined_report(spec, ZC706, min(bits, 16))
+        print(f"{spec.name:18s} {spec.total_macs() / 1e9:8.2f}G "
+              f"{spec.total_params() / 1e6:7.2f}M {gpu_rtx:8.2f} {gpu_ti:10.2f} "
+              f"{fpga_rec} {report.fps:10.1f}")
+
+
+def detail(name: str, bits: int, width_mult: float) -> None:
+    spec = get_model(name)
+    if width_mult != 1.0:
+        spec = scale_spec(spec, width_mult=width_mult)
+    print(spec.describe())
+    print(f"\ntotal: {spec.total_macs() / 1e9:.2f} GMACs, "
+          f"{spec.total_params() / 1e6:.2f} M params, {spec.num_layers()} layers")
+    print(f"\nGPU latency  (Titan RTX,  {bits}-bit): "
+          f"{gpu_latency_ms(spec, TITAN_RTX, bits):8.2f} ms")
+    print(f"GPU latency  (1080 Ti,    {bits}-bit): "
+          f"{gpu_latency_ms(spec, GTX_1080TI, bits):8.2f} ms")
+    fpga_bits = min(bits, 16)
+    try:
+        print(f"FPGA latency (ZCU102 recursive, {fpga_bits}-bit): "
+              f"{fpga_recursive_latency_ms(spec, ZCU102, fpga_bits):8.2f} ms")
+    except UnsupportedNetworkError as exc:
+        print(f"FPGA latency (ZCU102 recursive): NA ({exc})")
+    report = fpga_pipelined_report(spec, ZC706, fpga_bits)
+    print(f"FPGA throughput (ZC706 pipelined, {fpga_bits}-bit): {report.fps:8.1f} fps")
+    print(f"  pipeline bottleneck: {report.bottleneck_kind}"
+          f"{report.bottleneck_kernel} stage #{report.bottleneck_index} "
+          f"({report.stage_us[report.bottleneck_index]:.1f} us, "
+          f"{report.allocations[report.bottleneck_index]:.0f} DSPs)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", choices=sorted(MODEL_ZOO), default=None,
+                        help="detail view for one network (default: sweep all)")
+    parser.add_argument("--bits", type=int, default=32, choices=(8, 16, 32))
+    parser.add_argument("--width-mult", type=float, default=1.0)
+    args = parser.parse_args()
+
+    if args.model:
+        detail(args.model, args.bits, args.width_mult)
+    else:
+        sweep(sorted(MODEL_ZOO), args.bits, args.width_mult)
+
+
+if __name__ == "__main__":
+    main()

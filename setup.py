@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 517 editable
+installs (which build a wheel) fail; this shim lets
+``pip install -e . --no-use-pep517`` fall back to ``setup.py develop``.
+Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,313 @@
+"""Neural-network primitives: matmul, conv2d (grouped/depthwise), pooling,
+activations and log-softmax.
+
+``conv2d`` uses a shift-and-accumulate scheme: for each kernel offset the
+strided input window is contracted against that kernel slice.  For the small
+kernels used by MBConv (3x3/5x5/7x7) this is both simple and fast in numpy,
+and the backward pass mirrors the same loop exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, make_op
+from repro.autograd.ops_shape import pad2d
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """2-D matrix product ``a @ b``."""
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(f"matmul expects 2-D tensors, got {a.shape} @ {b.shape}")
+    out = a.data @ b.data
+
+    def backward(grad: np.ndarray):
+        return grad @ b.data.T, a.data.T @ grad
+
+    return make_op(out, (a, b), backward, "matmul")
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with ``weight`` shaped (out, in)."""
+    out = x.data @ weight.data.T
+    if bias is not None:
+        out = out + bias.data
+
+    if bias is None:
+
+        def backward(grad: np.ndarray):
+            return grad @ weight.data, grad.T @ x.data
+
+        return make_op(out, (x, weight), backward, "linear")
+
+    def backward_bias(grad: np.ndarray):
+        return grad @ weight.data, grad.T @ x.data, grad.sum(axis=0)
+
+    return make_op(out, (x, weight, bias), backward_bias, "linear")
+
+
+def _conv_output_size(size: int, kernel: int, stride: int) -> int:
+    return (size - kernel) // stride + 1
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+) -> Tensor:
+    """2-D convolution over NCHW input.
+
+    ``weight`` is shaped ``(C_out, C_in // groups, kH, kW)``.  ``groups == 1``
+    is a dense convolution; ``groups == C_in`` with a channel multiplier of 1
+    is a depthwise convolution (the MBConv middle layer); other group counts
+    fall back to a per-group dense loop.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"conv2d expects NCHW input, got shape {x.shape}")
+    c_out, c_in_per_group, k_h, k_w = weight.shape
+    c_in = x.shape[1]
+    if c_in % groups or c_out % groups:
+        raise ValueError(
+            f"channels ({c_in} in, {c_out} out) not divisible by groups={groups}"
+        )
+    if c_in_per_group != c_in // groups:
+        raise ValueError(
+            f"weight expects {c_in_per_group} channels/group but input provides "
+            f"{c_in // groups}"
+        )
+
+    xp = pad2d(x, padding)
+    depthwise = groups == c_in and c_out == c_in
+    if depthwise:
+        return _depthwise_conv(xp, weight, stride)
+    if groups == 1:
+        return _dense_conv(xp, weight, stride)
+    return _grouped_conv(xp, weight, stride, groups)
+
+
+def _dense_conv(xp: Tensor, weight: Tensor, stride: int) -> Tensor:
+    n, c_in, h, w = xp.shape
+    c_out, _, k_h, k_w = weight.shape
+    out_h = _conv_output_size(h, k_h, stride)
+    out_w = _conv_output_size(w, k_w, stride)
+    x_data, w_data = xp.data, weight.data
+
+    out = np.zeros((n, c_out, out_h, out_w))
+    for i in range(k_h):
+        for j in range(k_w):
+            window = x_data[:, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride]
+            out += np.einsum("nchw,oc->nohw", window, w_data[:, :, i, j], optimize=True)
+
+    def backward(grad: np.ndarray):
+        grad_x = np.zeros_like(x_data)
+        grad_w = np.zeros_like(w_data)
+        for i in range(k_h):
+            for j in range(k_w):
+                window = x_data[
+                    :, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride
+                ]
+                grad_w[:, :, i, j] = np.einsum(
+                    "nohw,nchw->oc", grad, window, optimize=True
+                )
+                grad_x[
+                    :, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride
+                ] += np.einsum("nohw,oc->nchw", grad, w_data[:, :, i, j], optimize=True)
+        return grad_x, grad_w
+
+    return make_op(out, (xp, weight), backward, "conv2d")
+
+
+def _depthwise_conv(xp: Tensor, weight: Tensor, stride: int) -> Tensor:
+    n, c, h, w = xp.shape
+    _, _, k_h, k_w = weight.shape
+    out_h = _conv_output_size(h, k_h, stride)
+    out_w = _conv_output_size(w, k_w, stride)
+    x_data, w_data = xp.data, weight.data
+
+    out = np.zeros((n, c, out_h, out_w))
+    for i in range(k_h):
+        for j in range(k_w):
+            window = x_data[:, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride]
+            out += window * w_data[None, :, 0, i, j, None, None]
+
+    def backward(grad: np.ndarray):
+        grad_x = np.zeros_like(x_data)
+        grad_w = np.zeros_like(w_data)
+        for i in range(k_h):
+            for j in range(k_w):
+                window = x_data[
+                    :, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride
+                ]
+                grad_w[:, 0, i, j] = (grad * window).sum(axis=(0, 2, 3))
+                grad_x[
+                    :, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride
+                ] += grad * w_data[None, :, 0, i, j, None, None]
+        return grad_x, grad_w
+
+    return make_op(out, (xp, weight), backward, "dwconv2d")
+
+
+def _grouped_conv(xp: Tensor, weight: Tensor, stride: int, groups: int) -> Tensor:
+    n, c_in, h, w = xp.shape
+    c_out, c_in_g, k_h, k_w = weight.shape
+    c_out_g = c_out // groups
+    out_h = _conv_output_size(h, k_h, stride)
+    out_w = _conv_output_size(w, k_w, stride)
+    x_data, w_data = xp.data, weight.data
+
+    out = np.zeros((n, c_out, out_h, out_w))
+    for g in range(groups):
+        xs = x_data[:, g * c_in_g : (g + 1) * c_in_g]
+        ws = w_data[g * c_out_g : (g + 1) * c_out_g]
+        acc = out[:, g * c_out_g : (g + 1) * c_out_g]
+        for i in range(k_h):
+            for j in range(k_w):
+                window = xs[:, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride]
+                acc += np.einsum("nchw,oc->nohw", window, ws[:, :, i, j], optimize=True)
+
+    def backward(grad: np.ndarray):
+        grad_x = np.zeros_like(x_data)
+        grad_w = np.zeros_like(w_data)
+        for g in range(groups):
+            xs = x_data[:, g * c_in_g : (g + 1) * c_in_g]
+            ws = w_data[g * c_out_g : (g + 1) * c_out_g]
+            gs = grad[:, g * c_out_g : (g + 1) * c_out_g]
+            gxs = grad_x[:, g * c_in_g : (g + 1) * c_in_g]
+            gws = grad_w[g * c_out_g : (g + 1) * c_out_g]
+            for i in range(k_h):
+                for j in range(k_w):
+                    window = xs[
+                        :, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride
+                    ]
+                    gws[:, :, i, j] = np.einsum("nohw,nchw->oc", gs, window, optimize=True)
+                    gxs[
+                        :, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride
+                    ] += np.einsum("nohw,oc->nchw", gs, ws[:, :, i, j], optimize=True)
+        return grad_x, grad_w
+
+    return make_op(out, (xp, weight), backward, "gconv2d")
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None, padding: int = 0) -> Tensor:
+    """Max pooling with arbitrary kernel/stride/padding (supports overlap).
+
+    Forward: shift-and-maximum over the kernel offsets.  Backward: the
+    gradient goes to the first window position attaining the maximum (ties
+    are not split — matching common framework semantics closely enough for
+    training).
+    """
+    if stride is None:
+        stride = kernel
+    n, c, h, w = x.shape
+    ph, pw = h + 2 * padding, w + 2 * padding
+    out_h = (ph - kernel) // stride + 1
+    out_w = (pw - kernel) // stride + 1
+    if out_h < 1 or out_w < 1:
+        raise ValueError(
+            f"max_pool2d: kernel {kernel} too large for input {h}x{w} "
+            f"with padding {padding}"
+        )
+    padded = np.full((n, c, ph, pw), -np.inf)
+    padded[:, :, padding:padding + h, padding:padding + w] = x.data
+
+    out = np.full((n, c, out_h, out_w), -np.inf)
+    for i in range(kernel):
+        for j in range(kernel):
+            window = padded[:, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride]
+            np.maximum(out, window, out=out)
+
+    def backward(grad: np.ndarray):
+        grad_padded = np.zeros_like(padded)
+        assigned = np.zeros(out.shape, dtype=bool)
+        for i in range(kernel):
+            for j in range(kernel):
+                window = padded[
+                    :, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride
+                ]
+                winners = (window == out) & ~assigned
+                assigned |= winners
+                grad_padded[
+                    :, :, i : i + out_h * stride : stride, j : j + out_w * stride : stride
+                ] += grad * winners
+        return (grad_padded[:, :, padding:padding + h, padding:padding + w],)
+
+    return make_op(out, (x,), backward, "max_pool2d")
+
+
+def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
+    """Non-overlapping average pooling (kernel == stride).
+
+    Spatial dims must be divisible by ``kernel``; reshaping makes both the
+    forward and the backward a pure view operation.
+    """
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"spatial dims ({h},{w}) not divisible by kernel {kernel}")
+    out_h, out_w = h // kernel, w // kernel
+    reshaped = x.data.reshape(n, c, out_h, kernel, out_w, kernel)
+    out = reshaped.mean(axis=(3, 5))
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(grad: np.ndarray):
+        expanded = np.repeat(np.repeat(grad, kernel, axis=2), kernel, axis=3)
+        return (expanded * scale,)
+
+    return make_op(out, (x,), backward, "avg_pool2d")
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Mean over the spatial axes, returning (N, C)."""
+    n, c, h, w = x.shape
+    out = x.data.mean(axis=(2, 3))
+    scale = 1.0 / (h * w)
+
+    def backward(grad: np.ndarray):
+        return (np.broadcast_to(grad[:, :, None, None], x.shape).copy() * scale,)
+
+    return make_op(out, (x,), backward, "global_avg_pool2d")
+
+
+def relu(x: Tensor) -> Tensor:
+    out = np.maximum(x.data, 0.0)
+
+    def backward(grad: np.ndarray):
+        return (grad * (x.data > 0),)
+
+    return make_op(out, (x,), backward, "relu")
+
+
+def relu6(x: Tensor) -> Tensor:
+    """The MobileNet activation: ``min(max(x, 0), 6)``."""
+    out = np.clip(x.data, 0.0, 6.0)
+
+    def backward(grad: np.ndarray):
+        return (grad * ((x.data > 0) & (x.data < 6)),)
+
+    return make_op(out, (x,), backward, "relu6")
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shift = x.data.max(axis=axis, keepdims=True)
+    shifted = x.data - shift
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_norm
+    softmax_vals = np.exp(out)
+
+    def backward(grad: np.ndarray):
+        return (grad - softmax_vals * grad.sum(axis=axis, keepdims=True),)
+
+    return make_op(out, (x,), backward, "log_softmax")
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shift = x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(x.data - shift)
+    out = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray):
+        inner = (grad * out).sum(axis=axis, keepdims=True)
+        return (out * (grad - inner),)
+
+    return make_op(out, (x,), backward, "softmax")

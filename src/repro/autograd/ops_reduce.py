@@ -1,0 +1,92 @@
+"""Reduction primitives: sum, mean, max and the Log-Sum-Exp smooth maximum.
+
+``logsumexp`` is load-bearing for the reproduction: Eq. 7 of the paper uses
+LSE as the differentiable surrogate of ``max`` when the objective is the
+throughput of a pipelined accelerator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, make_op
+
+Axis = int | tuple[int, ...] | None
+
+
+def _normalize_axis(axis: Axis, ndim: int) -> tuple[int, ...]:
+    if axis is None:
+        return tuple(range(ndim))
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(a % ndim for a in axis)
+
+
+def _restore_dims(grad: np.ndarray, axes: tuple[int, ...], keepdims: bool) -> np.ndarray:
+    """Re-insert reduced axes as size-1 dims so the grad broadcasts back."""
+    if keepdims:
+        return grad
+    for a in sorted(axes):
+        grad = np.expand_dims(grad, a)
+    return grad
+
+
+def sum_reduce(a: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    axes = _normalize_axis(axis, a.ndim)
+    out = a.data.sum(axis=axes, keepdims=keepdims)
+
+    def backward(grad: np.ndarray):
+        grad = _restore_dims(grad, axes, keepdims)
+        return (np.broadcast_to(grad, a.shape).copy(),)
+
+    return make_op(out, (a,), backward, "sum")
+
+
+def mean(a: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    axes = _normalize_axis(axis, a.ndim)
+    count = int(np.prod([a.shape[ax] for ax in axes])) if axes else 1
+    out = a.data.mean(axis=axes, keepdims=keepdims)
+
+    def backward(grad: np.ndarray):
+        grad = _restore_dims(grad, axes, keepdims)
+        return (np.broadcast_to(grad, a.shape).copy() / count,)
+
+    return make_op(out, (a,), backward, "mean")
+
+
+def max_reduce(a: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Hard max; the gradient flows to (and is split between) the argmax ties."""
+    axes = _normalize_axis(axis, a.ndim)
+    out = a.data.max(axis=axes, keepdims=keepdims)
+    out_kept = a.data.max(axis=axes, keepdims=True)
+
+    def backward(grad: np.ndarray):
+        grad = _restore_dims(grad, axes, keepdims)
+        mask = (a.data == out_kept).astype(np.float64)
+        mask /= mask.sum(axis=axes, keepdims=True)
+        return (mask * grad,)
+
+    return make_op(out, (a,), backward, "max")
+
+
+def logsumexp(a: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Stable ``log(sum(exp(a)))`` — the paper's Eq. 7 smooth maximum.
+
+    Backward uses the softmax of ``a`` along the reduced axes, which is the
+    textbook gradient of LSE.
+    """
+    axes = _normalize_axis(axis, a.ndim)
+    shift = a.data.max(axis=axes, keepdims=True)
+    exp_shifted = np.exp(a.data - shift)
+    total = exp_shifted.sum(axis=axes, keepdims=True)
+    out_kept = shift + np.log(total)
+    out = out_kept if keepdims else np.squeeze(out_kept, axis=axes)
+    if axis is None and not keepdims:
+        out = out.reshape(())
+    softmax_vals = exp_shifted / total
+
+    def backward(grad: np.ndarray):
+        grad = _restore_dims(grad, axes, keepdims)
+        return (softmax_vals * grad,)
+
+    return make_op(out, (a,), backward, "logsumexp")

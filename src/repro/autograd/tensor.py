@@ -1,0 +1,310 @@
+"""The :class:`Tensor` node type and graph-walking ``backward``.
+
+A tensor is a numpy array plus (optionally) a record of how it was computed:
+its ``parents`` and a ``backward_fn`` mapping the output gradient to one
+gradient per parent.  ``Tensor.backward()`` topologically sorts the graph and
+accumulates gradients into every leaf with ``requires_grad=True``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Callable, Iterator, Sequence
+from typing import Any
+
+import numpy as np
+
+# Backward closures receive the gradient flowing into the op's output and
+# return one array (or None) per parent, already shaped like that parent.
+BackwardFn = Callable[[np.ndarray], Sequence[np.ndarray | None]]
+
+_grad_enabled = True
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Disable graph recording inside the ``with`` block (inference mode)."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def is_grad_enabled() -> bool:
+    return _grad_enabled
+
+
+class Tensor:
+    """A differentiable numpy array node.
+
+    Parameters
+    ----------
+    data:
+        Array-like; stored as ``float64`` (gradcheck-friendly precision).
+    requires_grad:
+        Whether gradients should be accumulated into ``self.grad``.
+    parents, backward_fn, op_name:
+        Graph-construction internals filled in by the op layer; user code
+        never passes these.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "parents", "backward_fn", "op_name")
+
+    def __init__(
+        self,
+        data: Any,
+        requires_grad: bool = False,
+        parents: tuple["Tensor", ...] = (),
+        backward_fn: BackwardFn | None = None,
+        op_name: str = "leaf",
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: np.ndarray | None = None
+        self.parents = parents
+        self.backward_fn = backward_fn
+        self.op_name = op_name
+
+    # -- basic introspection ------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def item(self) -> float:
+        return float(self.data.reshape(()))
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (not a copy — treat as read-only)."""
+        return self.data
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, op={self.op_name!r}{grad_flag})"
+
+    # -- graph management ---------------------------------------------------
+    def detach(self) -> "Tensor":
+        """A view of the same data cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (for scalar losses that is the usual seed).
+        Gradients accumulate (+=) into every reachable tensor that has
+        ``requires_grad=True``, including intermediates.
+        """
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"seed gradient shape {grad.shape} does not match tensor "
+                    f"shape {self.data.shape}"
+                )
+
+        order = _topological_order(self)
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad:
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+            if node.backward_fn is None:
+                continue
+            parent_grads = node.backward_fn(node_grad)
+            for parent, parent_grad in zip(node.parents, parent_grads):
+                if parent_grad is None:
+                    continue
+                if parent_grad.shape != parent.data.shape:
+                    raise RuntimeError(
+                        f"op {node.op_name!r} produced gradient of shape "
+                        f"{parent_grad.shape} for parent of shape "
+                        f"{parent.data.shape}"
+                    )
+                existing = grads.get(id(parent))
+                grads[id(parent)] = (
+                    parent_grad if existing is None else existing + parent_grad
+                )
+
+    # -- operator sugar (implementations live in the ops modules) -----------
+    def __add__(self, other: Any) -> "Tensor":
+        from repro.autograd.ops_basic import add
+
+        return add(self, _coerce(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Any) -> "Tensor":
+        from repro.autograd.ops_basic import sub
+
+        return sub(self, _coerce(other))
+
+    def __rsub__(self, other: Any) -> "Tensor":
+        from repro.autograd.ops_basic import sub
+
+        return sub(_coerce(other), self)
+
+    def __mul__(self, other: Any) -> "Tensor":
+        from repro.autograd.ops_basic import mul
+
+        return mul(self, _coerce(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Any) -> "Tensor":
+        from repro.autograd.ops_basic import div
+
+        return div(self, _coerce(other))
+
+    def __rtruediv__(self, other: Any) -> "Tensor":
+        from repro.autograd.ops_basic import div
+
+        return div(_coerce(other), self)
+
+    def __neg__(self) -> "Tensor":
+        from repro.autograd.ops_basic import neg
+
+        return neg(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        from repro.autograd.ops_basic import pow_
+
+        return pow_(self, exponent)
+
+    def __matmul__(self, other: Any) -> "Tensor":
+        from repro.autograd.ops_nn import matmul
+
+        return matmul(self, _coerce(other))
+
+    def __getitem__(self, index: Any) -> "Tensor":
+        from repro.autograd.ops_shape import getitem
+
+        return getitem(self, index)
+
+    # Convenience method forms --------------------------------------------
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        from repro.autograd.ops_reduce import sum_reduce
+
+        return sum_reduce(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        from repro.autograd.ops_reduce import mean
+
+        return mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        from repro.autograd.ops_shape import reshape
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return reshape(self, shape)
+
+    def exp(self) -> "Tensor":
+        from repro.autograd.ops_basic import exp
+
+        return exp(self)
+
+    def log(self) -> "Tensor":
+        from repro.autograd.ops_basic import log
+
+        return log(self)
+
+    def tanh(self) -> "Tensor":
+        from repro.autograd.ops_basic import tanh
+
+        return tanh(self)
+
+
+def tensor(data: Any, requires_grad: bool = False) -> Tensor:
+    """Construct a leaf tensor (the public constructor)."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def _coerce(value: Any) -> Tensor:
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def make_op(
+    out_data: np.ndarray,
+    parents: tuple[Tensor, ...],
+    backward_fn: BackwardFn,
+    op_name: str,
+) -> Tensor:
+    """Create an op-output tensor, respecting ``no_grad`` mode.
+
+    The output participates in the graph only if grad mode is on and at least
+    one parent (transitively) requires gradients.
+    """
+    track = _grad_enabled and any(_needs_graph(p) for p in parents)
+    if not track:
+        return Tensor(out_data, op_name=op_name)
+    return Tensor(
+        out_data,
+        parents=parents,
+        backward_fn=backward_fn,
+        op_name=op_name,
+    )
+
+
+def _needs_graph(t: Tensor) -> bool:
+    return t.requires_grad or t.backward_fn is not None
+
+
+def _topological_order(root: Tensor) -> list[Tensor]:
+    """Reverse topological order (root first), iterative to spare the stack."""
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node.parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    order.reverse()
+    return order
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` to undo numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were broadcast from size 1.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)

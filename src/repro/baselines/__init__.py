@@ -1,0 +1,52 @@
+"""Baseline networks and baseline search procedures.
+
+``model_zoo`` encodes every network the paper compares against (Table 1 and
+Table 3) plus the three searched EDD-Nets of Fig. 4 as :class:`ArchSpec`
+objects, so the analytic device models can regenerate the comparisons.
+``fixed_impl_nas`` and ``random_search`` are the search baselines used by
+the co-search ablation.
+"""
+
+from repro.baselines.model_zoo import (
+    MODEL_ZOO,
+    PAPER_ACCURACY,
+    edd_net_1,
+    edd_net_2,
+    edd_net_3,
+    fbnet_c,
+    get_model,
+    googlenet,
+    mnasnet_a1,
+    mobilenet_v2,
+    proxyless_cpu,
+    proxyless_gpu,
+    proxyless_mobile,
+    resnet18,
+    shufflenet_v2,
+    vgg16,
+)
+from repro.baselines.evolutionary import RegularizedEvolution
+from repro.baselines.fixed_impl_nas import FixedImplementationNAS
+from repro.baselines.random_search import random_search
+
+__all__ = [
+    "FixedImplementationNAS",
+    "RegularizedEvolution",
+    "MODEL_ZOO",
+    "PAPER_ACCURACY",
+    "edd_net_1",
+    "edd_net_2",
+    "edd_net_3",
+    "fbnet_c",
+    "get_model",
+    "googlenet",
+    "mnasnet_a1",
+    "mobilenet_v2",
+    "proxyless_cpu",
+    "proxyless_gpu",
+    "proxyless_mobile",
+    "random_search",
+    "resnet18",
+    "shufflenet_v2",
+    "vgg16",
+]

@@ -1,0 +1,172 @@
+"""Regularized-evolution baseline over the fused {A, I} space.
+
+The paper cites aging evolution (Real et al., AAAI 2019 — its reference [5])
+as a leading black-box NAS method; this module implements it over *both* the
+architecture genes (op per block) and the implementation genes (bit-width
+per block), so the comparison against the differentiable co-search is
+apples-to-apples on the same fused space.
+
+Fitness mirrors Eq. 1 with measured quantities: proxy top-1 error times the
+device-model performance, with the resource barrier applied on violation.
+Aging evolution: keep a population queue; each cycle, sample a tournament,
+mutate the best member (one random gene), evaluate, enqueue, and retire the
+oldest member.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import EDDConfig
+from repro.core.cosearch import build_hardware_model, quantization_for_target
+from repro.core.trainer import train_from_spec
+from repro.data.synthetic import DatasetSplits
+from repro.nas.arch_spec import ArchSpec
+from repro.nas.space import SearchSpaceConfig
+from repro.nas.supernet import constant_sample
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class Genome:
+    """One individual: op index + bit index per block."""
+
+    ops: np.ndarray
+    bits: np.ndarray
+
+    def copy(self) -> "Genome":
+        return Genome(self.ops.copy(), self.bits.copy())
+
+
+@dataclass
+class Individual:
+    genome: Genome
+    spec: ArchSpec
+    top1_error: float
+    perf_loss: float
+    resource: float
+    fitness: float
+
+
+@dataclass
+class EvolutionResult:
+    best: Individual
+    history: list[float] = field(default_factory=list)  # best fitness per cycle
+    evaluations: int = 0
+
+
+class RegularizedEvolution:
+    """Aging evolution (tournament + oldest-out) on the fused space."""
+
+    def __init__(
+        self,
+        space: SearchSpaceConfig,
+        splits: DatasetSplits,
+        config: EDDConfig | None = None,
+        population_size: int = 6,
+        tournament_size: int = 3,
+        train_epochs: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if population_size < 2:
+            raise ValueError(f"population_size must be >= 2, got {population_size}")
+        if not 1 <= tournament_size <= population_size:
+            raise ValueError(
+                f"tournament_size must be in [1, {population_size}], got {tournament_size}"
+            )
+        self.space = space
+        self.splits = splits
+        self.config = config or EDDConfig(target="fpga_pipelined")
+        self.population_size = population_size
+        self.tournament_size = tournament_size
+        self.train_epochs = train_epochs
+        self.rng = new_rng(seed)
+        self.quant = quantization_for_target(self.config.target)
+        self.hw_model = build_hardware_model(space, self.config)
+        self._eval_count = 0
+
+    # -- genetics ------------------------------------------------------------
+    def random_genome(self) -> Genome:
+        n = self.space.num_blocks
+        return Genome(
+            ops=self.rng.integers(0, self.space.num_ops, size=n),
+            bits=self.rng.integers(0, self.quant.num_levels, size=n),
+        )
+
+    def mutate(self, genome: Genome) -> Genome:
+        """One-gene mutation: flip either an op choice or a bit choice."""
+        child = genome.copy()
+        block = int(self.rng.integers(0, self.space.num_blocks))
+        if self.rng.random() < 0.5:
+            choices = [m for m in range(self.space.num_ops) if m != child.ops[block]]
+            child.ops[block] = self.rng.choice(choices)
+        else:
+            choices = [q for q in range(self.quant.num_levels) if q != child.bits[block]]
+            if choices:
+                child.bits[block] = self.rng.choice(choices)
+        return child
+
+    # -- evaluation ------------------------------------------------------------
+    def _bit_indices_for_sample(self, genome: Genome) -> np.ndarray | int:
+        """Map per-block bit genes onto the device's Phi sharing layout."""
+        if self.quant.sharing == "per_block_op":
+            idx = np.zeros((self.space.num_blocks, self.space.num_ops), dtype=int)
+            for i, (m, q) in enumerate(zip(genome.ops, genome.bits)):
+                idx[i, :] = q
+            return idx
+        if self.quant.sharing == "per_op":
+            idx = np.zeros(self.space.num_ops, dtype=int)
+            for m, q in zip(genome.ops, genome.bits):
+                idx[m] = q
+            return idx
+        return int(genome.bits[0])
+
+    def evaluate(self, genome: Genome, tag: str = "evo") -> Individual:
+        menu = self.space.candidate_ops()
+        ops = [menu[int(m)] for m in genome.ops]
+        spec = self.space.spec_for_choices(ops, name=f"{tag}-{self._eval_count}")
+        spec.metadata["op_labels"] = [op.label for op in ops]
+        spec.metadata["block_bits"] = [
+            int(self.quant.bitwidths[int(q)]) for q in genome.bits
+        ]
+        sample = constant_sample(
+            self.space, self.quant, [int(m) for m in genome.ops],
+            self._bit_indices_for_sample(genome),
+        )
+        hw_eval = self.hw_model.evaluate(sample)
+        trained = train_from_spec(
+            spec, self.splits, epochs=self.train_epochs,
+            batch_size=self.config.batch_size, seed=self._eval_count,
+        )
+        perf = float(hw_eval.perf_loss.data)
+        res = float(hw_eval.resource.data)
+        fitness = (trained.top1_error / 100.0) * perf
+        bound = self.hw_model.resource_bound
+        if bound is not None and res > bound:
+            fitness *= float(np.exp(min((res - bound) / bound, 50.0)))
+        self._eval_count += 1
+        return Individual(
+            genome=genome, spec=spec, top1_error=trained.top1_error,
+            perf_loss=perf, resource=res, fitness=float(fitness),
+        )
+
+    # -- main loop -----------------------------------------------------------
+    def run(self, cycles: int = 6) -> EvolutionResult:
+        population: list[Individual] = [
+            self.evaluate(self.random_genome(), tag="init")
+            for _ in range(self.population_size)
+        ]
+        history = [min(ind.fitness for ind in population)]
+        for _ in range(cycles):
+            contenders = self.rng.choice(
+                len(population), size=self.tournament_size, replace=False
+            )
+            parent = min((population[i] for i in contenders), key=lambda x: x.fitness)
+            child = self.evaluate(self.mutate(parent.genome))
+            population.append(child)
+            population.pop(0)  # aging: retire the oldest
+            history.append(min(ind.fitness for ind in population))
+        best = min(population, key=lambda x: x.fitness)
+        return EvolutionResult(best=best, history=history, evaluations=self._eval_count)

@@ -1,0 +1,110 @@
+"""Hardware-aware NAS with a *fixed* implementation — the prior-art baseline.
+
+The paper's motivating observation (Sec. 1): "all existing works are missing
+the large design space of implementation search in their NAS flows, using
+estimated hardware performance from a fixed implementation".  This module
+implements exactly that setting over the same supernet and device models, so
+the co-search ablation (`benchmarks/bench_ablation_cosearch.py`) isolates
+the value of searching ``I``:
+
+* quantisation is frozen to one bit-width (default 16);
+* parallel factors stay at their initialisation and are never updated;
+* only ``Theta`` descends the loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.core.config import EDDConfig
+from repro.core.cosearch import EDDSearcher, build_hardware_model
+from repro.core.results import SearchResult
+from repro.data.synthetic import DatasetSplits
+from repro.hw.base import HardwareModel, HwEvaluation
+from repro.nas.space import SearchSpaceConfig
+from repro.nas.supernet import SampledArch, SuperNet
+from repro.nn.module import Parameter
+
+
+class FrozenImplementationModel(HardwareModel):
+    """Wraps a device model, pinning its implementation variables.
+
+    Incoming samples (from an architecture-only supernet) carry no real
+    quantisation weights; this wrapper substitutes a constant one-hot at the
+    frozen bit-width and exposes no implementation parameters, so ``pf``
+    stays at its initial value.
+    """
+
+    def __init__(self, inner: HardwareModel, fixed_bits: int = 16) -> None:
+        self.inner = inner
+        quant = getattr(inner, "quant", None)
+        if quant is None:
+            self._frozen_quant = Tensor(np.ones((1,)))
+            self._sharing = "global"
+        else:
+            if fixed_bits not in quant.bitwidths:
+                raise ValueError(
+                    f"fixed_bits={fixed_bits} not in the device menu {quant.bitwidths}"
+                )
+            shape = quant.phi_shape(inner.space.num_blocks, inner.space.num_ops)
+            one_hot = np.zeros(shape)
+            one_hot[..., quant.bitwidths.index(fixed_bits)] = 1.0
+            self._frozen_quant = Tensor(one_hot)
+            self._sharing = quant.sharing
+        self.fixed_bits = fixed_bits
+        self.resource_bound = inner.resource_bound
+        self.expected_sharing = "global"  # accepts arch-only samples
+
+    def implementation_parameters(self) -> list[Parameter]:
+        return []  # pf frozen
+
+    @property
+    def alpha(self) -> float:
+        """Perf-loss scale, proxied to the wrapped model so the searcher's
+        alpha calibration normalises the same quantity as in the co-search."""
+        return getattr(self.inner, "alpha", 1.0)
+
+    @alpha.setter
+    def alpha(self, value: float) -> None:
+        self.inner.alpha = value
+
+    def evaluate(self, sample: SampledArch) -> HwEvaluation:
+        pinned = SampledArch(
+            op_weights=sample.op_weights,
+            quant_weights=self._frozen_quant,
+            op_indices=sample.op_indices,
+            sharing=self._sharing,
+            hard=sample.hard,
+        )
+        return self.inner.evaluate(pinned)
+
+
+class FixedImplementationNAS(EDDSearcher):
+    """Architecture-only differentiable NAS (ProxylessNAS/FBNet-style setting).
+
+    Drop-in comparable to :class:`EDDSearcher`: same space, same data, same
+    device model family — minus the implementation search.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpaceConfig,
+        splits: DatasetSplits,
+        config: EDDConfig | None = None,
+        fixed_bits: int = 16,
+    ) -> None:
+        config = config or EDDConfig()
+        supernet = SuperNet(space, quant=None, seed=config.seed)
+        hw_model = FrozenImplementationModel(
+            build_hardware_model(space, config), fixed_bits=fixed_bits
+        )
+        super().__init__(
+            space, splits, config=config, hw_model=hw_model, supernet=supernet
+        )
+
+    def search(self, name: str = "FixedImpl-searched") -> SearchResult:
+        result = super().search(name=name)
+        result.spec.weight_bits = self.hw_model.fixed_bits
+        result.spec.metadata["fixed_implementation"] = True
+        return result

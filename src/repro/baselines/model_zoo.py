@@ -1,0 +1,357 @@
+"""Architecture specs for every network in the paper's evaluation.
+
+Baselines (Table 1 / Table 3): GoogleNet, MobileNetV2, ShuffleNetV2,
+ResNet18, VGG16, MnasNet-A1, FBNet-C, Proxyless-{cpu, mobile, gpu}.
+Searched models (Fig. 4): EDD-Net-1 (GPU), EDD-Net-2 (recursive FPGA),
+EDD-Net-3 (pipelined FPGA).
+
+Encodings follow the published architecture tables/diagrams.  The EDD-Nets
+are transcribed from the paper's Fig. 4 (block type, kernel, expansion and
+channel labels); where the figure's text rendering is ambiguous we keep the
+channel schedule and the dominant op pattern, and note that the transcription
+is best-effort.  ``PAPER_ACCURACY`` records the paper-reported ImageNet test
+errors used in the table reproductions (we cannot retrain ImageNet offline —
+see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.nas.arch_spec import (
+    ArchSpec,
+    Block,
+    Branches,
+    ConvBlock,
+    FCBlock,
+    MBConvBlock,
+    PoolBlock,
+    SepConvBlock,
+    ShuffleUnit,
+    StemBlock,
+)
+
+# Paper-reported ImageNet test errors (Table 1 and Table 3), used verbatim in
+# the table reproductions because ImageNet training is out of scope offline.
+PAPER_ACCURACY: dict[str, dict[str, float]] = {
+    "GoogleNet": {"top1": 30.22, "top5": 10.47},
+    "MobileNet-V2": {"top1": 28.1, "top5": 9.7},
+    "ShuffleNet-V2": {"top1": 30.6, "top5": 11.7},
+    "ResNet18": {"top1": 30.2, "top5": 10.9},
+    "MnasNet-A1": {"top1": 24.8, "top5": 7.5},
+    "FBNet-C": {"top1": 24.9, "top5": 7.6},
+    "Proxyless-cpu": {"top1": 24.7, "top5": 7.6},
+    "Proxyless-Mobile": {"top1": 25.4, "top5": 7.8},
+    "Proxyless-gpu": {"top1": 24.9, "top5": 7.5},
+    "EDD-Net-1": {"top1": 25.3, "top5": 7.7},
+    "EDD-Net-2": {"top1": 25.4, "top5": 7.9},
+    "EDD-Net-3": {"top1": 25.6, "top5": 7.7},
+    "VGG16": {"top1": 29.5, "top5": 10.0},
+}
+
+
+def _mb(e: int, k: int, ch: int, s: int = 1) -> MBConvBlock:
+    return MBConvBlock(expansion=e, kernel=k, out_ch=ch, stride=s)
+
+
+# ------------------------------------------------------------------ classic CNNs
+def vgg16(num_classes: int = 1000) -> ArchSpec:
+    """VGG-16 (configuration D), the DNNBuilder workload of Table 3."""
+    blocks: list[Block] = []
+    for out_ch, repeats in ((64, 2), (128, 2), (256, 3), (512, 3), (512, 3)):
+        blocks += [ConvBlock(out_ch=out_ch, kernel=3) for _ in range(repeats)]
+        blocks.append(PoolBlock(kernel=2, stride=2, mode="max"))
+    blocks += [
+        FCBlock(out_features=4096, flatten=True),
+        FCBlock(out_features=4096),
+        FCBlock(out_features=num_classes),
+    ]
+    return ArchSpec(name="VGG16", blocks=blocks)
+
+
+def resnet18(num_classes: int = 1000) -> ArchSpec:
+    """ResNet-18: conv7x7 stem + 8 basic blocks with identity/projection skips."""
+
+    def basic_block(ch: int, stride: int = 1) -> Branches:
+        main: tuple[Block, ...] = (
+            ConvBlock(out_ch=ch, kernel=3, stride=stride),
+            ConvBlock(out_ch=ch, kernel=3),
+        )
+        if stride == 1:
+            shortcut: tuple[Block, ...] = ()
+        else:
+            shortcut = (ConvBlock(out_ch=ch, kernel=1, stride=stride),)
+        return Branches(branches=(main, shortcut), combine="add")
+
+    blocks: list[Block] = [
+        StemBlock(out_ch=64, kernel=7, stride=2),
+        PoolBlock(kernel=3, stride=2, mode="max"),
+        basic_block(64),
+        basic_block(64),
+        basic_block(128, stride=2),
+        basic_block(128),
+        basic_block(256, stride=2),
+        basic_block(256),
+        basic_block(512, stride=2),
+        basic_block(512),
+        FCBlock(out_features=num_classes),
+    ]
+    return ArchSpec(name="ResNet18", blocks=blocks)
+
+
+def googlenet(num_classes: int = 1000) -> ArchSpec:
+    """GoogleNet (Inception v1); 9 inception modules encoded as Branches."""
+
+    def inception(c1: int, c3r: int, c3: int, c5r: int, c5: int, cp: int) -> Branches:
+        return Branches(
+            branches=(
+                (ConvBlock(out_ch=c1, kernel=1),),
+                (ConvBlock(out_ch=c3r, kernel=1), ConvBlock(out_ch=c3, kernel=3)),
+                (ConvBlock(out_ch=c5r, kernel=1), ConvBlock(out_ch=c5, kernel=5)),
+                (PoolBlock(kernel=3, stride=1, mode="max"), ConvBlock(out_ch=cp, kernel=1)),
+            ),
+            combine="concat",
+        )
+
+    blocks: list[Block] = [
+        StemBlock(out_ch=64, kernel=7, stride=2),
+        PoolBlock(kernel=3, stride=2, mode="max"),
+        ConvBlock(out_ch=64, kernel=1),
+        ConvBlock(out_ch=192, kernel=3),
+        PoolBlock(kernel=3, stride=2, mode="max"),
+        inception(64, 96, 128, 16, 32, 32),     # 3a -> 256
+        inception(128, 128, 192, 32, 96, 64),   # 3b -> 480
+        PoolBlock(kernel=3, stride=2, mode="max"),
+        inception(192, 96, 208, 16, 48, 64),    # 4a -> 512
+        inception(160, 112, 224, 24, 64, 64),   # 4b -> 512
+        inception(128, 128, 256, 24, 64, 64),   # 4c -> 512
+        inception(112, 144, 288, 32, 64, 64),   # 4d -> 528
+        inception(256, 160, 320, 32, 128, 128), # 4e -> 832
+        PoolBlock(kernel=3, stride=2, mode="max"),
+        inception(256, 160, 320, 32, 128, 128), # 5a -> 832
+        inception(384, 192, 384, 48, 128, 128), # 5b -> 1024
+        FCBlock(out_features=num_classes),
+    ]
+    return ArchSpec(name="GoogleNet", blocks=blocks)
+
+
+def mobilenet_v2(num_classes: int = 1000) -> ArchSpec:
+    """MobileNetV2 1.0x (Sandler et al. 2018, Table 2)."""
+    blocks: list[Block] = [StemBlock(out_ch=32, kernel=3, stride=2), SepConvBlock(kernel=3, out_ch=16)]
+    schedule = (
+        # (expansion, out_ch, repeats, first stride)
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    )
+    for e, ch, reps, s in schedule:
+        for r in range(reps):
+            blocks.append(_mb(e, 3, ch, s if r == 0 else 1))
+    blocks += [ConvBlock(out_ch=1280, kernel=1), FCBlock(out_features=num_classes)]
+    return ArchSpec(name="MobileNet-V2", blocks=blocks)
+
+
+def shufflenet_v2(num_classes: int = 1000) -> ArchSpec:
+    """ShuffleNetV2 1.0x; contains channel shuffles (NA on the recursive FPGA)."""
+    blocks: list[Block] = [
+        StemBlock(out_ch=24, kernel=3, stride=2),
+        PoolBlock(kernel=3, stride=2, mode="max"),
+    ]
+    for out_ch, reps in ((116, 4), (232, 8), (464, 4)):
+        for r in range(reps):
+            blocks.append(ShuffleUnit(out_ch=out_ch, stride=2 if r == 0 else 1))
+    blocks += [ConvBlock(out_ch=1024, kernel=1), FCBlock(out_features=num_classes)]
+    return ArchSpec(name="ShuffleNet-V2", blocks=blocks)
+
+
+# --------------------------------------------------------- hardware-aware NAS nets
+def mnasnet_a1(num_classes: int = 1000) -> ArchSpec:
+    """MnasNet-A1 (Tan et al. 2019); SE modules approximated away."""
+    blocks: list[Block] = [StemBlock(out_ch=32, kernel=3, stride=2), SepConvBlock(kernel=3, out_ch=16)]
+    schedule = (
+        # (expansion, kernel, out_ch, repeats, first stride)
+        (6, 3, 24, 2, 2),
+        (3, 5, 40, 3, 2),
+        (6, 3, 80, 4, 2),
+        (6, 3, 112, 2, 1),
+        (6, 5, 160, 3, 2),
+        (6, 3, 320, 1, 1),
+    )
+    for e, k, ch, reps, s in schedule:
+        for r in range(reps):
+            blocks.append(_mb(e, k, ch, s if r == 0 else 1))
+    blocks += [ConvBlock(out_ch=1280, kernel=1), FCBlock(out_features=num_classes)]
+    return ArchSpec(name="MnasNet-A1", blocks=blocks)
+
+
+def fbnet_c(num_classes: int = 1000) -> ArchSpec:
+    """FBNet-C (Wu et al. 2019, Table 2 right column)."""
+    blocks: list[Block] = [StemBlock(out_ch=16, kernel=3, stride=2)]
+    layout = (
+        # (expansion, kernel, out_ch, stride)
+        (1, 3, 16, 1),
+        (6, 3, 24, 2), (1, 3, 24, 1), (1, 3, 24, 1), (1, 3, 24, 1),
+        (6, 5, 32, 2), (3, 5, 32, 1), (6, 5, 32, 1), (6, 3, 32, 1),
+        (6, 5, 64, 2), (6, 5, 64, 1), (6, 5, 64, 1), (6, 3, 64, 1),
+        (6, 3, 112, 1), (6, 5, 112, 1), (6, 5, 112, 1), (6, 5, 112, 1),
+        (6, 5, 184, 2), (6, 5, 184, 1), (6, 5, 184, 1), (6, 5, 184, 1),
+        (6, 5, 352, 1),
+    )
+    blocks += [_mb(e, k, ch, s) for e, k, ch, s in layout]
+    blocks += [ConvBlock(out_ch=1984, kernel=1), FCBlock(out_features=num_classes)]
+    return ArchSpec(name="FBNet-C", blocks=blocks)
+
+
+def _proxyless(name: str, layout: tuple[tuple[int, int, int, int], ...],
+               stem_ch: int, head_ch: int, num_classes: int) -> ArchSpec:
+    blocks: list[Block] = [
+        StemBlock(out_ch=stem_ch, kernel=3, stride=2),
+        SepConvBlock(kernel=3, out_ch=stem_ch // 2 if stem_ch >= 32 else 16),
+    ]
+    blocks += [_mb(e, k, ch, s) for e, k, ch, s in layout]
+    blocks += [ConvBlock(out_ch=head_ch, kernel=1), FCBlock(out_features=num_classes)]
+    return ArchSpec(name=name, blocks=blocks)
+
+
+def proxyless_gpu(num_classes: int = 1000) -> ArchSpec:
+    """Proxyless-GPU (Cai et al. 2019, Fig. 5): shallow and wide, big kernels."""
+    layout = (
+        (3, 5, 32, 2), (3, 3, 32, 1),
+        (3, 7, 56, 2), (3, 3, 56, 1),
+        (6, 7, 112, 2), (3, 5, 112, 1), (3, 5, 112, 1),
+        (6, 5, 128, 1), (3, 5, 128, 1), (3, 5, 128, 1),
+        (6, 7, 256, 2), (6, 7, 256, 1), (6, 7, 256, 1), (6, 5, 256, 1),
+        (6, 7, 432, 1),
+    )
+    return _proxyless("Proxyless-gpu", layout, stem_ch=40, head_ch=1728, num_classes=num_classes)
+
+
+def proxyless_cpu(num_classes: int = 1000) -> ArchSpec:
+    """Proxyless-CPU: deeper, mostly 3x3 kernels."""
+    layout = (
+        (3, 3, 24, 2), (3, 3, 24, 1), (3, 3, 24, 1), (3, 3, 24, 1),
+        (6, 3, 40, 2), (3, 3, 40, 1), (3, 3, 40, 1), (3, 3, 40, 1),
+        (6, 3, 80, 2), (3, 3, 80, 1), (3, 3, 80, 1), (3, 3, 80, 1),
+        (6, 3, 96, 1), (3, 3, 96, 1), (3, 3, 96, 1), (3, 3, 96, 1),
+        (6, 5, 192, 2), (6, 5, 192, 1), (6, 5, 192, 1), (6, 5, 192, 1),
+        (6, 5, 320, 1),
+    )
+    return _proxyless("Proxyless-cpu", layout, stem_ch=40, head_ch=1432, num_classes=num_classes)
+
+
+def proxyless_mobile(num_classes: int = 1000) -> ArchSpec:
+    """Proxyless-Mobile: mixed 3/5/7 kernels, mobile channel schedule."""
+    layout = (
+        (3, 5, 32, 2), (3, 3, 32, 1),
+        (3, 7, 40, 2), (3, 3, 40, 1), (3, 5, 40, 1), (3, 5, 40, 1),
+        (6, 7, 80, 2), (3, 5, 80, 1), (3, 5, 80, 1), (3, 5, 80, 1),
+        (6, 5, 96, 1), (3, 5, 96, 1), (3, 5, 96, 1), (3, 5, 96, 1),
+        (6, 7, 192, 2), (6, 7, 192, 1), (3, 7, 192, 1), (3, 7, 192, 1),
+        (6, 7, 320, 1),
+    )
+    return _proxyless("Proxyless-Mobile", layout, stem_ch=32, head_ch=1280, num_classes=num_classes)
+
+
+# --------------------------------------------------------------- EDD-Nets (Fig. 4)
+def _edd_prefix(stem_ch: int = 32, trunk_ch: int = 16, pre_ch: int = 32) -> list[Block]:
+    """Shared EDD-Net stem: Conv3x3/s2 -> Sep3x3 -> Conv1x1 (Fig. 4)."""
+    return [
+        StemBlock(out_ch=stem_ch, kernel=3, stride=2),
+        SepConvBlock(kernel=3, out_ch=trunk_ch),
+        ConvBlock(out_ch=pre_ch, kernel=1),
+    ]
+
+
+def _edd_suffix(num_classes: int, head_ch: int = 1280) -> list[Block]:
+    return [ConvBlock(out_ch=head_ch, kernel=1), FCBlock(out_features=num_classes)]
+
+
+def edd_net_1(num_classes: int = 1000) -> ArchSpec:
+    """EDD-Net-1 (GPU target, 16-bit weights): transcribed from Fig. 4.
+
+    Wide use of expansion 5/6 and 5x5 kernels; 20 MBConv blocks.
+    """
+    layout = (
+        (5, 3, 32, 2), (4, 5, 32, 1), (6, 5, 32, 1), (4, 5, 32, 1),
+        (4, 5, 40, 2), (4, 3, 40, 1), (5, 5, 40, 1),
+        (5, 5, 80, 2), (6, 5, 80, 1), (5, 5, 80, 1), (5, 5, 80, 1),
+        (6, 3, 96, 1), (5, 3, 96, 1), (5, 3, 96, 1), (4, 5, 96, 1),
+        (6, 5, 192, 2), (6, 3, 192, 1), (6, 5, 192, 1), (6, 5, 192, 1),
+        (4, 3, 320, 1),
+    )
+    blocks = _edd_prefix() + [_mb(e, k, ch, s) for e, k, ch, s in layout]
+    blocks += _edd_suffix(num_classes)
+    spec = ArchSpec(name="EDD-Net-1", blocks=blocks, weight_bits=16)
+    spec.metadata["target"] = "gpu"
+    return spec
+
+
+def edd_net_2(num_classes: int = 1000) -> ArchSpec:
+    """EDD-Net-2 (recursive FPGA target): transcribed from Fig. 4.
+
+    Dominated by MB4 3x3 — the resource-sharing term (Eqs. 9-10) rewards
+    reusing few distinct IPs across blocks.
+    """
+    layout = (
+        (4, 5, 32, 2), (4, 3, 32, 1),
+        (5, 3, 40, 2), (4, 3, 40, 1), (5, 3, 40, 1),
+        (5, 5, 80, 2), (4, 3, 80, 1), (4, 3, 80, 1), (5, 5, 80, 1),
+        (4, 3, 96, 1), (4, 5, 96, 1), (4, 3, 96, 1), (4, 3, 96, 1), (4, 3, 96, 1),
+        (4, 5, 192, 2), (4, 5, 192, 1), (4, 3, 192, 1), (4, 5, 192, 1), (4, 3, 192, 1),
+        (6, 3, 320, 1),
+    )
+    blocks = _edd_prefix() + [_mb(e, k, ch, s) for e, k, ch, s in layout]
+    blocks += _edd_suffix(num_classes)
+    spec = ArchSpec(name="EDD-Net-2", blocks=blocks, weight_bits=16)
+    spec.metadata["target"] = "fpga_recursive"
+    return spec
+
+
+def edd_net_3(num_classes: int = 1000) -> ArchSpec:
+    """EDD-Net-3 (pipelined FPGA target): transcribed from Fig. 4.
+
+    Shallower (17 blocks) with wider channels and larger kernels — the
+    Log-Sum-Exp throughput objective penalises deep pipelines whose stages
+    split the DSP budget thin.
+    """
+    layout = (
+        (5, 5, 32, 2), (6, 5, 32, 1),
+        (4, 5, 48, 2), (4, 5, 48, 1), (5, 3, 48, 1),
+        (4, 5, 96, 2), (5, 5, 96, 1), (6, 5, 96, 1), (6, 5, 96, 1),
+        (6, 5, 128, 1), (4, 3, 128, 1), (4, 3, 128, 1),
+        (4, 5, 256, 2), (4, 3, 256, 1), (4, 3, 256, 1), (4, 3, 256, 1),
+        (6, 5, 320, 1),
+    )
+    blocks = _edd_prefix() + [_mb(e, k, ch, s) for e, k, ch, s in layout]
+    blocks += _edd_suffix(num_classes)
+    spec = ArchSpec(name="EDD-Net-3", blocks=blocks, weight_bits=16)
+    spec.metadata["target"] = "fpga_pipelined"
+    return spec
+
+
+# ------------------------------------------------------------------------ registry
+MODEL_ZOO: dict[str, Callable[..., ArchSpec]] = {
+    "GoogleNet": googlenet,
+    "MobileNet-V2": mobilenet_v2,
+    "ShuffleNet-V2": shufflenet_v2,
+    "ResNet18": resnet18,
+    "VGG16": vgg16,
+    "MnasNet-A1": mnasnet_a1,
+    "FBNet-C": fbnet_c,
+    "Proxyless-cpu": proxyless_cpu,
+    "Proxyless-Mobile": proxyless_mobile,
+    "Proxyless-gpu": proxyless_gpu,
+    "EDD-Net-1": edd_net_1,
+    "EDD-Net-2": edd_net_2,
+    "EDD-Net-3": edd_net_3,
+}
+
+
+def get_model(name: str, num_classes: int = 1000) -> ArchSpec:
+    """Look up a zoo network by its Table 1/Table 3 name."""
+    if name not in MODEL_ZOO:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}")
+    return MODEL_ZOO[name](num_classes=num_classes)

@@ -1,0 +1,97 @@
+"""Random search over the fused space — the sanity-check baseline.
+
+Draws uniform random points ``(ops, bit-widths)``, scores each with the
+combined objective (short proxy training for accuracy + device model for
+performance), and returns the best.  Differentiable co-search should beat
+this at equal candidate-evaluation budget; ``bench_ablation_cosearch.py``
+checks it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cosearch import build_hardware_model, quantization_for_target
+from repro.core.config import EDDConfig
+from repro.core.trainer import train_from_spec
+from repro.data.synthetic import DatasetSplits
+from repro.nas.arch_spec import ArchSpec
+from repro.nas.space import SearchSpaceConfig
+from repro.nas.supernet import constant_sample
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class RandomCandidate:
+    """One scored random draw."""
+
+    spec: ArchSpec
+    top1_error: float
+    perf_loss: float
+    resource: float
+    objective: float
+
+
+def random_search(
+    space: SearchSpaceConfig,
+    splits: DatasetSplits,
+    config: EDDConfig | None = None,
+    num_candidates: int = 4,
+    train_epochs: int = 3,
+    seed: int = 0,
+) -> tuple[RandomCandidate, list[RandomCandidate]]:
+    """Uniform random search; returns (best, all candidates).
+
+    The objective mirrors Eq. 1's multiplicative form with the accuracy term
+    replaced by measured proxy error (there is no differentiable path here,
+    so the true error is usable directly).
+    """
+    config = config or EDDConfig()
+    rng = new_rng(seed)
+    quant = quantization_for_target(config.target)
+    hw_model = build_hardware_model(space, config)
+    ops = space.candidate_ops()
+    candidates: list[RandomCandidate] = []
+    for index in range(num_candidates):
+        op_idx = rng.integers(0, space.num_ops, size=space.num_blocks)
+        bit_shape = quant.phi_shape(space.num_blocks, space.num_ops)[:-1]
+        bit_idx = rng.integers(0, quant.num_levels, size=bit_shape)
+        sample = constant_sample(space, quant, [int(i) for i in op_idx], bit_idx)
+        evaluation = hw_model.evaluate(sample)
+
+        spec = space.spec_for_choices(
+            [ops[int(i)] for i in op_idx], name=f"random-{index}"
+        )
+        spec.metadata["op_labels"] = [ops[int(i)].label for i in op_idx]
+        if quant.sharing == "per_block_op":
+            block_bits = [
+                int(quant.bitwidths[int(bit_idx[i, int(m)])])
+                for i, m in enumerate(op_idx)
+            ]
+        elif quant.sharing == "per_op":
+            block_bits = [int(quant.bitwidths[int(bit_idx[int(m)])]) for m in op_idx]
+        else:
+            block_bits = [int(quant.bitwidths[int(bit_idx)])] * space.num_blocks
+        spec.metadata["block_bits"] = block_bits
+        result = train_from_spec(
+            spec, splits, epochs=train_epochs, seed=seed + index,
+            batch_size=config.batch_size,
+        )
+        perf = float(evaluation.perf_loss.data)
+        res = float(evaluation.resource.data)
+        objective = (result.top1_error / 100.0) * perf
+        if hw_model.resource_bound is not None and res > hw_model.resource_bound:
+            objective *= np.exp((res - hw_model.resource_bound) / hw_model.resource_bound)
+        candidates.append(
+            RandomCandidate(
+                spec=spec,
+                top1_error=result.top1_error,
+                perf_loss=perf,
+                resource=res,
+                objective=float(objective),
+            )
+        )
+    best = min(candidates, key=lambda c: c.objective)
+    return best, candidates

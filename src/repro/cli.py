@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``   regenerate Table 1/2/3 or Figure 4 (``--which all`` for every
+             registered experiment).
+``anchors``  verify the calibration anchors against the paper's numbers.
+``zoo``      list every model in the zoo with MACs/params.
+``explore``  latency/throughput estimates for one zoo model across devices.
+``search``   run a reduced-scale co-search and print the derived network
+             plus its convergence trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines.model_zoo import MODEL_ZOO, get_model
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    names = sorted(EXPERIMENTS) if args.which == "all" else [args.which]
+    for name in names:
+        print(run_experiment(name))
+        print()
+    return 0
+
+
+def _cmd_anchors(args: argparse.Namespace) -> int:
+    from repro.hw.calibration import verify_anchors
+
+    failures = 0
+    for key, (measured, paper, ok) in verify_anchors().items():
+        status = "OK " if ok else "FAIL"
+        print(f"[{status}] {key:30s} measured={measured:8.2f} paper={paper:8.2f}")
+        failures += not ok
+    return 1 if failures else 0
+
+
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    print(f"{'model':18s} {'blocks':>7s} {'layers':>7s} {'MACs':>9s} {'params':>9s}")
+    for name in sorted(MODEL_ZOO):
+        s = get_model(name).summary()
+        print(f"{name:18s} {s['blocks']:7d} {s['layers']:7d} "
+              f"{s['macs'] / 1e9:8.2f}G {s['params'] / 1e6:8.2f}M")
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.hw.analytic import (
+        UnsupportedNetworkError,
+        fpga_pipelined_report,
+        fpga_recursive_latency_ms,
+        gpu_latency_ms,
+    )
+    from repro.hw.device import GTX_1080TI, TITAN_RTX, ZC706, ZCU102
+    from repro.hw.energy import gpu_energy_mj
+
+    spec = get_model(args.model)
+    bits = args.bits
+    fpga_bits = min(bits, 16)
+    if args.plan:
+        from repro.hw.report import deployment_plan
+
+        device = TITAN_RTX if args.plan == "gpu" else (
+            ZCU102 if args.plan == "recursive" else ZC706
+        )
+        plan_bits = bits if args.plan == "gpu" else fpga_bits
+        print(deployment_plan(spec, args.plan, device, plan_bits))
+        return 0
+    print(spec.describe())
+    print(f"\nGPU latency (Titan RTX, {bits}-bit):  "
+          f"{gpu_latency_ms(spec, TITAN_RTX, bits):8.2f} ms")
+    print(f"GPU latency (1080 Ti, {bits}-bit):    "
+          f"{gpu_latency_ms(spec, GTX_1080TI, bits):8.2f} ms")
+    print(f"GPU energy  (Titan RTX, {bits}-bit):  "
+          f"{gpu_energy_mj(spec, TITAN_RTX, bits):8.1f} mJ/inference")
+    try:
+        print(f"FPGA latency (ZCU102 recursive):   "
+              f"{fpga_recursive_latency_ms(spec, ZCU102, fpga_bits):8.2f} ms")
+    except UnsupportedNetworkError:
+        print("FPGA latency (ZCU102 recursive):         NA (unsupported ops)")
+    report = fpga_pipelined_report(spec, ZC706, fpga_bits)
+    print(f"FPGA throughput (ZC706 pipelined): {report.fps:8.1f} fps "
+          f"(bottleneck {report.bottleneck_kind}{report.bottleneck_kernel})")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.core.config import EDDConfig
+    from repro.core.cosearch import EDDSearcher
+    from repro.core.trainer import train_from_spec
+    from repro.data.synthetic import SyntheticTaskConfig, make_synthetic_task
+    from repro.eval.figures import render_architecture
+    from repro.eval.trajectory import render_trajectory, summarize
+    from repro.nas.space import SearchSpaceConfig
+
+    space = SearchSpaceConfig.reduced(
+        num_blocks=args.blocks, num_classes=6, input_size=12
+    )
+    splits = make_synthetic_task(
+        SyntheticTaskConfig(num_classes=6, image_size=12, train_per_class=16,
+                            val_per_class=8, test_per_class=8, seed=args.seed)
+    )
+    config = EDDConfig(target=args.target, epochs=args.epochs, batch_size=12,
+                       seed=args.seed, arch_start_epoch=1,
+                       resource_fraction=args.resource_fraction)
+    searcher = EDDSearcher(space, splits, config)
+    result = searcher.search(name=f"cli-{args.target}")
+    print(render_architecture(result.spec))
+    print()
+    print(render_trajectory(result.history))
+    summary = summarize(result.history)
+    print(f"\nconverged: {summary.converged()}  "
+          f"(train-loss drop {summary.train_loss_drop:.3f}, "
+          f"theta perplexity {summary.final_theta_perplexity:.2f})")
+    if args.retrain:
+        trained = train_from_spec(result.spec, splits, epochs=10, batch_size=12)
+        print(f"retrained top-1 error: {trained.top1_error:.1f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tables = sub.add_parser("tables", help="regenerate paper tables/figures")
+    p_tables.add_argument("--which", default="all",
+                          choices=["all", *sorted(EXPERIMENTS)])
+    p_tables.set_defaults(fn=_cmd_tables)
+
+    p_anchors = sub.add_parser("anchors", help="verify calibration anchors")
+    p_anchors.set_defaults(fn=_cmd_anchors)
+
+    p_zoo = sub.add_parser("zoo", help="list model-zoo networks")
+    p_zoo.set_defaults(fn=_cmd_zoo)
+
+    p_explore = sub.add_parser("explore", help="device estimates for one model")
+    p_explore.add_argument("--model", required=True, choices=sorted(MODEL_ZOO))
+    p_explore.add_argument("--bits", type=int, default=32, choices=(8, 16, 32))
+    p_explore.add_argument("--plan", choices=("gpu", "recursive", "pipelined"),
+                           help="print the per-layer deployment plan instead")
+    p_explore.set_defaults(fn=_cmd_explore)
+
+    p_search = sub.add_parser("search", help="run a reduced-scale co-search")
+    p_search.add_argument("--target", default="gpu",
+                          choices=["gpu", "fpga_recursive", "fpga_pipelined", "accel"])
+    p_search.add_argument("--epochs", type=int, default=6)
+    p_search.add_argument("--blocks", type=int, default=3)
+    p_search.add_argument("--seed", type=int, default=0)
+    p_search.add_argument("--resource-fraction", type=float, default=0.05)
+    p_search.add_argument("--retrain", action="store_true")
+    p_search.set_defaults(fn=_cmd_search)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

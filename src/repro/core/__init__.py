@@ -1,0 +1,23 @@
+"""EDD co-search core: the Eq. 1 objective and the bilevel search loop."""
+
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.config import EDDConfig
+from repro.core.loss import combined_loss
+from repro.core.cosearch import EDDSearcher, build_hardware_model, build_supernet
+from repro.core.results import EpochRecord, SearchResult, TrainResult
+from repro.core.trainer import evaluate_network, train_from_spec
+
+__all__ = [
+    "EDDConfig",
+    "load_checkpoint",
+    "save_checkpoint",
+    "EDDSearcher",
+    "EpochRecord",
+    "SearchResult",
+    "TrainResult",
+    "build_hardware_model",
+    "build_supernet",
+    "combined_loss",
+    "evaluate_network",
+    "train_from_spec",
+]

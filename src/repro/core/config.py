@@ -1,0 +1,92 @@
+"""Configuration of one EDD co-search run."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+TARGETS = ("gpu", "fpga_recursive", "fpga_pipelined", "accel")
+
+
+@dataclass
+class EDDConfig:
+    """All knobs of the co-search (paper Secs. 5-6 defaults where given).
+
+    Attributes
+    ----------
+    target:
+        Which device formulation drives ``Perf_loss``/``RES``:
+        ``gpu`` (latency, Sec. 4.2), ``fpga_recursive`` (latency + shared
+        resource), ``fpga_pipelined`` (throughput + summed resource), or
+        ``accel`` (bit-serial dedicated accelerator, Sec. 4.3).
+    epochs:
+        Search epochs (the paper runs a fixed 50; reduced-scale experiments
+        use fewer).
+    alpha_target:
+        ``alpha`` in Eqs. 6-7 scales Perf_loss "to the same magnitude as
+        Acc_loss"; we implement that literally by auto-scaling alpha so the
+        initial Perf_loss equals ``alpha_target``.
+    beta, penalty_base:
+        The Eq. 1 resource barrier ``beta * C^((RES - RES_ub)/RES_ub)``.
+    resource_fraction:
+        Fraction of the device's DSPs available as RES_ub.
+    arch_start_epoch:
+        Warm-up epochs where only DNN weights are updated before the
+        architecture variables join (standard DNAS practice to avoid
+        collapsing onto under-trained candidates).
+    hard_weight_step / hard_arch_step:
+        Gumbel sampling mode per phase — hard single-path (paper's
+        memory-efficient mode) or soft weighted mixture (full gradient).
+    bilevel_order:
+        1 = first-order approximation (architecture gradient at the current
+        weights; the common DNAS default).  2 = DARTS-style unrolled step:
+        the architecture gradient is taken at the virtually-updated weights
+        ``w' = w - lr * grad_w L_train`` with the finite-difference
+        Hessian-vector correction (Liu et al. 2019, the paper's ref [18]).
+    unroll_epsilon:
+        Finite-difference scale of the second-order correction.
+    """
+
+    target: str = "gpu"
+    epochs: int = 8
+    batch_size: int = 16
+    lr_weights: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    lr_arch: float = 0.05
+    alpha_target: float = 1.0
+    beta: float = 1.0
+    penalty_base: float = math.e
+    resource_fraction: float = 1.0
+    lse_sharpness: float = 1.0
+    temperature_initial: float = 5.0
+    temperature_min: float = 0.3
+    temperature_decay: float = 0.9
+    arch_start_epoch: int = 1
+    hard_weight_step: bool = True
+    hard_arch_step: bool = False
+    bilevel_order: int = 1
+    unroll_epsilon: float = 1e-2
+    grad_clip: float | None = 5.0
+    seed: int = 0
+    log_every: int = 0  # epochs between log lines; 0 = silent
+
+    def __post_init__(self) -> None:
+        if self.target not in TARGETS:
+            raise ValueError(f"target must be one of {TARGETS}, got {self.target!r}")
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if not 0.0 < self.resource_fraction <= 1.0:
+            raise ValueError(
+                f"resource_fraction must be in (0, 1], got {self.resource_fraction}"
+            )
+        if self.arch_start_epoch < 0:
+            raise ValueError("arch_start_epoch must be >= 0")
+        if self.bilevel_order not in (1, 2):
+            raise ValueError(
+                f"bilevel_order must be 1 or 2, got {self.bilevel_order}"
+            )
+        if self.unroll_epsilon <= 0:
+            raise ValueError("unroll_epsilon must be positive")
+        if self.grad_clip is not None and self.grad_clip <= 0:
+            raise ValueError("grad_clip must be positive or None")

@@ -1,0 +1,372 @@
+"""The EDD co-search (Sec. 5 "Overall Algorithm").
+
+Bilevel stochastic gradient descent over the fused space ``{A, I}``:
+
+1. initialise Theta/Phi uniform, parallel factors per the device rule;
+2. each epoch, (a) update DNN weights ``w`` on the training split by
+   minimising ``Acc_loss`` under sampled architectures, then (b) update
+   ``{Theta, Phi, pf}`` on the validation split by descending Eq. 1;
+3. anneal the Gumbel temperature;
+4. derive the argmax architecture, re-tune integer parallel factors, and
+   hand the spec to the trainer for training from scratch.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.core.config import EDDConfig
+from repro.core.loss import combined_loss
+from repro.core.results import EpochRecord, SearchResult
+from repro.data.loader import DataLoader
+from repro.data.synthetic import DatasetSplits
+from repro.hw.accel import BitSerialAccelModel
+from repro.hw.base import HardwareModel
+from repro.hw.device import FPGADevice, GPUDevice, TITAN_RTX, ZC706, ZCU102
+from repro.hw.fpga import FPGAModel
+from repro.hw.gpu import GPUModel
+from repro.nas.derive import derive_arch_spec
+from repro.nas.gumbel import GumbelSoftmax, TemperatureSchedule, perplexity
+from repro.nas.quantization import QuantizationConfig
+from repro.nas.space import SearchSpaceConfig
+from repro.nas.supernet import SampledArch, SuperNet
+from repro.nn.functional import cross_entropy
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.utils.log import get_logger
+
+logger = get_logger("core.cosearch")
+
+
+def quantization_for_target(target: str) -> QuantizationConfig:
+    """The paper's per-device quantisation menus (Sec. 6)."""
+    if target == "gpu":
+        return QuantizationConfig.gpu()
+    if target == "fpga_recursive":
+        return QuantizationConfig.fpga(sharing="per_op")
+    if target == "fpga_pipelined":
+        return QuantizationConfig.fpga(sharing="per_block_op")
+    if target == "accel":
+        return QuantizationConfig.fpga(sharing="per_block_op")
+    raise ValueError(f"unknown target {target!r}")
+
+
+def build_supernet(space: SearchSpaceConfig, config: EDDConfig) -> SuperNet:
+    return SuperNet(space, quant=quantization_for_target(config.target), seed=config.seed)
+
+
+def build_hardware_model(
+    space: SearchSpaceConfig,
+    config: EDDConfig,
+    device: GPUDevice | FPGADevice | None = None,
+) -> HardwareModel:
+    """Instantiate the device model matching ``config.target``."""
+    quant = quantization_for_target(config.target)
+    if config.target == "gpu":
+        return GPUModel(space, quant, device=device or TITAN_RTX)
+    if config.target == "fpga_recursive":
+        return FPGAModel(
+            space, quant, device=device or ZCU102, architecture="recursive",
+            resource_fraction=config.resource_fraction,
+        )
+    if config.target == "fpga_pipelined":
+        return FPGAModel(
+            space, quant, device=device or ZC706, architecture="pipelined",
+            lse_sharpness=config.lse_sharpness,
+            resource_fraction=config.resource_fraction,
+        )
+    return BitSerialAccelModel(space, quant)
+
+
+class EDDSearcher:
+    """Runs one co-search over a search space, dataset and device model."""
+
+    def __init__(
+        self,
+        space: SearchSpaceConfig,
+        splits: DatasetSplits,
+        config: EDDConfig | None = None,
+        hw_model: HardwareModel | None = None,
+        supernet: SuperNet | None = None,
+    ) -> None:
+        self.config = config or EDDConfig()
+        self.space = space
+        self.splits = splits
+        self.supernet = supernet or build_supernet(space, self.config)
+        self.hw_model = hw_model or build_hardware_model(space, self.config)
+        self.sampler = GumbelSoftmax(
+            schedule=TemperatureSchedule(
+                t_initial=self.config.temperature_initial,
+                t_min=self.config.temperature_min,
+                decay=self.config.temperature_decay,
+            ),
+            seed=self.config.seed + 1,
+        )
+        self.weight_optimizer = SGD(
+            self.supernet.weight_parameters(),
+            lr=self.config.lr_weights,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+        arch_params = (
+            self.supernet.arch_parameters()
+            + self.hw_model.implementation_parameters()
+        )
+        self.arch_optimizer = Adam(arch_params, lr=self.config.lr_arch)
+        self._alpha_calibrated = False
+
+    # -- helpers -------------------------------------------------------------
+    def _expected_sample(self) -> SampledArch:
+        """Noise-free expectation sample (softmax of current logits)."""
+        net = self.supernet
+        op_weights = self.sampler.expected(net.theta, axis=-1)
+        if net.quant is not None:
+            quant_weights = self.sampler.expected(net.phi, axis=-1)
+            sharing = net.quant.sharing
+        else:
+            quant_weights = Tensor(np.ones((1,)))
+            sharing = "global"
+        return SampledArch(
+            op_weights=op_weights,
+            quant_weights=quant_weights,
+            op_indices=[int(i) for i in op_weights.data.argmax(axis=-1)],
+            sharing=sharing,
+            hard=False,
+        )
+
+    def calibrate_alpha(self) -> float:
+        """Scale alpha so the initial Perf_loss matches ``alpha_target``.
+
+        This realises the paper's instruction that "alpha scales Perf_loss to
+        the same magnitude as Acc_loss" without manual tuning per device.
+        """
+        evaluation = self.hw_model.evaluate(self._expected_sample())
+        perf0 = float(evaluation.perf_loss.data)
+        if perf0 > 0:
+            scale = self.config.alpha_target / perf0
+            self.hw_model.alpha = getattr(self.hw_model, "alpha", 1.0) * scale
+        self._alpha_calibrated = True
+        return getattr(self.hw_model, "alpha", 1.0)
+
+    # -- steps ------------------------------------------------------------------
+    def weight_step(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Inner-level update of DNN weights on a training batch."""
+        self.weight_optimizer.zero_grad()
+        self.arch_optimizer.zero_grad()
+        sample = self.supernet.sample(self.sampler, hard=self.config.hard_weight_step)
+        logits = self.supernet(Tensor(images), sample=sample)
+        loss = cross_entropy(logits, labels)
+        loss.backward()
+        if self.config.grad_clip is not None:
+            clip_grad_norm(self.weight_optimizer.params, self.config.grad_clip)
+        self.weight_optimizer.step()
+        return loss.item()
+
+    def arch_step(self, images: np.ndarray, labels: np.ndarray) -> dict[str, float]:
+        """Outer-level update of {Theta, Phi, pf} on a validation batch (Eq. 1)."""
+        self.weight_optimizer.zero_grad()
+        self.arch_optimizer.zero_grad()
+        sample = self.supernet.sample(self.sampler, hard=self.config.hard_arch_step)
+        logits = self.supernet(Tensor(images), sample=sample)
+        acc_loss = cross_entropy(logits, labels)
+        hw_eval = self.hw_model.evaluate(sample)
+        total = combined_loss(
+            acc_loss,
+            hw_eval,
+            self.hw_model.resource_bound,
+            beta=self.config.beta,
+            penalty_base=self.config.penalty_base,
+        )
+        total.backward()
+        if self.config.grad_clip is not None:
+            clip_grad_norm(self.arch_optimizer.params, self.config.grad_clip)
+        self.arch_optimizer.step()
+        self.hw_model.project_parameters()
+        return {
+            "acc_loss": acc_loss.item(),
+            "perf_loss": float(hw_eval.perf_loss.data),
+            "resource": float(hw_eval.resource.data),
+            "total_loss": total.item(),
+        }
+
+    # -- second-order (DARTS) architecture step -----------------------------------
+    def _weight_grads(self, images: np.ndarray, labels: np.ndarray,
+                      sample: SampledArch) -> list[np.ndarray]:
+        """``grad_w L_train`` under a fixed sample (arch grads discarded)."""
+        self.weight_optimizer.zero_grad()
+        self.arch_optimizer.zero_grad()
+        loss = cross_entropy(self.supernet(Tensor(images), sample=sample), labels)
+        loss.backward()
+        return [
+            p.grad.copy() if p.grad is not None else np.zeros_like(p.data)
+            for p in self.weight_optimizer.params
+        ]
+
+    def _arch_grads(self, images: np.ndarray, labels: np.ndarray,
+                    sample: SampledArch) -> list[np.ndarray]:
+        """``grad_alpha L_train`` at the current weights (weights untouched)."""
+        self.weight_optimizer.zero_grad()
+        self.arch_optimizer.zero_grad()
+        loss = cross_entropy(self.supernet(Tensor(images), sample=sample), labels)
+        loss.backward()
+        return [
+            p.grad.copy() if p.grad is not None else np.zeros_like(p.data)
+            for p in self.arch_optimizer.params
+        ]
+
+    def arch_step_unrolled(
+        self,
+        val_images: np.ndarray,
+        val_labels: np.ndarray,
+        train_images: np.ndarray,
+        train_labels: np.ndarray,
+    ) -> dict[str, float]:
+        """DARTS second-order architecture update (paper ref [18]).
+
+        1. virtual step: ``w' = w - xi * grad_w L_train(w)``;
+        2. evaluate Eq. 1 at ``w'`` -> arch gradients and ``grad_w' L_val``;
+        3. finite-difference Hessian-vector correction:
+           ``- xi * (grad_a L_train(w+) - grad_a L_train(w-)) / (2 eps)``
+           with ``w± = w ± eps * grad_w' L_val``;
+        4. apply the corrected gradient with the arch optimiser.
+        """
+        xi = self.config.lr_weights
+        sample = self.supernet.sample(self.sampler, hard=self.config.hard_arch_step)
+        weights = self.weight_optimizer.params
+
+        originals = [p.data.copy() for p in weights]
+        g_train = self._weight_grads(train_images, train_labels, sample)
+        for p, g in zip(weights, g_train):
+            p.data = p.data - xi * g
+
+        # Full Eq. 1 at the virtual weights.
+        self.weight_optimizer.zero_grad()
+        self.arch_optimizer.zero_grad()
+        logits = self.supernet(Tensor(val_images), sample=sample)
+        acc_loss = cross_entropy(logits, val_labels)
+        hw_eval = self.hw_model.evaluate(sample)
+        total = combined_loss(
+            acc_loss, hw_eval, self.hw_model.resource_bound,
+            beta=self.config.beta, penalty_base=self.config.penalty_base,
+        )
+        total.backward()
+        arch_grads = [
+            p.grad.copy() if p.grad is not None else np.zeros_like(p.data)
+            for p in self.arch_optimizer.params
+        ]
+        val_weight_grads = [
+            p.grad.copy() if p.grad is not None else np.zeros_like(p.data)
+            for p in weights
+        ]
+
+        # Finite-difference correction around the *original* weights.
+        norm = float(np.sqrt(sum(float((g * g).sum()) for g in val_weight_grads)))
+        stats_extra = 0.0
+        if norm > 1e-12:
+            eps = self.config.unroll_epsilon / norm
+            for p, orig, g in zip(weights, originals, val_weight_grads):
+                p.data = orig + eps * g
+            g_plus = self._arch_grads(train_images, train_labels, sample)
+            for p, orig, g in zip(weights, originals, val_weight_grads):
+                p.data = orig - eps * g
+            g_minus = self._arch_grads(train_images, train_labels, sample)
+            correction_scale = xi / (2.0 * eps)
+            for i in range(len(arch_grads)):
+                arch_grads[i] = arch_grads[i] - correction_scale * (
+                    g_plus[i] - g_minus[i]
+                )
+            stats_extra = correction_scale
+        for p, orig in zip(weights, originals):
+            p.data = orig
+
+        # Install corrected gradients and step the arch optimiser.
+        self.weight_optimizer.zero_grad()
+        self.arch_optimizer.zero_grad()
+        for p, g in zip(self.arch_optimizer.params, arch_grads):
+            p.grad = g
+        if self.config.grad_clip is not None:
+            clip_grad_norm(self.arch_optimizer.params, self.config.grad_clip)
+        self.arch_optimizer.step()
+        self.hw_model.project_parameters()
+        return {
+            "acc_loss": acc_loss.item(),
+            "perf_loss": float(hw_eval.perf_loss.data),
+            "resource": float(hw_eval.resource.data),
+            "total_loss": total.item(),
+            "unroll_scale": stats_extra,
+        }
+
+    # -- main loop --------------------------------------------------------------
+    def search(self, name: str = "EDD-searched") -> SearchResult:
+        config = self.config
+        start = time.perf_counter()
+        if not self._alpha_calibrated:
+            self.calibrate_alpha()
+        train_loader = DataLoader(
+            self.splits.train, config.batch_size, shuffle=True, seed=config.seed + 2
+        )
+        val_loader = DataLoader(
+            self.splits.val, config.batch_size, shuffle=True, seed=config.seed + 3
+        )
+        history: list[EpochRecord] = []
+        for epoch in range(config.epochs):
+            temperature = self.sampler.set_epoch(epoch)
+            train_batches = list(train_loader)
+            train_losses = [self.weight_step(x, y) for x, y in train_batches]
+            if epoch >= config.arch_start_epoch:
+                if config.bilevel_order == 2:
+                    arch_stats = [
+                        self.arch_step_unrolled(
+                            x, y, *train_batches[i % len(train_batches)]
+                        )
+                        for i, (x, y) in enumerate(val_loader)
+                    ]
+                else:
+                    arch_stats = [self.arch_step(x, y) for x, y in val_loader]
+            else:
+                arch_stats = []
+
+            def _mean(key: str) -> float:
+                if not arch_stats:
+                    return float("nan")
+                return float(np.mean([s[key] for s in arch_stats]))
+
+            record = EpochRecord(
+                epoch=epoch,
+                train_loss=float(np.mean(train_losses)),
+                val_acc_loss=_mean("acc_loss"),
+                perf_loss=_mean("perf_loss"),
+                resource=_mean("resource"),
+                total_loss=_mean("total_loss"),
+                temperature=temperature,
+                theta_perplexity=float(np.mean(perplexity(self.supernet.theta.data))),
+            )
+            history.append(record)
+            if config.log_every and epoch % config.log_every == 0:
+                logger.info(
+                    "epoch %d train=%.3f val=%.3f perf=%.3f res=%.1f T=%.2f",
+                    epoch, record.train_loss, record.val_acc_loss,
+                    record.perf_loss, record.resource, temperature,
+                )
+
+        spec = derive_arch_spec(self.supernet, name=name)
+        spec.metadata["target"] = config.target
+        parallel_factors = None
+        if isinstance(self.hw_model, FPGAModel):
+            theta_idx = [int(i) for i in self.supernet.theta.data.argmax(axis=-1)]
+            bits = spec.metadata.get(
+                "block_bits", [16] * self.space.num_blocks
+            )
+            parallel_factors = self.hw_model.retune_parallel_factors(theta_idx, bits)
+            spec.metadata["parallel_factors"] = parallel_factors
+        return SearchResult(
+            spec=spec,
+            history=history,
+            theta=self.supernet.theta.data.copy(),
+            phi=self.supernet.phi.data.copy(),
+            parallel_factors=parallel_factors,
+            search_seconds=time.perf_counter() - start,
+            config=config,
+        )

@@ -1,0 +1,50 @@
+"""The fused objective of Eq. 1.
+
+``L = Acc_loss(A, I) * Perf_loss(I) + beta * C^(RES(I) - RES_ub)``
+
+The multiplicative coupling is the paper's central design choice: unlike the
+additive penalties of FBNet/ProxylessNAS, the gradient of the accuracy term
+is scaled by the current performance loss (and vice versa), so neither
+objective can be optimised while ignoring the other.  See
+``benchmarks/bench_ablation_formulation.py`` for the multiplicative-vs-
+additive comparison.
+"""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.hw.base import HwEvaluation
+from repro.hw.resource import resource_penalty
+
+
+def combined_loss(
+    acc_loss: Tensor,
+    hw_eval: HwEvaluation,
+    resource_bound: float | None,
+    beta: float = 1.0,
+    penalty_base: float = 2.718281828459045,
+) -> Tensor:
+    """Assemble Eq. 1 from the accuracy loss and a hardware evaluation."""
+    total = acc_loss * hw_eval.perf_loss
+    if resource_bound is not None:
+        total = total + resource_penalty(
+            hw_eval.resource, resource_bound, beta=beta, base=penalty_base
+        )
+    return total
+
+
+def additive_loss(
+    acc_loss: Tensor,
+    hw_eval: HwEvaluation,
+    resource_bound: float | None,
+    perf_weight: float = 1.0,
+    beta: float = 1.0,
+    penalty_base: float = 2.718281828459045,
+) -> Tensor:
+    """FBNet-style additive alternative ``Acc + w * Perf`` (ablation only)."""
+    total = acc_loss + hw_eval.perf_loss * perf_weight
+    if resource_bound is not None:
+        total = total + resource_penalty(
+            hw_eval.resource, resource_bound, beta=beta, base=penalty_base
+        )
+    return total

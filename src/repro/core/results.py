@@ -1,0 +1,85 @@
+"""Result records produced by the co-search and the trainer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.nas.arch_spec import ArchSpec
+
+
+@dataclass
+class EpochRecord:
+    """Per-epoch telemetry of the bilevel search."""
+
+    epoch: int
+    train_loss: float
+    val_acc_loss: float
+    perf_loss: float
+    resource: float
+    total_loss: float
+    temperature: float
+    theta_perplexity: float
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "epoch": self.epoch,
+            "train_loss": self.train_loss,
+            "val_acc_loss": self.val_acc_loss,
+            "perf_loss": self.perf_loss,
+            "resource": self.resource,
+            "total_loss": self.total_loss,
+            "temperature": self.temperature,
+            "theta_perplexity": self.theta_perplexity,
+        }
+
+
+@dataclass
+class SearchResult:
+    """Everything a co-search run produces."""
+
+    spec: ArchSpec
+    history: list[EpochRecord]
+    theta: np.ndarray
+    phi: np.ndarray
+    parallel_factors: list[int] | None
+    search_seconds: float
+    config: Any = None
+
+    @property
+    def op_labels(self) -> list[str]:
+        return list(self.spec.metadata.get("op_labels", []))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.summary(),
+            "op_labels": self.op_labels,
+            "block_bits": self.spec.metadata.get("block_bits"),
+            "parallel_factors": self.parallel_factors,
+            "history": [r.to_dict() for r in self.history],
+            "search_seconds": self.search_seconds,
+        }
+
+
+@dataclass
+class TrainResult:
+    """Metrics from training a derived/zoo network from scratch."""
+
+    name: str
+    top1_error: float
+    top5_error: float
+    train_losses: list[float] = field(default_factory=list)
+    epochs: int = 0
+    weight_bits: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "top1_error": self.top1_error,
+            "top5_error": self.top5_error,
+            "epochs": self.epochs,
+            "weight_bits": self.weight_bits,
+            "final_train_loss": self.train_losses[-1] if self.train_losses else None,
+        }

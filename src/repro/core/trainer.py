@@ -1,0 +1,97 @@
+"""Train derived (or zoo) networks from scratch on the proxy task.
+
+The paper's final step (Sec. 5): after derivation "the searched DNN needs to
+be trained from scratch on the target dataset".  Offline that dataset is the
+synthetic proxy, which is sufficient to compare architectures and precision
+settings against each other (the role accuracy plays in Tables 1-3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.core.results import TrainResult
+from repro.data.loader import DataLoader
+from repro.data.synthetic import Dataset, DatasetSplits
+from repro.nas.arch_spec import ArchSpec
+from repro.nas.network import BuiltNetwork, build_network
+from repro.nn.functional import cross_entropy, topk_accuracy
+from repro.nn.optim import SGD, CosineSchedule, clip_grad_norm
+
+
+def evaluate_network(
+    net: BuiltNetwork,
+    dataset: Dataset,
+    batch_size: int = 64,
+    bits: int | None = None,
+    topk: tuple[int, ...] = (1, 5),
+) -> dict[int, float]:
+    """Top-k accuracies of ``net`` on ``dataset`` (eval mode, no grad)."""
+    net.eval()
+    loader = DataLoader(dataset, batch_size, shuffle=False)
+    correct = {k: 0.0 for k in topk}
+    total = 0
+    with no_grad():
+        for images, labels in loader:
+            logits = net(Tensor(images), bits=bits)
+            for k in topk:
+                correct[k] += topk_accuracy(logits, labels, k=k) * len(labels)
+            total += len(labels)
+    net.train()
+    return {k: correct[k] / max(total, 1) for k in topk}
+
+
+def train_from_spec(
+    spec: ArchSpec,
+    splits: DatasetSplits,
+    epochs: int = 10,
+    batch_size: int = 16,
+    lr: float = 0.05,
+    momentum: float = 0.9,
+    weight_decay: float = 1e-4,
+    bits: int | None = None,
+    seed: int = 0,
+    warm_start_from=None,
+    grad_clip: float | None = 5.0,
+) -> TrainResult:
+    """Train ``spec`` from scratch and report test-set errors.
+
+    ``bits`` fake-quantises weights during both training and evaluation
+    (quantisation-aware training); ``None`` uses the spec's own annotation,
+    falling back to full precision.  ``warm_start_from`` accepts the supernet
+    that derived this spec: its trained weights seed the child (see
+    :mod:`repro.nas.warmstart`), typically cutting the retraining budget.
+    """
+    net = build_network(spec, seed=seed)
+    if warm_start_from is not None:
+        from repro.nas.warmstart import inherit_weights
+
+        inherit_weights(warm_start_from, net)
+    optimizer = SGD(net.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay)
+    loader = DataLoader(splits.train, batch_size, shuffle=True, seed=seed + 1)
+    schedule = CosineSchedule(optimizer, total_steps=max(epochs, 1))
+    losses: list[float] = []
+    for _ in range(epochs):
+        epoch_losses = []
+        for images, labels in loader:
+            optimizer.zero_grad()
+            logits = net(Tensor(images), bits=bits)
+            loss = cross_entropy(logits, labels)
+            loss.backward()
+            if grad_clip is not None:
+                clip_grad_norm(optimizer.params, grad_clip)
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        schedule.step()
+        losses.append(float(np.mean(epoch_losses)))
+    metrics = evaluate_network(net, splits.test, batch_size=batch_size, bits=bits)
+    top5 = metrics.get(5, metrics[max(metrics)])
+    return TrainResult(
+        name=spec.name,
+        top1_error=(1.0 - metrics[1]) * 100.0,
+        top5_error=(1.0 - top5) * 100.0,
+        train_losses=losses,
+        epochs=epochs,
+        weight_bits=bits if bits is not None else spec.weight_bits,
+    )

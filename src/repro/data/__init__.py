@@ -1,0 +1,39 @@
+"""Data substrate.
+
+The paper searches on a 100-class subset of ImageNet and retrains on the full
+dataset.  Neither is available offline, so this package provides a
+deterministic synthetic class-conditional image dataset whose difficulty is
+controllable: accuracy responds to model capacity, architecture choices and
+quantisation noise, which is all the co-search needs from its data source
+(see DESIGN.md, substitution table).
+"""
+
+from repro.data.external import (
+    load_dataset_npz,
+    save_dataset_npz,
+    splits_from_arrays,
+    splits_from_npz,
+)
+from repro.data.loader import DataLoader
+from repro.data.synthetic import (
+    Dataset,
+    DatasetSplits,
+    SyntheticTaskConfig,
+    make_synthetic_task,
+)
+from repro.data.transforms import normalize, random_flip, random_shift
+
+__all__ = [
+    "DataLoader",
+    "load_dataset_npz",
+    "save_dataset_npz",
+    "splits_from_arrays",
+    "splits_from_npz",
+    "Dataset",
+    "DatasetSplits",
+    "SyntheticTaskConfig",
+    "make_synthetic_task",
+    "normalize",
+    "random_flip",
+    "random_shift",
+]

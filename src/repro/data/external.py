@@ -1,0 +1,128 @@
+"""Bring-your-own-data support.
+
+The synthetic task is the default offline substrate, but the library is not
+tied to it: any (images, labels) arrays — e.g. a real CIFAR/ImageNet subset
+exported to ``.npz`` — can be turned into :class:`DatasetSplits` and fed to
+the co-search unchanged.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.synthetic import Dataset, DatasetSplits, SyntheticTaskConfig
+from repro.utils.rng import new_rng
+
+
+def save_dataset_npz(path: str | Path, images: np.ndarray, labels: np.ndarray) -> Path:
+    """Write an (images, labels) pair to ``path`` in the expected layout."""
+    images = np.asarray(images)
+    labels = np.asarray(labels)
+    if images.ndim != 4:
+        raise ValueError(f"images must be NCHW, got shape {images.shape}")
+    if len(images) != len(labels):
+        raise ValueError(
+            f"images/labels length mismatch: {len(images)} vs {len(labels)}"
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, images=images.astype(np.float64), labels=labels.astype(np.int64))
+    return path
+
+
+def load_dataset_npz(path: str | Path) -> Dataset:
+    """Load a dataset written by :func:`save_dataset_npz` (or compatible)."""
+    with np.load(Path(path)) as data:
+        missing = {"images", "labels"} - set(data.files)
+        if missing:
+            raise KeyError(f"{path}: missing arrays {sorted(missing)}")
+        return Dataset(images=data["images"].copy(), labels=data["labels"].copy())
+
+
+def splits_from_arrays(
+    images: np.ndarray,
+    labels: np.ndarray,
+    val_fraction: float = 0.2,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+    stratify: bool = True,
+) -> DatasetSplits:
+    """Random train/val/test partition of user-provided arrays.
+
+    With ``stratify=True`` (default) every class keeps its proportion in
+    each split — important for the bilevel search, whose validation split
+    drives the architecture update.
+    """
+    images = np.asarray(images, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if images.ndim != 4:
+        raise ValueError(f"images must be NCHW, got shape {images.shape}")
+    if len(images) != len(labels):
+        raise ValueError(
+            f"images/labels length mismatch: {len(images)} vs {len(labels)}"
+        )
+    if not 0.0 < val_fraction + test_fraction < 1.0:
+        raise ValueError(
+            f"val+test fractions must be in (0, 1), got {val_fraction + test_fraction}"
+        )
+    rng = new_rng(seed)
+    n = len(labels)
+
+    if stratify:
+        train_idx, val_idx, test_idx = [], [], []
+        for cls in np.unique(labels):
+            members = np.flatnonzero(labels == cls)
+            members = members[rng.permutation(len(members))]
+            n_val = max(1, int(round(len(members) * val_fraction)))
+            n_test = max(1, int(round(len(members) * test_fraction)))
+            if n_val + n_test >= len(members):
+                raise ValueError(
+                    f"class {cls} has only {len(members)} samples — too few for "
+                    f"val_fraction={val_fraction}, test_fraction={test_fraction}"
+                )
+            val_idx.extend(members[:n_val])
+            test_idx.extend(members[n_val:n_val + n_test])
+            train_idx.extend(members[n_val + n_test:])
+        train_idx = np.array(train_idx)
+        val_idx = np.array(val_idx)
+        test_idx = np.array(test_idx)
+    else:
+        order = rng.permutation(n)
+        n_val = int(round(n * val_fraction))
+        n_test = int(round(n * test_fraction))
+        val_idx, test_idx, train_idx = (
+            order[:n_val], order[n_val:n_val + n_test], order[n_val + n_test:]
+        )
+
+    # Shuffle within splits so batches are class-mixed.
+    for idx in (train_idx, val_idx, test_idx):
+        rng.shuffle(idx)
+
+    config = SyntheticTaskConfig(
+        num_classes=int(labels.max()) + 1,
+        image_size=images.shape[-1],
+        channels=images.shape[1],
+        seed=seed,
+    )
+    return DatasetSplits(
+        train=Dataset(images=images[train_idx], labels=labels[train_idx]),
+        val=Dataset(images=images[val_idx], labels=labels[val_idx]),
+        test=Dataset(images=images[test_idx], labels=labels[test_idx]),
+        config=config,
+    )
+
+
+def splits_from_npz(
+    path: str | Path,
+    val_fraction: float = 0.2,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> DatasetSplits:
+    """One-call loader: ``.npz`` file -> stratified DatasetSplits."""
+    dataset = load_dataset_npz(path)
+    return splits_from_arrays(
+        dataset.images, dataset.labels,
+        val_fraction=val_fraction, test_fraction=test_fraction, seed=seed,
+    )

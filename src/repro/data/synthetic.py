@@ -1,0 +1,157 @@
+"""Deterministic synthetic image-classification tasks.
+
+Each class is defined by a band-limited random texture prototype (a mixture
+of oriented sinusoids, i.e. Gabor-like patterns).  A sample is its class
+prototype under a random circular shift, contrast jitter and additive
+Gaussian noise.  Three properties make this a faithful stand-in for the
+paper's ImageNet-100 proxy at laptop scale:
+
+* difficulty is tunable (``noise_std``, ``num_classes``, ``image_size``) so
+  accuracy differences between architectures are measurable;
+* spatial structure matters — depthwise/dense convolutions with different
+  kernel sizes genuinely differ in accuracy, giving the NAS a real signal;
+* generation is a pure function of the seed, so every experiment is
+  bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass(frozen=True)
+class SyntheticTaskConfig:
+    """Knobs for :func:`make_synthetic_task`.
+
+    ``frequencies`` controls the texture band: more/higher frequencies make
+    classes harder to separate under noise.
+    """
+
+    num_classes: int = 10
+    image_size: int = 16
+    channels: int = 3
+    train_per_class: int = 32
+    val_per_class: int = 8
+    test_per_class: int = 8
+    noise_std: float = 0.35
+    contrast_jitter: float = 0.25
+    max_shift: int = 2
+    components: int = 4
+    frequencies: tuple[float, ...] = (1.0, 2.0, 3.0)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ValueError(f"need at least 2 classes, got {self.num_classes}")
+        if self.image_size < 4:
+            raise ValueError(f"image_size too small: {self.image_size}")
+        if min(self.train_per_class, self.val_per_class, self.test_per_class) < 1:
+            raise ValueError("every split needs at least one sample per class")
+
+
+@dataclass
+class Dataset:
+    """A materialised split: images (N, C, H, W) and integer labels (N,)."""
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.images.ndim != 4:
+            raise ValueError(f"images must be NCHW, got shape {self.images.shape}")
+        if len(self.images) != len(self.labels):
+            raise ValueError(
+                f"images/labels length mismatch: {len(self.images)} vs {len(self.labels)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self.labels) else 0
+
+
+@dataclass
+class DatasetSplits:
+    """Train / validation / test triple produced by one task seed.
+
+    The paper's bilevel search updates weights on ``train`` and architecture
+    variables on ``val``; ``test`` is only used for final reporting.
+    """
+
+    train: Dataset
+    val: Dataset
+    test: Dataset
+    config: SyntheticTaskConfig = field(default_factory=SyntheticTaskConfig)
+
+
+def _class_prototypes(config: SyntheticTaskConfig, rng: np.random.Generator) -> np.ndarray:
+    """Random band-limited texture per class, shape (K, C, H, W), zero-mean."""
+    size = config.image_size
+    coords = np.arange(size) / size
+    yy, xx = np.meshgrid(coords, coords, indexing="ij")
+    protos = np.zeros((config.num_classes, config.channels, size, size))
+    for k in range(config.num_classes):
+        for ch in range(config.channels):
+            pattern = np.zeros((size, size))
+            for _ in range(config.components):
+                freq = rng.choice(config.frequencies)
+                angle = rng.uniform(0.0, np.pi)
+                phase = rng.uniform(0.0, 2.0 * np.pi)
+                amplitude = rng.uniform(0.5, 1.0)
+                fx = freq * np.cos(angle)
+                fy = freq * np.sin(angle)
+                pattern += amplitude * np.sin(2.0 * np.pi * (fx * xx + fy * yy) + phase)
+            pattern -= pattern.mean()
+            norm = np.sqrt((pattern**2).mean())
+            protos[k, ch] = pattern / max(norm, 1e-9)
+    return protos
+
+
+def _sample_split(
+    protos: np.ndarray,
+    per_class: int,
+    config: SyntheticTaskConfig,
+    rng: np.random.Generator,
+) -> Dataset:
+    num_classes, channels, size, _ = protos.shape
+    total = num_classes * per_class
+    images = np.empty((total, channels, size, size))
+    labels = np.empty(total, dtype=np.int64)
+    index = 0
+    for k in range(num_classes):
+        for _ in range(per_class):
+            shift_h = rng.integers(-config.max_shift, config.max_shift + 1)
+            shift_w = rng.integers(-config.max_shift, config.max_shift + 1)
+            sample = np.roll(protos[k], (shift_h, shift_w), axis=(1, 2))
+            contrast = 1.0 + rng.uniform(-config.contrast_jitter, config.contrast_jitter)
+            sample = contrast * sample + rng.normal(0.0, config.noise_std, sample.shape)
+            images[index] = sample
+            labels[index] = k
+            index += 1
+    # Shuffle within the split so mini-batches are class-mixed from step one.
+    order = rng.permutation(total)
+    return Dataset(images=images[order], labels=labels[order])
+
+
+def make_synthetic_task(config: SyntheticTaskConfig | None = None) -> DatasetSplits:
+    """Generate the train/val/test splits for one task seed.
+
+    All three splits share class prototypes (same concepts) but use
+    independent noise/shift draws, so validation honestly measures
+    generalisation rather than memorisation of noise.
+    """
+    config = config or SyntheticTaskConfig()
+    proto_rng, train_rng, val_rng, test_rng = spawn_rngs(config.seed, 4)
+    protos = _class_prototypes(config, proto_rng)
+    return DatasetSplits(
+        train=_sample_split(protos, config.train_per_class, config, train_rng),
+        val=_sample_split(protos, config.val_per_class, config, val_rng),
+        test=_sample_split(protos, config.test_per_class, config, test_rng),
+        config=config,
+    )

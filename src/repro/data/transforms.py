@@ -1,0 +1,34 @@
+"""Batch-level data augmentation and normalisation (pure numpy functions)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normalize(images: np.ndarray, mean: float | None = None, std: float | None = None) -> np.ndarray:
+    """Standardise a batch to zero mean / unit variance.
+
+    With explicit ``mean``/``std`` the same statistics can be reused across
+    splits (compute them on train, apply everywhere).
+    """
+    mean = images.mean() if mean is None else mean
+    std = images.std() if std is None else std
+    return (images - mean) / max(std, 1e-9)
+
+
+def random_flip(images: np.ndarray, rng: np.random.Generator, p: float = 0.5) -> np.ndarray:
+    """Horizontal flip applied independently per sample with probability ``p``."""
+    out = images.copy()
+    mask = rng.random(len(images)) < p
+    out[mask] = out[mask][..., ::-1]
+    return out
+
+
+def random_shift(images: np.ndarray, rng: np.random.Generator, max_shift: int = 1) -> np.ndarray:
+    """Random circular spatial shift per sample, up to ``max_shift`` pixels."""
+    out = np.empty_like(images)
+    for i, img in enumerate(images):
+        dh = rng.integers(-max_shift, max_shift + 1)
+        dw = rng.integers(-max_shift, max_shift + 1)
+        out[i] = np.roll(img, (dh, dw), axis=(1, 2))
+    return out

@@ -1,0 +1,35 @@
+"""Evaluation harness: regenerates every table and figure of the paper."""
+
+from repro.eval.metrics import error_rates
+from repro.eval.tables import (
+    TableRow,
+    format_table,
+    table1,
+    table2,
+    table3,
+)
+from repro.eval.figures import figure4, render_architecture
+from repro.eval.pareto import TradeoffPoint, format_tradeoff, pareto_front, tradeoff_sweep
+from repro.eval.trajectory import ConvergenceSummary, ascii_chart, render_trajectory, summarize
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "ConvergenceSummary",
+    "EXPERIMENTS",
+    "TradeoffPoint",
+    "ascii_chart",
+    "format_tradeoff",
+    "pareto_front",
+    "render_trajectory",
+    "summarize",
+    "tradeoff_sweep",
+    "TableRow",
+    "error_rates",
+    "figure4",
+    "format_table",
+    "render_architecture",
+    "run_experiment",
+    "table1",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,50 @@
+"""Experiment registry: one entry per paper table/figure and per ablation.
+
+``run_experiment("table1")`` etc. return the printable artefact; the
+benchmark files are thin wrappers over these so everything is reproducible
+from Python as well as from pytest.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.eval.figures import figure4
+from repro.eval.tables import format_table, table1, table2, table3
+
+
+def _table1_text() -> str:
+    rows = table1()
+    columns = [
+        "Top-1 err (paper)", "Top-5 err (paper)",
+        "GPU ms (ours)", "GPU ms (paper)",
+        "FPGA ms (ours)", "FPGA ms (paper)",
+    ]
+    return format_table(rows, columns, "Table 1: comparison with existing NAS solutions")
+
+
+def _table2_text() -> str:
+    rows = table2()
+    columns = ["Latency ms (ours)", "Latency ms (paper)", "Err % (paper)"]
+    return format_table(rows, columns, "Table 2: EDD-Net-1 on GTX 1080 Ti across precisions")
+
+
+def _table3_text() -> str:
+    rows = table3()
+    columns = ["Top-1 err (paper)", "Top-5 err (paper)", "fps (ours)", "fps (paper)"]
+    return format_table(rows, columns, "Table 3: EDD-Net-3 vs DNNBuilder (ZC706)")
+
+
+EXPERIMENTS: dict[str, Callable[[], str]] = {
+    "table1": _table1_text,
+    "table2": _table2_text,
+    "table3": _table3_text,
+    "figure4": figure4,
+}
+
+
+def run_experiment(name: str) -> str:
+    """Regenerate one registered experiment artefact by id."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[name]()

@@ -1,0 +1,68 @@
+"""Figure 4 renderer: the three EDD-Net architectures as block diagrams.
+
+The paper's Fig. 4 draws each searched network as a chain of labelled blocks
+(op type, expansion, kernel, channels, stride markers).  We render the same
+information as fixed-width text so the benchmark output and EXPERIMENTS.md
+can embed it; the renderer works for any :class:`ArchSpec`, including nets
+freshly derived by the co-search.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.model_zoo import edd_net_1, edd_net_2, edd_net_3
+from repro.nas.arch_spec import (
+    ArchSpec,
+    ConvBlock,
+    FCBlock,
+    MBConvBlock,
+    SepConvBlock,
+    StemBlock,
+)
+
+
+def _block_label(block) -> str:
+    if isinstance(block, StemBlock):
+        return f"Conv{block.kernel}x{block.kernel}"
+    if isinstance(block, MBConvBlock):
+        return f"MB{block.expansion} {block.kernel}x{block.kernel}"
+    if isinstance(block, SepConvBlock):
+        return f"Sep {block.kernel}x{block.kernel}"
+    if isinstance(block, ConvBlock):
+        return f"Conv{block.kernel}x{block.kernel}"
+    if isinstance(block, FCBlock):
+        return "FC"
+    return type(block).__name__
+
+
+def render_architecture(spec: ArchSpec, width: int = 100) -> str:
+    """Render one network as wrapped ``label(channels)[/s2]`` chains."""
+    tokens = ["Input"]
+    for block in spec.blocks:
+        label = _block_label(block)
+        channels = getattr(block, "out_ch", getattr(block, "out_features", ""))
+        stride = getattr(block, "stride", 1)
+        marker = "/s2" if stride == 2 else ""
+        tokens.append(f"{label}({channels}){marker}")
+    lines = [f"{spec.name}  [{spec.total_macs() / 1e6:.0f}M MACs, "
+             f"{spec.total_params() / 1e6:.2f}M params]"]
+    current = "  "
+    for token in tokens:
+        piece = token + " -> "
+        if len(current) + len(piece) > width:
+            lines.append(current.rstrip())
+            current = "  "
+        current += piece
+    lines.append(current.rstrip().rstrip("->").rstrip())
+    if "block_bits" in spec.metadata:
+        lines.append(f"  per-block weight bits: {spec.metadata['block_bits']}")
+    if "parallel_factors" in spec.metadata:
+        lines.append(f"  parallel factors: {spec.metadata['parallel_factors']}")
+    return "\n".join(lines)
+
+
+def figure4(extra_specs: list[ArchSpec] | None = None) -> str:
+    """The paper's Fig. 4: EDD-Net-1/2/3 (plus any freshly searched specs)."""
+    specs = [edd_net_1(), edd_net_2(), edd_net_3()]
+    specs.extend(extra_specs or [])
+    sections = [render_architecture(spec) for spec in specs]
+    return ("\n" + "-" * 100 + "\n").join(sections)

@@ -1,0 +1,15 @@
+"""Classification metrics shared by the evaluation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.functional import topk_accuracy
+
+
+def error_rates(
+    logits: Tensor | np.ndarray, targets: np.ndarray, ks: tuple[int, ...] = (1, 5)
+) -> dict[int, float]:
+    """Top-k error percentages (the unit Tables 1-3 report)."""
+    return {k: (1.0 - topk_accuracy(logits, targets, k)) * 100.0 for k in ks}

@@ -1,0 +1,103 @@
+"""Accuracy/performance trade-off sweeps (Pareto analysis).
+
+Hardware-aware NAS methods are usually judged by the trade-off curve they
+trace as the performance pressure varies.  EDD exposes that pressure through
+``alpha_target`` (how large Perf_loss is relative to Acc_loss in Eq. 1);
+sweeping it yields an accuracy-vs-latency curve per device target.  This
+module runs the sweep at reduced scale and extracts the non-dominated
+(Pareto) front.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.config import EDDConfig
+from repro.core.cosearch import EDDSearcher
+from repro.core.trainer import train_from_spec
+from repro.data.synthetic import DatasetSplits
+from repro.nas.arch_spec import ArchSpec
+from repro.nas.space import SearchSpaceConfig
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One searched solution on the accuracy/performance plane."""
+
+    alpha_target: float
+    top1_error: float
+    perf_units: float      # un-normalised device-model performance
+    resource: float
+    spec_name: str
+
+    def dominates(self, other: "TradeoffPoint") -> bool:
+        """Strictly better in one objective, no worse in the other."""
+        better_err = self.top1_error <= other.top1_error
+        better_perf = self.perf_units <= other.perf_units
+        strictly = (
+            self.top1_error < other.top1_error or self.perf_units < other.perf_units
+        )
+        return better_err and better_perf and strictly
+
+
+def tradeoff_sweep(
+    space: SearchSpaceConfig,
+    splits: DatasetSplits,
+    base_config: EDDConfig,
+    alpha_targets: tuple[float, ...] = (0.25, 1.0, 4.0),
+    train_epochs: int = 6,
+) -> list[TradeoffPoint]:
+    """One co-search per alpha target; returns measured trade-off points.
+
+    ``alpha_target`` scales how loudly the hardware objective speaks: small
+    values approximate accuracy-only NAS, large values squeeze the
+    implementation hard.
+    """
+    points: list[TradeoffPoint] = []
+    for alpha in alpha_targets:
+        config = dataclasses.replace(base_config, alpha_target=alpha)
+        searcher = EDDSearcher(space, splits, config)
+        result = searcher.search(name=f"tradeoff-a{alpha:g}")
+        evaluation = searcher.hw_model.evaluate(searcher._expected_sample())
+        raw_alpha = getattr(searcher.hw_model, "alpha", 1.0)
+        perf_units = float(evaluation.perf_loss.data) / max(raw_alpha, 1e-12)
+        trained = train_from_spec(
+            result.spec, splits, epochs=train_epochs,
+            batch_size=base_config.batch_size, seed=base_config.seed,
+        )
+        points.append(
+            TradeoffPoint(
+                alpha_target=alpha,
+                top1_error=trained.top1_error,
+                perf_units=perf_units,
+                resource=float(evaluation.resource.data),
+                spec_name=result.spec.name,
+            )
+        )
+    return points
+
+
+def pareto_front(points: list[TradeoffPoint]) -> list[TradeoffPoint]:
+    """The non-dominated subset, sorted by performance."""
+    front = [
+        p for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return sorted(front, key=lambda p: p.perf_units)
+
+
+def format_tradeoff(points: list[TradeoffPoint]) -> str:
+    """Fixed-width rendering with Pareto markers."""
+    front = set(id(p) for p in pareto_front(points))
+    lines = [
+        f"{'alpha':>8s} {'top-1 err %':>12s} {'perf units':>12s} "
+        f"{'resource':>10s}  pareto",
+    ]
+    for p in sorted(points, key=lambda p: p.alpha_target):
+        marker = "*" if id(p) in front else ""
+        lines.append(
+            f"{p.alpha_target:8.2f} {p.top1_error:12.1f} {p.perf_units:12.4f} "
+            f"{p.resource:10.1f}  {marker}"
+        )
+    return "\n".join(lines)

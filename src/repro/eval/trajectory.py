@@ -1,0 +1,128 @@
+"""Search-trajectory analysis and terminal plotting.
+
+The co-search produces per-epoch telemetry (`EpochRecord`): losses,
+performance, resource, Gumbel temperature and the perplexity of the Theta
+distribution.  This module turns that history into convergence diagnostics
+and fixed-width ASCII charts, so examples and benchmark artifacts can show
+*how* a search converged, not just where it ended.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import EpochRecord
+
+
+@dataclass(frozen=True)
+class ConvergenceSummary:
+    """Aggregate statistics of one search run."""
+
+    epochs: int
+    train_loss_drop: float           # first-epoch minus last-epoch train loss
+    final_val_loss: float
+    final_perf_loss: float
+    final_resource: float
+    final_theta_perplexity: float
+    perplexity_drop: float           # how much the op distribution sharpened
+    resource_trend: float            # last minus first finite resource
+
+    def converged(self, perplexity_threshold: float | None = None) -> bool:
+        """Loose convergence check: training improved and Theta sharpened.
+
+        ``perplexity_threshold``: consider the op choice decided when the
+        effective number of live candidates falls below this (default:
+        half-way between 1 and the initial perplexity).
+        """
+        if not math.isfinite(self.final_theta_perplexity):
+            return False
+        if perplexity_threshold is None:
+            initial = self.final_theta_perplexity + self.perplexity_drop
+            perplexity_threshold = 1.0 + 0.75 * (initial - 1.0)
+        return (
+            self.train_loss_drop > 0.0
+            and self.final_theta_perplexity <= perplexity_threshold
+        )
+
+
+def _finite(values: list[float]) -> list[float]:
+    return [v for v in values if math.isfinite(v)]
+
+
+def summarize(history: list[EpochRecord]) -> ConvergenceSummary:
+    """Reduce a search history to a :class:`ConvergenceSummary`."""
+    if not history:
+        raise ValueError("history is empty")
+    train = [r.train_loss for r in history]
+    perplexities = [r.theta_perplexity for r in history]
+    resources = _finite([r.resource for r in history])
+    val = _finite([r.val_acc_loss for r in history])
+    perf = _finite([r.perf_loss for r in history])
+    return ConvergenceSummary(
+        epochs=len(history),
+        train_loss_drop=train[0] - train[-1],
+        final_val_loss=val[-1] if val else float("nan"),
+        final_perf_loss=perf[-1] if perf else float("nan"),
+        final_resource=resources[-1] if resources else float("nan"),
+        final_theta_perplexity=perplexities[-1],
+        perplexity_drop=perplexities[0] - perplexities[-1],
+        resource_trend=(resources[-1] - resources[0]) if len(resources) >= 2 else 0.0,
+    )
+
+
+def ascii_chart(
+    values: list[float],
+    title: str = "",
+    width: int = 60,
+    height: int = 8,
+    y_format: str = "{:8.3f}",
+) -> str:
+    """A dependency-free line chart over epochs.
+
+    Non-finite entries (e.g. warm-up epochs before the architecture update
+    starts) are skipped on the x-axis.
+    """
+    points = [(i, v) for i, v in enumerate(values) if math.isfinite(v)]
+    if not points:
+        return f"{title}\n  (no finite data)"
+    xs = [p[0] for p in points]
+    ys = np.array([p[1] for p in points])
+    lo, hi = float(ys.min()), float(ys.max())
+    span = hi - lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    n = len(points)
+    for j, y in enumerate(ys):
+        col = int(round(j * (width - 1) / max(n - 1, 1)))
+        row = int(round((hi - y) / span * (height - 1)))
+        grid[row][col] = "*"
+    lines = [title] if title else []
+    for r, row in enumerate(grid):
+        label = y_format.format(hi - r * span / (height - 1)) if height > 1 else ""
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"epoch {xs[0]} .. {xs[-1]}")
+    return "\n".join(lines)
+
+
+def render_trajectory(history: list[EpochRecord], width: int = 60) -> str:
+    """Multi-panel ASCII rendering of one search run."""
+    panels = [
+        ascii_chart([r.train_loss for r in history],
+                    "train loss (weight steps)", width=width),
+        ascii_chart([r.val_acc_loss for r in history],
+                    "validation accuracy loss (arch steps)", width=width),
+        ascii_chart([r.perf_loss for r in history],
+                    "Perf_loss (alpha-normalised)", width=width),
+        ascii_chart([r.theta_perplexity for r in history],
+                    "Theta perplexity (effective live candidates)", width=width),
+    ]
+    resources = _finite([r.resource for r in history])
+    if resources and max(resources) > 0:
+        panels.append(
+            ascii_chart([r.resource for r in history], "RES (device units)", width=width)
+        )
+    return ("\n" + "\n").join(panels)

@@ -1,0 +1,67 @@
+"""Hardware implementation models (the red half of the paper's Fig. 1).
+
+Two families live here:
+
+* **Differentiable search models** (:mod:`repro.hw.fpga`, :mod:`repro.hw.gpu`,
+  :mod:`repro.hw.accel`) — implement Stage-1..4 of Sec. 3.2: per-op
+  ``Perf^q``/``Res^q`` under the device's implementation variables (parallel
+  factors ``pf``, quantisation ``q``), composed through Gumbel-Softmax
+  expectations into the scalar ``Perf_loss`` and ``RES`` tensors of Eq. 1.
+* **Analytic evaluators** (:mod:`repro.hw.analytic`) — non-differentiable
+  latency/throughput estimates for complete :class:`ArchSpec` networks, used
+  to regenerate the paper's comparison tables for both baselines and
+  searched models.
+"""
+
+from repro.hw.device import (
+    GPU_DEVICES,
+    FPGA_DEVICES,
+    FPGADevice,
+    GPUDevice,
+    GTX_1080TI,
+    P100,
+    TITAN_RTX,
+    ZC706,
+    ZCU102,
+)
+from repro.hw.perf_loss import latency_sum, multi_objective, throughput_lse
+from repro.hw.resource import resource_penalty, shared_resource, summed_resource
+from repro.hw.fpga import FPGAModel, phi_latency_calibration, psi_dsp
+from repro.hw.gpu import GPUModel
+from repro.hw.accel import BitSerialAccelModel
+from repro.hw.energy import GPUEnergyModel, gpu_energy_mj
+from repro.hw.report import deployment_plan
+from repro.hw.analytic import (
+    fpga_pipelined_throughput_fps,
+    fpga_recursive_latency_ms,
+    gpu_latency_ms,
+)
+
+__all__ = [
+    "BitSerialAccelModel",
+    "GPUEnergyModel",
+    "deployment_plan",
+    "gpu_energy_mj",
+    "FPGADevice",
+    "FPGAModel",
+    "FPGA_DEVICES",
+    "GPUDevice",
+    "GPUModel",
+    "GPU_DEVICES",
+    "GTX_1080TI",
+    "P100",
+    "TITAN_RTX",
+    "ZC706",
+    "ZCU102",
+    "fpga_pipelined_throughput_fps",
+    "fpga_recursive_latency_ms",
+    "gpu_latency_ms",
+    "latency_sum",
+    "multi_objective",
+    "phi_latency_calibration",
+    "psi_dsp",
+    "resource_penalty",
+    "shared_resource",
+    "summed_resource",
+    "throughput_lse",
+]

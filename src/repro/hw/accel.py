@@ -1,0 +1,109 @@
+"""Dedicated bit-serial accelerator model (Sec. 4.3 — the paper's future work).
+
+Stripes/Loom/Bit-Fusion-style accelerators execute multiplications serially
+over bit planes: convolution latency and energy scale (almost) proportionally
+with the operand precisions.  The paper sketches how EDD extends to them —
+"formulate the latency and energy of an operation proportionally to data
+precision" — and defers the experiment to future work; we implement it.
+
+Model (Loom-like): for operation ``op`` with weight precision ``q_w`` and a
+fixed activation precision ``q_a``,
+
+* ``latency^q  ∝ (q_w * q_a / 16^2) * workload / lanes``
+* ``energy^q   ∝ (q_w * q_a / 16^2) * workload``
+
+and the combined objective is the *product* of latency and energy losses
+(Sec. 3.2.4 multi-objective rule).  Quantisation may vary per block/op
+(dedicated accelerators handle mixed precision natively), and the only
+implementation variable beyond ``Phi`` is the number of parallel lanes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.autograd.ops_basic import exp
+from repro.autograd.tensor import Tensor
+from repro.hw.base import HardwareModel, HwEvaluation
+from repro.hw.fpga import WORKLOAD_UNIT, candidate_workload
+from repro.hw.perf_loss import latency_sum, multi_objective
+from repro.nas.quantization import QuantizationConfig
+from repro.nas.space import SearchSpaceConfig
+from repro.nas.supernet import SampledArch
+from repro.nn.module import Parameter
+
+LN2 = math.log(2.0)
+
+
+class BitSerialAccelModel(HardwareModel):
+    """Loom-style dedicated accelerator: perf/energy proportional to precision."""
+
+    expected_sharing = "per_block_op"
+
+    def __init__(
+        self,
+        space: SearchSpaceConfig,
+        quant: QuantizationConfig,
+        lanes_budget: int = 4096,
+        alpha: float = 1.0,
+        energy_weight: float = 1.0,
+    ) -> None:
+        if quant.sharing != "per_block_op":
+            raise ValueError(
+                "dedicated accelerators support per-op mixed precision; use "
+                f"per_block_op sharing (got {quant.sharing!r})"
+            )
+        self.space = space
+        self.quant = quant
+        self.alpha = alpha
+        self.energy_weight = energy_weight
+        self.resource_bound = float(lanes_budget)
+
+        geometries = space.block_geometries()
+        ops = space.candidate_ops()
+        n, m = space.num_blocks, space.num_ops
+        workload = np.empty((n, m))
+        for i, geom in enumerate(geometries):
+            for j, op in enumerate(ops):
+                workload[i, j] = candidate_workload(geom, op) / WORKLOAD_UNIT
+        self.workload = workload
+        # Bit-serial scaling: latency and energy ∝ q_w * q_a / 16^2.
+        scale = np.array(
+            [b * quant.activation_bits / 256.0 for b in quant.bitwidths]
+        )
+        self._qscale_t = Tensor(workload[:, :, None] * scale[None, None, :])
+        # Parallel lanes per block (log2 parameterisation, like FPGA pf).
+        pf0 = math.log2(max(lanes_budget / n, 1.0))
+        self.pf = Parameter(np.full((n,), pf0))
+        self._pf_max = math.log2(max(lanes_budget, 2.0))
+
+    def implementation_parameters(self) -> list[Parameter]:
+        return [self.pf]
+
+    def project_parameters(self) -> None:
+        np.clip(self.pf.data, 0.0, self._pf_max, out=self.pf.data)
+
+    def evaluate(self, sample: SampledArch) -> HwEvaluation:
+        self.validate_sample(sample)
+        theta_w = sample.op_weights       # (N, M)
+        phi_w = sample.quant_weights      # (N, M, Q)
+        scaled = (phi_w * self._qscale_t).sum(axis=2)       # (N, M)
+        block_energy = (theta_w * scaled).sum(axis=1)       # (N,)
+        inv_lanes = exp(self.pf * (-LN2))                   # (N,)
+        block_latency = block_energy * inv_lanes            # (N,)
+
+        latency_loss = latency_sum(block_latency, alpha=self.alpha)
+        energy_loss = latency_sum(block_energy, alpha=self.energy_weight)
+        perf = multi_objective([latency_loss, energy_loss])
+        res = exp(self.pf * LN2).sum()                      # total lanes
+        return HwEvaluation(
+            perf_loss=perf,
+            resource=res,
+            diagnostics={
+                "latency_units": float(block_latency.data.sum()),
+                "energy_units": float(block_energy.data.sum()),
+                "lanes": float(res.data),
+            },
+        )

@@ -1,0 +1,111 @@
+"""Integer resource-allocation algorithms shared by the analytic evaluators
+and the post-search parallel-factor re-tuning (Sec. 5's final step).
+
+The core routine is capacity-capped proportional allocation ("water
+filling"): distribute a budget of compute units across stages proportionally
+to their workloads, never exceeding a stage's usable cap, and re-distribute
+the slack.  For a pipelined accelerator this equalises stage latencies
+(maximises throughput); for a recursive accelerator it minimises total
+latency across the reused IPs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def waterfill_allocation(
+    workloads: Sequence[float],
+    budget: float,
+    caps: Sequence[float] | None = None,
+    minimum: float = 1.0,
+) -> list[float]:
+    """Allocate ``budget`` units over stages proportionally to ``workloads``.
+
+    Every stage with non-zero workload receives at least ``minimum``; no
+    stage exceeds its cap.  Slack from capped stages is re-distributed among
+    the uncapped ones (iteratively, since re-distribution can hit new caps).
+
+    Returns a list of continuous allocations summing to <= budget.
+    """
+    n = len(workloads)
+    if n == 0:
+        return []
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    caps = list(caps) if caps is not None else [math.inf] * n
+    if len(caps) != n:
+        raise ValueError(f"caps length {len(caps)} != workloads length {n}")
+
+    active = [i for i in range(n) if workloads[i] > 0]
+    alloc = [0.0] * n
+    # Give every active stage its floor first.
+    floor_total = minimum * len(active)
+    remaining = budget - floor_total
+    if remaining < 0:
+        # Budget cannot even cover the floors: split it proportionally.
+        for i in active:
+            alloc[i] = min(budget * workloads[i] / sum(workloads[j] for j in active), caps[i])
+        return alloc
+    for i in active:
+        alloc[i] = min(minimum, caps[i])
+
+    unfixed = set(active)
+    while remaining > 1e-12 and unfixed:
+        total_w = sum(workloads[i] for i in unfixed)
+        if total_w <= 0:
+            break
+        newly_capped = []
+        distributed = 0.0
+        for i in list(unfixed):
+            share = remaining * workloads[i] / total_w
+            headroom = caps[i] - alloc[i]
+            take = min(share, headroom)
+            alloc[i] += take
+            distributed += take
+            if alloc[i] >= caps[i] - 1e-12:
+                newly_capped.append(i)
+        for i in newly_capped:
+            unfixed.discard(i)
+        if distributed <= 1e-12:
+            break
+        remaining -= distributed
+    return alloc
+
+
+def round_power_of_two(value: float, min_exp: int = 0, max_exp: int = 16) -> int:
+    """Round an allocation to the nearest power of two (FPGA parallelism
+    granularity, Sec. 4.1: parallelism increases as 64, 128, 256, ...)."""
+    if value <= 1.0:
+        return 2**min_exp
+    exp = int(round(math.log2(value)))
+    exp = max(min_exp, min(max_exp, exp))
+    return 2**exp
+
+
+def integer_parallel_factors(
+    workloads: Sequence[float],
+    budget: float,
+    caps: Sequence[float] | None = None,
+) -> list[int]:
+    """Power-of-two parallelism per stage fitting (approximately) the budget.
+
+    Rounds the water-filled allocation to powers of two, then greedily halves
+    the least-utilised stages until the budget is respected.
+    """
+    continuous = waterfill_allocation(workloads, budget, caps=caps)
+    factors = [round_power_of_two(a) if w > 0 else 0 for a, w in zip(continuous, workloads)]
+
+    def total() -> int:
+        return sum(factors)
+
+    # Greedy repair: shrink the stage whose halving costs the least latency.
+    while total() > budget:
+        candidates = [i for i, f in enumerate(factors) if f > 1]
+        if not candidates:
+            break
+        # Cost of halving stage i ~ workload_i / new_parallelism.
+        best = min(candidates, key=lambda i: workloads[i] / (factors[i] / 2))
+        factors[best] //= 2
+    return factors

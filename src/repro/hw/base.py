@@ -1,0 +1,54 @@
+"""Common interface for the differentiable device models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.autograd.tensor import Tensor
+from repro.nas.supernet import SampledArch
+from repro.nn.module import Parameter
+
+
+@dataclass
+class HwEvaluation:
+    """One evaluation of the implementation objective under a sampled arch.
+
+    ``perf_loss`` and ``resource`` are graph-connected tensors (scalars);
+    ``diagnostics`` holds plain floats for logging.
+    """
+
+    perf_loss: Tensor
+    resource: Tensor
+    diagnostics: dict[str, float] = field(default_factory=dict)
+
+
+class HardwareModel:
+    """Base class: owns the device-oriented implementation variables.
+
+    Subclasses implement :meth:`evaluate`, mapping a :class:`SampledArch`
+    (the Gumbel draws of Theta/Phi) plus their own parameters (e.g. parallel
+    factors) onto the ``Perf_loss(I)`` and ``RES(I)`` terms of Eq. 1.
+    """
+
+    #: Quantisation sharing mode this device requires (see Sec. 3.2.5 / 4.2).
+    expected_sharing: str = "per_block_op"
+    #: Resource upper bound RES_ub (device units, e.g. DSPs); None = unbounded.
+    resource_bound: float | None = None
+
+    def implementation_parameters(self) -> list[Parameter]:
+        """Differentiable implementation variables beyond Theta/Phi (e.g. pf)."""
+        return []
+
+    def evaluate(self, sample: SampledArch) -> HwEvaluation:
+        raise NotImplementedError
+
+    def project_parameters(self) -> None:
+        """Clamp implementation variables into their feasible box (no-op default)."""
+
+    def validate_sample(self, sample: SampledArch) -> None:
+        if sample.sharing != self.expected_sharing:
+            raise ValueError(
+                f"{type(self).__name__} expects quantisation sharing "
+                f"{self.expected_sharing!r} but the sample uses {sample.sharing!r}; "
+                f"construct the supernet with the matching QuantizationConfig"
+            )

@@ -1,0 +1,148 @@
+"""Differentiable GPU latency model (Sec. 4.2 of the paper).
+
+On GPUs the paper uses *measured, normalised* per-precision latencies as the
+``Perf^q`` constants — the implementation variables reduce to the single
+network-wide precision choice (TensorRT supports 8/16/32-bit but not mixed
+precision), so ``phi_{i,m,q} = phi_q`` is shared globally.  Resource is fixed
+for a given GPU (RES term drops out of Eq. 1).
+
+Offline we substitute a roofline-style analytic table for the measurements:
+``lat(op) = sum_layers max(compute, memory) + launch overhead``, scaled by
+the per-precision factors derived from the paper's own Table 2 ratios.  Like
+the paper's measurements, the table is a constant with respect to the search
+— only the Gumbel weights over Theta/Phi are differentiable inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.hw.base import HardwareModel, HwEvaluation
+from repro.hw.device import GPUDevice, TITAN_RTX, layer_kind_key
+from repro.hw.perf_loss import latency_sum
+from repro.nas.quantization import QuantizationConfig
+from repro.nas.space import BlockGeometry, CandidateOp, SearchSpaceConfig
+from repro.nas.supernet import SampledArch
+
+def mbconv_gpu_latency_us(
+    geom: BlockGeometry, op: CandidateOp, device: GPUDevice, weight_bits: int
+) -> float:
+    """Latency (microseconds) of one MBConv candidate at batch 1.
+
+    Same model shape as :func:`repro.hw.analytic.gpu_latency_ms`: three conv
+    layers, each ``kernel floor + max(compute, memory)``, the whole op scaled
+    by the device's per-precision factor (the paper's normalised measured
+    latency under ``q``-bit) and calibration scale.  BN/activation are
+    treated as fused into the convolutions.
+    """
+    hidden = geom.in_ch * op.expansion
+    in_px = geom.in_h * geom.in_w
+    out_px = geom.out_h * geom.out_w
+    weight_bytes = weight_bits / 8.0
+    act_bytes = 4.0 if weight_bits >= 32 else 2.0
+
+    layers = (
+        # (kind key, macs, weight params, in acts, out acts)
+        ("conv1x1", in_px * geom.in_ch * hidden, geom.in_ch * hidden,
+         in_px * geom.in_ch, in_px * hidden),
+        ("dwconv", op.kernel**2 * out_px * hidden, op.kernel**2 * hidden,
+         in_px * hidden, out_px * hidden),
+        ("conv1x1", out_px * hidden * geom.out_ch, hidden * geom.out_ch,
+         out_px * hidden, out_px * geom.out_ch),
+    )
+    total_us = 0.0
+    for kind, macs, params, in_act, out_act in layers:
+        eff = device.kind_efficiency[kind]
+        compute_s = macs / (device.peak_macs_per_s * eff)
+        bytes_moved = params * weight_bytes + (in_act + out_act) * act_bytes
+        memory_s = bytes_moved / (device.mem_bandwidth_gbps * 1e9)
+        total_us += device.kind_overhead_us[kind] + max(compute_s, memory_s) * 1e6
+    return total_us * device.precision_factor(weight_bits) * device.calibration_scale
+
+
+def skip_gpu_latency_us(
+    geom: BlockGeometry, device: GPUDevice, weight_bits: int
+) -> float:
+    """Latency of the depth-search skip candidate on GPU.
+
+    An identity skip fuses away entirely (zero cost); a shape-changing skip
+    is one pointwise convolution kernel.
+    """
+    if geom.stride == 1 and geom.in_ch == geom.out_ch:
+        return 0.0
+    out_px = geom.out_h * geom.out_w
+    macs = out_px * geom.in_ch * geom.out_ch
+    params = geom.in_ch * geom.out_ch
+    act_bytes = 4.0 if weight_bits >= 32 else 2.0
+    eff = device.kind_efficiency["conv1x1"]
+    compute_s = macs / (device.peak_macs_per_s * eff)
+    bytes_moved = (
+        params * (weight_bits / 8.0)
+        + (geom.in_h * geom.in_w * geom.in_ch + out_px * geom.out_ch) * act_bytes
+    )
+    memory_s = bytes_moved / (device.mem_bandwidth_gbps * 1e9)
+    total_us = device.kind_overhead_us["conv1x1"] + max(compute_s, memory_s) * 1e6
+    return total_us * device.precision_factor(weight_bits) * device.calibration_scale
+
+
+def candidate_gpu_latency_us(
+    geom: BlockGeometry, op: CandidateOp, device: GPUDevice, weight_bits: int
+) -> float:
+    """Dispatch the per-op latency table over the candidate menu."""
+    if op.is_skip:
+        return skip_gpu_latency_us(geom, device, weight_bits)
+    return mbconv_gpu_latency_us(geom, op, device, weight_bits)
+
+
+class GPUModel(HardwareModel):
+    """GPU latency objective with a single network-wide precision choice."""
+
+    expected_sharing = "global"
+    resource_bound = None
+
+    def __init__(
+        self,
+        space: SearchSpaceConfig,
+        quant: QuantizationConfig,
+        device: GPUDevice = TITAN_RTX,
+        alpha: float = 1.0,
+    ) -> None:
+        if quant.sharing != "global":
+            raise ValueError(
+                "GPU implementation search requires globally shared precision "
+                f"(Sec. 4.2); got sharing={quant.sharing!r}"
+            )
+        self.space = space
+        self.quant = quant
+        self.device = device
+        self.alpha = alpha
+
+        geometries = space.block_geometries()
+        ops = space.candidate_ops()
+        n, m, q_levels = space.num_blocks, space.num_ops, quant.num_levels
+        table = np.empty((n, m, q_levels))
+        for i, geom in enumerate(geometries):
+            for j, op in enumerate(ops):
+                for k, bits in enumerate(quant.bitwidths):
+                    table[i, j, k] = candidate_gpu_latency_us(geom, op, device, bits)
+        #: (N, M, Q) measured-latency substitute table in microseconds.
+        self.latency_table_us = table
+        self._table_t = Tensor(table / 1e3)  # milliseconds for O(1) losses
+
+    def evaluate(self, sample: SampledArch) -> HwEvaluation:
+        self.validate_sample(sample)
+        theta_w = sample.op_weights      # (N, M)
+        phi_w = sample.quant_weights     # (Q,) global precision weights
+        per_op = (self._table_t * phi_w).sum(axis=2)   # (N, M)
+        block_perf = (theta_w * per_op).sum(axis=1)    # (N,)
+        perf = latency_sum(block_perf, alpha=self.alpha)
+        res = Tensor(0.0)  # GPU resource is fixed (Sec. 4.2)
+        return HwEvaluation(
+            perf_loss=perf,
+            resource=res,
+            diagnostics={
+                "expected_latency_ms": float(block_perf.data.sum()),
+                "precision_probs": 0.0,
+            },
+        )

@@ -1,0 +1,58 @@
+"""Stage-3 -> Stage-4 performance reducers (Eqs. 6-7 of the paper).
+
+``latency_sum``   — Eq. 6: overall latency/energy/model-size objectives are
+the sum of per-block performances.
+``throughput_lse`` — Eq. 7: throughput is limited by the slowest pipeline
+stage; the non-differentiable ``max`` is replaced by the Log-Sum-Exp smooth
+maximum.
+``multi_objective`` — the paper's suggestion for combining non-conflicting
+objectives: the product of their losses.
+"""
+
+from __future__ import annotations
+
+from repro.autograd.ops_reduce import logsumexp, max_reduce
+from repro.autograd.tensor import Tensor
+
+
+def latency_sum(block_perfs: Tensor, alpha: float = 1.0) -> Tensor:
+    """Eq. 6: ``alpha * sum_i Perf_i`` over the (N,) block performances."""
+    return block_perfs.sum() * alpha
+
+
+def throughput_lse(block_perfs: Tensor, alpha: float = 1.0, sharpness: float = 1.0) -> Tensor:
+    """Eq. 7: smooth-max of block latencies via Log-Sum-Exp.
+
+    ``sharpness`` (tau) trades smoothness for tightness:
+    ``LSE_tau(x) = tau * log sum exp(x / tau)`` satisfies
+    ``max(x) <= LSE_tau(x) <= max(x) + tau * log N``.  The paper uses plain
+    LSE (tau = 1); expose tau because block latencies in normalised units can
+    sit close together, where a sharper smooth-max tracks the true bottleneck
+    better (see benchmarks/bench_ablation_formulation.py).
+    """
+    if sharpness <= 0:
+        raise ValueError(f"sharpness must be positive, got {sharpness}")
+    scaled = block_perfs * (1.0 / sharpness)
+    return logsumexp(scaled) * (sharpness * alpha)
+
+
+def throughput_hard_max(block_perfs: Tensor, alpha: float = 1.0) -> Tensor:
+    """Non-smooth variant of Eq. 7 (subgradient flows only to the argmax).
+
+    Kept for the LSE-vs-max ablation; the paper argues LSE is preferable
+    because the hard max starves all non-bottleneck blocks of gradient.
+    """
+    return max_reduce(block_perfs) * alpha
+
+
+def multi_objective(losses: list[Tensor]) -> Tensor:
+    """Product combination of non-conflicting objectives (Sec. 3.2.4).
+
+    e.g. ``multi_objective([latency_loss, energy_loss])``.
+    """
+    if not losses:
+        raise ValueError("multi_objective needs at least one loss")
+    out = losses[0]
+    for loss in losses[1:]:
+        out = out * loss
+    return out

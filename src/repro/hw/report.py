@@ -1,0 +1,131 @@
+"""Per-layer deployment plans — the implementation artefact a hardware
+engineer would take from the co-search.
+
+Given any :class:`ArchSpec` and a device, render the layer-by-layer
+implementation table the analytic models compute internally:
+
+* **pipelined plan** — stage DSP allocations, per-stage time, bottleneck;
+* **recursive plan** — per-layer cycles on the shared IPs plus invocation
+  overheads;
+* **gpu plan** — per-kernel time split into floor / compute / memory terms.
+
+Exposed on the CLI as ``python -m repro explore --model X --plan <flow>``.
+"""
+
+from __future__ import annotations
+
+from repro.hw.analytic import (
+    _gpu_layer_us,
+    fpga_pipelined_report,
+)
+from repro.hw.device import FPGADevice, GPUDevice, layer_kind_key
+from repro.nas.arch_spec import ArchSpec, ResolvedLayer
+
+
+def _layer_name(layer: ResolvedLayer) -> str:
+    if layer.kind == "conv" and layer.kernel == 1:
+        return "conv1x1"
+    if layer.kind in ("conv", "dwconv"):
+        return f"{layer.kind}{layer.kernel}x{layer.kernel}"
+    return layer.kind
+
+
+def _shape(layer: ResolvedLayer) -> str:
+    return f"{layer.in_ch}x{layer.in_h}x{layer.in_w}->{layer.out_ch}x{layer.out_h}x{layer.out_w}"
+
+
+def pipelined_plan(spec: ArchSpec, device: FPGADevice, weight_bits: int = 16) -> str:
+    """DNNBuilder-style stage map: allocation, time, bottleneck marker."""
+    report = fpga_pipelined_report(spec, device, weight_bits)
+    stages = [l for l in spec.layers() if l.macs > 0 and l.kind != "fc"]
+    lines = [
+        f"Pipelined deployment plan: {spec.name} on {device.name} "
+        f"({device.dsp_total} DSPs, {weight_bits}-bit)",
+        f"{'#':>3s} {'stage':10s} {'shape':>28s} {'MACs':>9s} "
+        f"{'DSPs':>7s} {'us/frame':>9s}",
+    ]
+    for i, (layer, alloc, us) in enumerate(
+        zip(stages, report.allocations, report.stage_us)
+    ):
+        marker = "  <-- bottleneck" if i == report.bottleneck_index else ""
+        lines.append(
+            f"{i:3d} {_layer_name(layer):10s} {_shape(layer):>28s} "
+            f"{layer.macs / 1e6:8.2f}M {alloc:7.1f} {us:9.1f}{marker}"
+        )
+    lines.append(
+        f"\nthroughput: {report.fps:.1f} fps "
+        f"(bottleneck: {report.bottleneck_kind}{report.bottleneck_kernel}); "
+        f"DSPs allocated: {sum(report.allocations):.0f} / {device.dsp_total}"
+    )
+    return "\n".join(lines)
+
+
+def recursive_plan(spec: ArchSpec, device: FPGADevice, weight_bits: int = 16) -> str:
+    """CHaiDNN-style sequential schedule on shared IPs."""
+    macs_per_cycle = device.macs_per_cycle(weight_bits)
+    lines = [
+        f"Recursive deployment plan: {spec.name} on {device.name} "
+        f"({device.dsp_total} DSPs shared, {weight_bits}-bit)",
+        f"{'#':>3s} {'layer':10s} {'shape':>28s} {'MACs':>9s} "
+        f"{'compute us':>11s} {'overhead us':>12s}",
+    ]
+    total_us = 0.0
+    index = 0
+    for layer in spec.layers():
+        if layer.kind in ("pool", "shuffle"):
+            continue
+        kind = layer_kind_key(layer.kind, layer.kernel)
+        eff = device.recursive_efficiency[kind]
+        compute_us = (
+            layer.macs / (device.dsp_total * macs_per_cycle * eff)
+            / device.clock_hz * 1e6
+        )
+        total_us += compute_us + device.per_layer_overhead_us
+        lines.append(
+            f"{index:3d} {_layer_name(layer):10s} {_shape(layer):>28s} "
+            f"{layer.macs / 1e6:8.2f}M {compute_us:11.1f} "
+            f"{device.per_layer_overhead_us:12.1f}"
+        )
+        index += 1
+    lines.append(
+        f"\nend-to-end latency: {total_us / 1e3 * device.calibration_scale:.2f} ms "
+        f"({index} IP invocations)"
+    )
+    return "\n".join(lines)
+
+
+def gpu_plan(spec: ArchSpec, device: GPUDevice, weight_bits: int = 32) -> str:
+    """Per-kernel GPU time budget."""
+    lines = [
+        f"GPU deployment plan: {spec.name} on {device.name} ({weight_bits}-bit)",
+        f"{'#':>3s} {'kernel':10s} {'shape':>28s} {'MACs':>9s} {'us':>8s}",
+    ]
+    total_us = 0.0
+    for i, layer in enumerate(spec.layers()):
+        us = _gpu_layer_us(layer, device, weight_bits)
+        total_us += us
+        lines.append(
+            f"{i:3d} {_layer_name(layer):10s} {_shape(layer):>28s} "
+            f"{layer.macs / 1e6:8.2f}M {us:8.1f}"
+        )
+    lines.append(
+        f"\nbatch-1 latency: {total_us / 1e3 * device.calibration_scale:.2f} ms "
+        f"({len(spec.layers())} kernels)"
+    )
+    return "\n".join(lines)
+
+
+def deployment_plan(
+    spec: ArchSpec,
+    flow: str,
+    device: GPUDevice | FPGADevice,
+    weight_bits: int | None = None,
+) -> str:
+    """Dispatch over the three implementation flows."""
+    if flow == "pipelined":
+        return pipelined_plan(spec, device, weight_bits or 16)
+    if flow == "recursive":
+        return recursive_plan(spec, device, weight_bits or 16)
+    if flow == "gpu":
+        return gpu_plan(spec, device, weight_bits or 32)
+    raise ValueError(f"unknown flow {flow!r}; expected gpu/recursive/pipelined")

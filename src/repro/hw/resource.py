@@ -1,0 +1,83 @@
+"""Stage-3 -> Stage-4 resource composition (Eqs. 8-10) and the Eq. 1 barrier.
+
+Two aggregation modes:
+
+* ``summed_resource`` — Eq. 8, pipelined accelerators: every block owns its
+  hardware, total = sum.
+* ``shared_resource`` — Eqs. 9-10, recursive (IP-reuse) accelerators: one IP
+  per candidate operation is shared by every block that selects it, so its
+  resource must be counted once.  ``tanh`` of the summed selection
+  expectation suppresses multiple counting while remaining differentiable.
+
+``resource_penalty`` is the exponential barrier ``beta * C^(RES - RES_ub)``
+of Eq. 1, implemented with a normalised exponent so it neither overflows nor
+vanishes for realistic DSP counts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.autograd.ops_basic import clip_ste, exp, tanh
+from repro.autograd.tensor import Tensor
+
+#: Exponent clamp keeping the barrier finite for absurd overshoots (exp(600)
+#: ~ 1e260); the search never operates out there, but optimisers must not see
+#: inf/nan if an early step wanders.
+_MAX_EXPONENT = 600.0
+
+
+def summed_resource(block_resources: Tensor) -> Tensor:
+    """Eq. 8: ``RES = sum_i Res_i`` (no sharing)."""
+    return block_resources.sum()
+
+
+def shared_resource(theta_weights: Tensor, op_resources: Tensor) -> Tensor:
+    """Eqs. 9-10: resource with cross-block IP sharing.
+
+    Parameters
+    ----------
+    theta_weights:
+        (N, M) Gumbel-Softmax selection weights ``GS(theta_i,m | theta_i)``.
+    op_resources:
+        (M,) per-candidate-IP resource ``Res(op^m)`` (already the Stage-2
+        expectation over quantisation).
+
+    For each op ``m``, ``tanh(sum_i GS(theta))`` saturates at 1 no matter how
+    many blocks select the op, so the shared IP is counted at most once; ops
+    selected nowhere contribute ~0.
+    """
+    if theta_weights.ndim != 2:
+        raise ValueError(f"theta_weights must be (N, M), got {theta_weights.shape}")
+    if op_resources.shape != (theta_weights.shape[1],):
+        raise ValueError(
+            f"op_resources shape {op_resources.shape} does not match "
+            f"M={theta_weights.shape[1]}"
+        )
+    usage = tanh(theta_weights.sum(axis=0))  # (M,) in [0, 1)
+    return (usage * op_resources).sum()
+
+
+def resource_penalty(
+    res: Tensor,
+    res_ub: float,
+    beta: float = 1.0,
+    base: float = math.e,
+    normalise: bool = True,
+) -> Tensor:
+    """Eq. 1 barrier term ``beta * C^(RES - RES_ub)``.
+
+    With ``normalise=True`` the exponent is ``(RES - RES_ub) / RES_ub`` so a
+    10% overshoot costs ``beta * C^0.1`` regardless of whether the bound is
+    900 or 2520 DSPs — the paper leaves the exponent units unspecified, and
+    raw DSP differences in the exponent would overflow ``C^1000``-style.
+    """
+    if res_ub <= 0:
+        raise ValueError(f"res_ub must be positive, got {res_ub}")
+    if base <= 1.0:
+        raise ValueError(f"base must exceed 1 for a barrier, got {base}")
+    excess = res - res_ub
+    if normalise:
+        excess = excess * (1.0 / res_ub)
+    exponent = clip_ste(excess * math.log(base), -_MAX_EXPONENT, _MAX_EXPONENT)
+    return exp(exponent) * beta

@@ -1,0 +1,56 @@
+"""NAS design space: supernet, Gumbel-Softmax sampling, quantisation, derivation.
+
+This package implements the blue blocks of the paper's Fig. 1 (the DNN search
+space ``A``: single-path supernet with M = |kernels| x |expansions| MBConv
+candidates per block, sampled with Gumbel-Softmax over ``Theta``) plus the
+quantisation half of the red blocks (the ``Phi`` sampling parameters of
+Sec. 3.2.1).  Parallel factors and the rest of the implementation space live
+in :mod:`repro.hw`.
+"""
+
+from repro.nas.arch_spec import (
+    ArchSpec,
+    Branches,
+    ConvBlock,
+    FCBlock,
+    MBConvBlock,
+    PoolBlock,
+    ResolvedLayer,
+    SepConvBlock,
+    ShuffleUnit,
+    StemBlock,
+    scale_spec,
+)
+from repro.nas.gumbel import GumbelSoftmax, TemperatureSchedule, gumbel_softmax_sample
+from repro.nas.quantization import QuantizationConfig, fake_quantize
+from repro.nas.space import CandidateOp, SearchSpaceConfig
+from repro.nas.supernet import SampledArch, SuperNet
+from repro.nas.derive import derive_arch_spec
+from repro.nas.network import build_network
+from repro.nas.warmstart import inherit_weights
+
+__all__ = [
+    "ArchSpec",
+    "Branches",
+    "CandidateOp",
+    "ConvBlock",
+    "FCBlock",
+    "GumbelSoftmax",
+    "MBConvBlock",
+    "PoolBlock",
+    "QuantizationConfig",
+    "ResolvedLayer",
+    "SampledArch",
+    "SearchSpaceConfig",
+    "SepConvBlock",
+    "ShuffleUnit",
+    "StemBlock",
+    "SuperNet",
+    "TemperatureSchedule",
+    "build_network",
+    "derive_arch_spec",
+    "fake_quantize",
+    "gumbel_softmax_sample",
+    "inherit_weights",
+    "scale_spec",
+]

@@ -1,0 +1,70 @@
+"""Architecture derivation: argmax over the learned sampling parameters.
+
+After the co-search converges, the final DNN keeps the candidate with the
+largest Theta logit per block and the bit-width with the largest Phi logit
+per op (Sec. 2 / Sec. 5 of the paper).  The result is an :class:`ArchSpec`
+annotated with the chosen quantisation so device models and the trainer can
+consume it directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nas.arch_spec import ArchSpec
+from repro.nas.space import CandidateOp, SearchSpaceConfig
+from repro.nas.supernet import SuperNet
+
+
+def chosen_ops(theta: np.ndarray, space: SearchSpaceConfig) -> list[CandidateOp]:
+    """Map argmax Theta rows onto candidate operations."""
+    if theta.shape != (space.num_blocks, space.num_ops):
+        raise ValueError(
+            f"theta shape {theta.shape} does not match space "
+            f"({space.num_blocks}, {space.num_ops})"
+        )
+    ops = space.candidate_ops()
+    return [ops[int(m)] for m in theta.argmax(axis=-1)]
+
+
+def chosen_bitwidths(
+    phi: np.ndarray,
+    bitwidths: tuple[int, ...],
+    op_choices: np.ndarray,
+) -> list[int]:
+    """Per-block bit-width after argmax derivation.
+
+    ``phi`` may be (N, M, Q), (M, Q) or (Q,) depending on the sharing mode;
+    ``op_choices`` is the (N,) array of selected op indices, used to look up
+    the right Phi row where quantisation is per-op.
+    """
+    if phi.ndim == 3:
+        return [
+            int(bitwidths[int(phi[i, int(m)].argmax())])
+            for i, m in enumerate(op_choices)
+        ]
+    if phi.ndim == 2:
+        return [int(bitwidths[int(phi[int(m)].argmax())]) for m in op_choices]
+    shared = int(bitwidths[int(phi.argmax())])
+    return [shared] * len(op_choices)
+
+
+def derive_arch_spec(supernet: SuperNet, name: str = "EDD-searched") -> ArchSpec:
+    """Derive the final architecture (and bit-widths) from a trained supernet."""
+    space = supernet.space
+    theta = supernet.theta.data
+    ops = chosen_ops(theta, space)
+    spec = space.spec_for_choices(ops, name=name)
+
+    if supernet.quant is not None:
+        op_idx = theta.argmax(axis=-1)
+        bits = chosen_bitwidths(supernet.phi.data, supernet.quant.bitwidths, op_idx)
+        spec.metadata["block_bits"] = bits
+        # A single network-wide precision (GPU mode) is also exposed flat.
+        if supernet.quant.sharing == "global":
+            spec.weight_bits = bits[0]
+        else:
+            spec.weight_bits = int(round(float(np.mean(bits))))
+        spec.metadata["activation_bits"] = supernet.quant.activation_bits
+    spec.metadata["op_labels"] = [op.label for op in ops]
+    return spec

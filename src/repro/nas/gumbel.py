@@ -1,0 +1,136 @@
+"""Gumbel-Softmax sampling (the paper's Sec. 3.1, following FBNet).
+
+The co-search samples one candidate operation per block and one quantisation
+per operation.  Gumbel-Softmax converts that discrete sampling into a
+continuous, differentiable relaxation:
+
+``y = softmax((log-prob + Gumbel noise) / temperature)``
+
+With ``hard=True`` the forward pass snaps ``y`` to the argmax one-hot while
+the backward pass uses the soft sample (straight-through), which is what lets
+the supernet evaluate only the sampled branch — the memory/time advantage the
+paper cites over DARTS-style weighted sums.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd import ops_nn
+from repro.autograd.tensor import Tensor, make_op
+
+
+def sample_gumbel(shape: tuple[int, ...], rng: np.random.Generator, eps: float = 1e-10) -> np.ndarray:
+    """Draw standard Gumbel(0, 1) noise: ``-log(-log(U))``."""
+    u = rng.uniform(eps, 1.0 - eps, size=shape)
+    return -np.log(-np.log(u))
+
+
+def _straight_through(soft: Tensor, axis: int) -> Tensor:
+    """Snap to one-hot in the forward pass, identity gradient in backward."""
+    hard = np.zeros_like(soft.data)
+    argmax = soft.data.argmax(axis=axis, keepdims=True)
+    np.put_along_axis(hard, argmax, 1.0, axis=axis)
+    delta = hard - soft.data  # constant offset, no gradient
+
+    def backward(grad: np.ndarray):
+        return (grad,)
+
+    return make_op(soft.data + delta, (soft,), backward, "straight_through")
+
+
+def gumbel_softmax_sample(
+    logits: Tensor,
+    temperature: float,
+    rng: np.random.Generator,
+    hard: bool = False,
+    axis: int = -1,
+) -> Tensor:
+    """One Gumbel-Softmax draw over ``axis`` of ``logits``.
+
+    Returns a tensor of the same shape summing to 1 along ``axis``; gradients
+    flow to ``logits``.
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    noise = Tensor(sample_gumbel(logits.shape, rng))
+    scaled = (logits + noise) * (1.0 / temperature)
+    soft = ops_nn.softmax(scaled, axis=axis)
+    if hard:
+        return _straight_through(soft, axis=axis)
+    return soft
+
+
+@dataclass
+class TemperatureSchedule:
+    """Exponential annealing ``T(t) = max(T_min, T0 * decay^t)``.
+
+    High early temperatures keep sampling near-uniform (exploration); the
+    anneal sharpens the distribution so the final argmax derivation is
+    faithful to what the search actually evaluated.
+    """
+
+    t_initial: float = 5.0
+    t_min: float = 0.3
+    decay: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.t_initial <= 0 or self.t_min <= 0:
+            raise ValueError("temperatures must be positive")
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {self.decay}")
+
+    def at_epoch(self, epoch: int) -> float:
+        return max(self.t_min, self.t_initial * self.decay**epoch)
+
+
+class GumbelSoftmax:
+    """Stateful sampler bundling noise stream and temperature schedule."""
+
+    def __init__(
+        self,
+        schedule: TemperatureSchedule | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.schedule = schedule or TemperatureSchedule()
+        self.rng = np.random.default_rng(seed)
+        self.temperature = self.schedule.t_initial
+
+    def set_epoch(self, epoch: int) -> float:
+        self.temperature = self.schedule.at_epoch(epoch)
+        return self.temperature
+
+    def sample(self, logits: Tensor, hard: bool = False, axis: int = -1) -> Tensor:
+        return gumbel_softmax_sample(
+            logits, self.temperature, self.rng, hard=hard, axis=axis
+        )
+
+    def expected(self, logits: Tensor, axis: int = -1) -> Tensor:
+        """Noise-free expectation (plain softmax at the current temperature)."""
+        return ops_nn.softmax(logits * (1.0 / self.temperature), axis=axis)
+
+
+def entropy_of_logits(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Shannon entropy (nats) of the implied categorical — a convergence probe."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    probs = np.exp(shifted)
+    probs /= probs.sum(axis=axis, keepdims=True)
+    return -(probs * np.log(np.maximum(probs, 1e-12))).sum(axis=axis)
+
+
+def uniform_logits(shape: tuple[int, ...]) -> np.ndarray:
+    """Zero-initialised logits = uniform sampling (paper's initialisation)."""
+    return np.zeros(shape)
+
+
+def perplexity(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """exp(entropy): effective number of live candidates per row."""
+    return np.exp(entropy_of_logits(logits, axis=axis))
+
+
+def log_m_entropy_budget(m: int) -> float:
+    """Maximum achievable entropy for an M-way choice (``log M``)."""
+    return math.log(m)

@@ -1,0 +1,48 @@
+"""Neural-network layer library built on :mod:`repro.autograd`.
+
+Provides the Module/Parameter abstraction, the layers MBConv needs (pointwise
+and depthwise convolutions, batch-norm, ReLU6), classification losses and
+SGD/Adam optimisers with learning-rate schedules.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.containers import ModuleList, Sequential
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ReLU6,
+)
+from repro.nn.functional import accuracy, cross_entropy, nll_loss, topk_accuracy
+from repro.nn.optim import SGD, Adam, CosineSchedule, StepSchedule
+
+__all__ = [
+    "Adam",
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "CosineSchedule",
+    "DepthwiseConv2d",
+    "GlobalAvgPool2d",
+    "Identity",
+    "Linear",
+    "MaxPool2d",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "ReLU",
+    "ReLU6",
+    "SGD",
+    "Sequential",
+    "StepSchedule",
+    "accuracy",
+    "cross_entropy",
+    "nll_loss",
+    "topk_accuracy",
+]

@@ -1,0 +1,65 @@
+"""Composite module containers."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Applies child modules in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._layers: list[Module] = []
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer{i}", layer)
+            self._layers.append(layer)
+
+    def append(self, layer: Module) -> "Sequential":
+        setattr(self, f"layer{len(self._layers)}", layer)
+        self._layers.append(layer)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+
+class ModuleList(Module):
+    """Holds an indexable list of modules without chaining them in forward."""
+
+    def __init__(self, modules: list[Module] | None = None) -> None:
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        setattr(self, f"item{len(self._items)}", module)
+        self._items.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def forward(self, *args, **kwargs) -> Tensor:
+        raise RuntimeError("ModuleList is a container; index into it instead")

@@ -1,0 +1,49 @@
+"""Losses and classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops_nn
+from repro.autograd.tensor import Tensor, make_op
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of integer ``targets``.
+
+    ``log_probs`` is (N, C); ``targets`` is an int array of shape (N,).
+    Implemented as a primitive so the backward is a cheap scatter.
+    """
+    targets = np.asarray(targets)
+    n = log_probs.shape[0]
+    picked = log_probs.data[np.arange(n), targets]
+    out = np.asarray(-picked.mean())
+
+    def backward(grad: np.ndarray):
+        full = np.zeros_like(log_probs.data)
+        full[np.arange(n), targets] = -1.0 / n
+        return (full * grad,)
+
+    return make_op(out, (log_probs,), backward, "nll_loss")
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Softmax cross-entropy from raw logits (numerically stable)."""
+    return nll_loss(ops_nn.log_softmax(logits, axis=-1), targets)
+
+
+def accuracy(logits: Tensor | np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1]."""
+    return topk_accuracy(logits, targets, k=1)
+
+
+def topk_accuracy(logits: Tensor | np.ndarray, targets: np.ndarray, k: int) -> float:
+    """Fraction of rows whose true class is within the top-k logits."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    targets = np.asarray(targets)
+    if data.ndim != 2:
+        raise ValueError(f"expected (N, C) logits, got {data.shape}")
+    k = min(k, data.shape[1])
+    topk = np.argpartition(-data, k - 1, axis=1)[:, :k]
+    hits = (topk == targets[:, None]).any(axis=1)
+    return float(hits.mean())

@@ -1,0 +1,33 @@
+"""Weight initialisers (numpy-level; used when constructing layer Parameters)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_normal(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    fan_in: int | None = None,
+) -> np.ndarray:
+    """He initialisation for ReLU-family networks.
+
+    ``fan_in`` defaults to everything except the leading (output) axis, which
+    matches conv weights of shape (out, in/groups, kH, kW) and linear weights
+    of shape (out, in).
+    """
+    if fan_in is None:
+        fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Glorot-uniform initialisation (used for the classifier head)."""
+    fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    fan_out = shape[0]
+    bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape)

@@ -1,0 +1,161 @@
+"""Optimisers (SGD with momentum, Adam) and learning-rate schedules.
+
+The co-search uses two optimisers side by side — one over DNN weights, one
+over the fused architecture/implementation variables — exactly as in the
+paper's bilevel procedure (Sec. 5).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def clip_grad_norm(params: Sequence[Tensor], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm.  Standard stabiliser for the bilevel loop —
+    early architecture steps can see large gradients from the exponential
+    resource barrier.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float((p.grad * p.grad).sum())
+    norm = total**0.5
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for p in params:
+            if p.grad is not None:
+                p.grad = p.grad * scale
+    return norm
+
+
+class Optimizer:
+    """Base optimiser over an explicit parameter list."""
+
+    def __init__(self, params: Sequence[Tensor], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: Sequence[Tensor],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            v *= self.momentum
+            v += grad
+            p.data = p.data - self.lr * v
+
+
+class Adam(Optimizer):
+    """Adam with bias correction; the paper-style choice for architecture vars."""
+
+    def __init__(
+        self,
+        params: Sequence[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class CosineSchedule:
+    """Cosine-annealed learning rate from ``lr`` down to ``lr_min``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, lr_min: float = 0.0) -> None:
+        if total_steps <= 0:
+            raise ValueError(f"total_steps must be positive, got {total_steps}")
+        self.optimizer = optimizer
+        self.total_steps = total_steps
+        self.lr_max = optimizer.lr
+        self.lr_min = lr_min
+        self._step = 0
+
+    def step(self) -> float:
+        self._step = min(self._step + 1, self.total_steps)
+        progress = self._step / self.total_steps
+        lr = self.lr_min + 0.5 * (self.lr_max - self.lr_min) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepSchedule:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._step = 0
+
+    def step(self) -> float:
+        self._step += 1
+        if self._step % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+        return self.optimizer.lr

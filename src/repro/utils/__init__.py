@@ -1,0 +1,26 @@
+"""Shared utilities: seeded RNG management, logging, serialisation, numerics."""
+
+from repro.utils.log import get_logger
+from repro.utils.numeric import (
+    log_sum_exp,
+    one_hot,
+    sigmoid,
+    softmax,
+    stable_log,
+)
+from repro.utils.rng import RngMixin, new_rng, spawn_rngs
+from repro.utils.serialization import from_json_file, to_json_file
+
+__all__ = [
+    "RngMixin",
+    "from_json_file",
+    "get_logger",
+    "log_sum_exp",
+    "new_rng",
+    "one_hot",
+    "sigmoid",
+    "softmax",
+    "spawn_rngs",
+    "stable_log",
+    "to_json_file",
+]

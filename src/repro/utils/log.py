@@ -1,0 +1,41 @@
+"""Thin logging facade.
+
+The library logs through standard :mod:`logging` under the ``repro`` root so
+applications can silence or redirect it with one handler.  ``get_logger``
+installs a single stderr handler on first use and never touches the root
+logger configuration of the host application.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _configure_root() -> None:
+    global _configured
+    if _configured:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        root.addHandler(handler)
+    root.setLevel(logging.INFO)
+    root.propagate = False
+    _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``.
+
+    ``get_logger("core.cosearch")`` yields ``repro.core.cosearch``.
+    """
+    _configure_root()
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

@@ -1,0 +1,70 @@
+"""Numerically stable scalar/array helpers used across the library.
+
+These operate on plain numpy arrays.  The autograd package re-implements the
+differentiable counterparts; keeping the raw versions here avoids circular
+imports and lets the hardware models be used standalone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis`` (shifts by the max before exponentiating)."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_sum_exp(x: np.ndarray, axis: int | None = None) -> np.ndarray:
+    """Stable ``log(sum(exp(x)))`` — the smooth maximum of Eq. 7 in the paper.
+
+    Satisfies ``max(x) <= log_sum_exp(x) <= max(x) + log(n)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    m = np.max(x, axis=axis, keepdims=True)
+    out = m + np.log(np.sum(np.exp(x - m), axis=axis, keepdims=True))
+    if axis is None:
+        return out.reshape(())
+    return np.squeeze(out, axis=axis)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Stable logistic function (branches on sign to avoid overflow)."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def stable_log(x: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """``log(max(x, eps))`` — guards losses against exact zeros."""
+    return np.log(np.maximum(np.asarray(x, dtype=np.float64), eps))
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Row-wise one-hot encoding of an integer array.
+
+    Output shape is ``indices.shape + (num_classes,)`` with dtype float64.
+    """
+    indices = np.asarray(indices)
+    if num_classes <= 0:
+        raise ValueError(f"num_classes must be positive, got {num_classes}")
+    if indices.size and (indices.min() < 0 or indices.max() >= num_classes):
+        raise ValueError(
+            f"indices out of range [0, {num_classes}): "
+            f"min={indices.min()}, max={indices.max()}"
+        )
+    out = np.zeros(indices.shape + (num_classes,), dtype=np.float64)
+    np.put_along_axis(
+        out.reshape(-1, num_classes),
+        indices.reshape(-1, 1),
+        1.0,
+        axis=1,
+    )
+    return out

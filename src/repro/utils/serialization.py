@@ -1,0 +1,47 @@
+"""JSON persistence for search results, architecture specs and configs.
+
+Numpy scalars/arrays are converted to native Python types so the files stay
+portable and diff-friendly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+class ReproJSONEncoder(json.JSONEncoder):
+    """Encoder aware of numpy types and dataclasses."""
+
+    def default(self, o: Any) -> Any:
+        if isinstance(o, np.integer):
+            return int(o)
+        if isinstance(o, np.floating):
+            return float(o)
+        if isinstance(o, np.bool_):
+            return bool(o)
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        if dataclasses.is_dataclass(o) and not isinstance(o, type):
+            return dataclasses.asdict(o)
+        return super().default(o)
+
+
+def to_json_file(obj: Any, path: str | Path, indent: int = 2) -> Path:
+    """Serialise ``obj`` to ``path``; returns the resolved path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(obj, fh, cls=ReproJSONEncoder, indent=indent)
+        fh.write("\n")
+    return path
+
+
+def from_json_file(path: str | Path) -> Any:
+    """Load a JSON document written by :func:`to_json_file`."""
+    with Path(path).open() as fh:
+        return json.load(fh)

@@ -1,0 +1,63 @@
+"""Shared fixtures: tiny search spaces, datasets and samplers.
+
+Everything here is sized for sub-second construction so the suite stays
+fast on a single CPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticTaskConfig, make_synthetic_task
+from repro.nas.gumbel import GumbelSoftmax
+from repro.nas.quantization import QuantizationConfig
+from repro.nas.space import SearchSpaceConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_space() -> SearchSpaceConfig:
+    return SearchSpaceConfig.tiny()
+
+
+@pytest.fixture
+def small_space() -> SearchSpaceConfig:
+    return SearchSpaceConfig.reduced(num_blocks=3, num_classes=6, input_size=12)
+
+
+@pytest.fixture
+def fpga_quant_per_op() -> QuantizationConfig:
+    return QuantizationConfig.fpga(sharing="per_op")
+
+
+@pytest.fixture
+def fpga_quant_per_block() -> QuantizationConfig:
+    return QuantizationConfig.fpga(sharing="per_block_op")
+
+
+@pytest.fixture
+def gpu_quant() -> QuantizationConfig:
+    return QuantizationConfig.gpu()
+
+
+@pytest.fixture
+def sampler() -> GumbelSoftmax:
+    return GumbelSoftmax(seed=7)
+
+
+@pytest.fixture
+def tiny_splits():
+    config = SyntheticTaskConfig(
+        num_classes=4,
+        image_size=8,
+        train_per_class=8,
+        val_per_class=4,
+        test_per_class=4,
+        seed=11,
+    )
+    return make_synthetic_task(config)

@@ -1,0 +1,194 @@
+"""Unit tests for elementwise autograd primitives (gradcheck-verified)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import gradcheck
+from repro.autograd.ops_basic import (
+    add,
+    clip_ste,
+    div,
+    exp,
+    log,
+    maximum,
+    mul,
+    neg,
+    pow_,
+    round_ste,
+    sigmoid,
+    sqrt,
+    sub,
+    tanh,
+    where,
+)
+from repro.autograd.tensor import Tensor, no_grad, tensor
+
+
+def t(data, grad=True):
+    return tensor(np.asarray(data, dtype=float), requires_grad=grad)
+
+
+class TestForwardValues:
+    def test_add(self):
+        out = add(t([1.0, 2.0]), t([3.0, 4.0]))
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_sub(self):
+        np.testing.assert_allclose(sub(t([3.0]), t([5.0])).data, [-2.0])
+
+    def test_mul(self):
+        np.testing.assert_allclose(mul(t([2.0, 3.0]), t([4.0, 5.0])).data, [8.0, 15.0])
+
+    def test_div(self):
+        np.testing.assert_allclose(div(t([8.0]), t([2.0])).data, [4.0])
+
+    def test_neg(self):
+        np.testing.assert_allclose(neg(t([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow(self):
+        np.testing.assert_allclose(pow_(t([2.0, 3.0]), 2.0).data, [4.0, 9.0])
+
+    def test_exp_log_roundtrip(self):
+        x = t([0.5, 1.5])
+        np.testing.assert_allclose(log(exp(x)).data, x.data)
+
+    def test_sqrt(self):
+        np.testing.assert_allclose(sqrt(t([4.0, 9.0])).data, [2.0, 3.0])
+
+    def test_tanh_range(self):
+        out = tanh(t(np.linspace(-5, 5, 11)))
+        assert np.all(np.abs(out.data) < 1.0)
+
+    def test_sigmoid_extremes_stable(self):
+        out = sigmoid(t([-1000.0, 0.0, 1000.0]))
+        np.testing.assert_allclose(out.data, [0.0, 0.5, 1.0], atol=1e-12)
+
+    def test_maximum(self):
+        np.testing.assert_allclose(
+            maximum(t([1.0, 5.0]), t([3.0, 2.0])).data, [3.0, 5.0]
+        )
+
+    def test_where(self):
+        out = where(np.array([True, False]), t([1.0, 1.0]), t([2.0, 2.0]))
+        np.testing.assert_allclose(out.data, [1.0, 2.0])
+
+    def test_round_ste_forward(self):
+        np.testing.assert_allclose(round_ste(t([0.4, 0.6, -1.5])).data, [0.0, 1.0, -2.0])
+
+    def test_clip_ste_forward(self):
+        np.testing.assert_allclose(
+            clip_ste(t([-2.0, 0.5, 2.0]), -1.0, 1.0).data, [-1.0, 0.5, 1.0]
+        )
+
+
+class TestGradients:
+    def test_add_gradcheck(self, rng):
+        a, b = t(rng.normal(size=(3, 4))), t(rng.normal(size=(3, 4)))
+        assert gradcheck(add, [a, b])
+
+    def test_mul_gradcheck(self, rng):
+        a, b = t(rng.normal(size=(3, 4))), t(rng.normal(size=(3, 4)))
+        assert gradcheck(mul, [a, b])
+
+    def test_div_gradcheck(self, rng):
+        a = t(rng.normal(size=(3,)))
+        b = t(rng.uniform(1.0, 2.0, size=(3,)))
+        assert gradcheck(div, [a, b])
+
+    def test_broadcast_gradcheck(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        b = t(rng.normal(size=(4,)))
+        assert gradcheck(add, [a, b])
+        assert gradcheck(mul, [a, b])
+
+    def test_scalar_broadcast_gradcheck(self, rng):
+        a = t(rng.normal(size=(2, 3)))
+        b = t(rng.normal(size=()))
+        assert gradcheck(mul, [a, b])
+
+    def test_pow_gradcheck(self, rng):
+        a = t(rng.uniform(0.5, 2.0, size=(5,)))
+        assert gradcheck(lambda x: pow_(x, 3.0), [a])
+        assert gradcheck(lambda x: pow_(x, -0.5), [a])
+
+    def test_exp_log_sqrt_tanh_sigmoid_gradcheck(self, rng):
+        a = t(rng.uniform(0.5, 2.0, size=(4,)))
+        for fn in (exp, log, sqrt, tanh, sigmoid):
+            a.zero_grad()
+            assert gradcheck(fn, [a])
+
+    def test_maximum_gradcheck_no_ties(self, rng):
+        a = t([1.0, 5.0, -2.0])
+        b = t([3.0, 2.0, -4.0])
+        assert gradcheck(maximum, [a, b])
+
+    def test_maximum_tie_splits_gradient(self):
+        a, b = t([2.0]), t([2.0])
+        out = maximum(a, b)
+        out.backward(np.array([1.0]))
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [0.5])
+
+    def test_round_ste_gradient_is_identity(self):
+        a = t([0.4, 1.6])
+        round_ste(a).backward(np.array([2.0, 3.0]))
+        np.testing.assert_allclose(a.grad, [2.0, 3.0])
+
+    def test_clip_ste_gradient_masks_outside(self):
+        a = t([-2.0, 0.5, 2.0])
+        clip_ste(a, -1.0, 1.0).backward(np.array([1.0, 1.0, 1.0]))
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_across_backwards(self):
+        a = t([1.0])
+        (a * 2.0).backward(np.array([1.0]))
+        (a * 3.0).backward(np.array([1.0]))
+        np.testing.assert_allclose(a.grad, [5.0])
+
+    def test_diamond_graph_accumulates(self):
+        a = t([2.0])
+        b = a * 3.0
+        out = b + b
+        out.backward(np.array([1.0]))
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_no_grad_suppresses_graph(self):
+        a = t([1.0])
+        with no_grad():
+            out = a * 2.0
+        assert out.backward_fn is None
+        out.backward(np.array([1.0]))  # no-op on a leaf
+        assert a.grad is None
+
+    def test_detach_cuts_graph(self):
+        a = t([1.0])
+        out = (a * 2.0).detach() * 3.0
+        out.backward(np.array([1.0]))
+        assert a.grad is None
+
+    def test_operator_sugar(self):
+        a = t([2.0])
+        out = (-a + 3.0) * 2.0 / 4.0 - 1.0
+        np.testing.assert_allclose(out.data, [-0.5])
+        out2 = 1.0 - a
+        np.testing.assert_allclose(out2.data, [-1.0])
+        out3 = 6.0 / a
+        np.testing.assert_allclose(out3.data, [3.0])
+        out4 = a**2
+        np.testing.assert_allclose(out4.data, [4.0])
+
+    def test_backward_shape_mismatch_raises(self):
+        a = t([1.0, 2.0])
+        with pytest.raises(ValueError, match="seed gradient shape"):
+            (a * 1.0).backward(np.zeros((3,)))
+
+    def test_repr_mentions_shape_and_grad(self):
+        assert "requires_grad" in repr(t([1.0]))
+        assert "shape=(2,)" in repr(tensor([1.0, 2.0]))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

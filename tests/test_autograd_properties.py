@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for autograd invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autograd.ops_basic import add, exp, mul, round_ste, tanh
+from repro.autograd.ops_nn import softmax
+from repro.autograd.ops_reduce import logsumexp, sum_reduce
+from repro.autograd.tensor import Tensor, tensor, unbroadcast
+
+finite_floats = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+def small_arrays(max_dims=3, max_side=4):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(max_dims=max_dims, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_add_commutes(x):
+    a, b = tensor(x), tensor(x[::-1].copy().reshape(x.shape))
+    np.testing.assert_allclose(add(a, b).data, add(b, a).data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_mul_by_one_is_identity(x):
+    a = tensor(x)
+    np.testing.assert_allclose(mul(a, tensor(np.ones_like(x))).data, x)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_softmax_rows_are_distributions(x):
+    out = softmax(tensor(x), axis=-1).data
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(out.shape[:-1]), atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays(max_dims=1, max_side=8))
+def test_lse_bounds_max(x):
+    """Eq. 7's surrogate: max <= LSE <= max + log n."""
+    val = float(logsumexp(tensor(x)).data)
+    assert x.max() - 1e-9 <= val <= x.max() + np.log(x.size) + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_lse_shift_invariance(x):
+    """LSE(x + c) = LSE(x) + c — the identity making Eq. 7 stable."""
+    c = 7.3
+    a = float(logsumexp(tensor(x)).data)
+    b = float(logsumexp(tensor(x + c)).data)
+    np.testing.assert_allclose(b, a + c, atol=1e-8)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_sum_linear_in_scaling(x):
+    a = float(sum_reduce(tensor(2.0 * x)).data)
+    b = 2.0 * float(sum_reduce(tensor(x)).data)
+    np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_round_ste_within_half(x):
+    out = round_ste(tensor(x)).data
+    assert np.all(np.abs(out - x) <= 0.5 + 1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays())
+def test_tanh_odd_function(x):
+    a = tanh(tensor(x)).data
+    b = tanh(tensor(-x)).data
+    np.testing.assert_allclose(a, -b, atol=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays(max_dims=2, max_side=3))
+def test_exp_log_consistency(x):
+    shifted = np.abs(x) + 0.5
+    out = exp(tensor(np.log(shifted))).data
+    np.testing.assert_allclose(out, shifted, rtol=1e-9)
+
+
+@settings(max_examples=80, deadline=None)
+@given(small_arrays(max_dims=3, max_side=4))
+def test_unbroadcast_inverts_broadcast(x):
+    """Summing a broadcast gradient recovers the original shape and scale."""
+    target_shape = x.shape
+    big = np.broadcast_to(x, (2,) + target_shape)
+    got = unbroadcast(big.copy(), target_shape)
+    np.testing.assert_allclose(got, 2.0 * x, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=2, max_side=4))
+def test_gradient_of_sum_is_ones(x):
+    a = Tensor(x, requires_grad=True)
+    sum_reduce(a).backward()
+    np.testing.assert_allclose(a.grad, np.ones_like(x))

@@ -1,0 +1,99 @@
+"""Unit tests for reduction ops, including the Eq. 7 Log-Sum-Exp surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import gradcheck
+from repro.autograd.ops_reduce import logsumexp, max_reduce, mean, sum_reduce
+from repro.autograd.tensor import tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2)
+
+
+def t(data):
+    return tensor(np.asarray(data, dtype=float), requires_grad=True)
+
+
+class TestSumMean:
+    @pytest.mark.parametrize("axis", [None, 0, 1, (0, 1)])
+    def test_sum_matches_numpy(self, rng, axis):
+        a = t(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(sum_reduce(a, axis=axis).data, a.data.sum(axis=axis))
+
+    @pytest.mark.parametrize("axis", [None, 0, 1])
+    def test_mean_matches_numpy(self, rng, axis):
+        a = t(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(mean(a, axis=axis).data, a.data.mean(axis=axis))
+
+    def test_keepdims(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        assert sum_reduce(a, axis=1, keepdims=True).shape == (3, 1)
+
+    def test_negative_axis(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(sum_reduce(a, axis=-1).data, a.data.sum(axis=-1))
+
+    def test_sum_gradcheck(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        assert gradcheck(lambda x: sum_reduce(x, axis=0), [a])
+
+    def test_mean_gradcheck(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        assert gradcheck(lambda x: mean(x, axis=(0, 1)), [a])
+
+
+class TestMax:
+    def test_forward(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(max_reduce(a, axis=1).data, a.data.max(axis=1))
+
+    def test_gradcheck_unique_max(self):
+        a = t([[1.0, 5.0, 2.0], [7.0, 0.0, 3.0]])
+        assert gradcheck(lambda x: max_reduce(x, axis=1), [a])
+
+    def test_tie_splits_gradient(self):
+        a = t([[3.0, 3.0]])
+        max_reduce(a, axis=1).backward(np.array([1.0]))
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5]])
+
+
+class TestLogSumExp:
+    def test_upper_and_lower_bounds(self, rng):
+        """max(x) <= LSE(x) <= max(x) + log(n) — the smooth-max guarantee."""
+        x = rng.normal(size=(10,)) * 5
+        val = float(logsumexp(t(x)).data)
+        assert x.max() <= val <= x.max() + np.log(len(x)) + 1e-12
+
+    def test_stability_with_huge_values(self):
+        a = t([1000.0, 1000.0])
+        val = float(logsumexp(a).data)
+        np.testing.assert_allclose(val, 1000.0 + np.log(2.0))
+
+    def test_matches_numpy_reference(self, rng):
+        from scipy.special import logsumexp as scipy_lse
+
+        x = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(
+            logsumexp(t(x), axis=1).data, scipy_lse(x, axis=1)
+        )
+
+    def test_gradient_is_softmax(self, rng):
+        x = rng.normal(size=(4,))
+        a = t(x)
+        logsumexp(a).backward(np.array(1.0))
+        expected = np.exp(x - x.max())
+        expected /= expected.sum()
+        np.testing.assert_allclose(a.grad, expected)
+
+    def test_gradcheck(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        assert gradcheck(lambda x: logsumexp(x, axis=0), [a])
+        a.zero_grad()
+        assert gradcheck(lambda x: logsumexp(x, axis=None), [a])
+
+    def test_keepdims_shape(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        assert logsumexp(a, axis=1, keepdims=True).shape == (3, 1)

@@ -1,0 +1,120 @@
+"""Unit tests for shape-manipulation autograd ops."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import gradcheck
+from repro.autograd.ops_shape import (
+    broadcast_to,
+    concat,
+    flatten,
+    getitem,
+    pad2d,
+    reshape,
+    transpose,
+)
+from repro.autograd.tensor import tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1)
+
+
+def t(data):
+    return tensor(np.asarray(data, dtype=float), requires_grad=True)
+
+
+class TestReshapeFlatten:
+    def test_reshape_roundtrip(self, rng):
+        a = t(rng.normal(size=(2, 3, 4)))
+        out = reshape(a, (4, 6))
+        assert out.shape == (4, 6)
+        assert gradcheck(lambda x: reshape(x, (4, 6)), [a])
+
+    def test_reshape_minus_one(self, rng):
+        a = t(rng.normal(size=(2, 3, 4)))
+        assert a.reshape(2, -1).shape == (2, 12)
+
+    def test_flatten_default(self, rng):
+        a = t(rng.normal(size=(2, 3, 4, 5)))
+        assert flatten(a).shape == (2, 60)
+
+    def test_flatten_start_axis(self, rng):
+        a = t(rng.normal(size=(2, 3, 4)))
+        assert flatten(a, start_axis=2).shape == (2, 3, 4)
+
+
+class TestTranspose:
+    def test_default_reverses(self, rng):
+        a = t(rng.normal(size=(2, 3, 4)))
+        assert transpose(a).shape == (4, 3, 2)
+
+    def test_explicit_axes_gradcheck(self, rng):
+        a = t(rng.normal(size=(2, 3, 4)))
+        assert gradcheck(lambda x: transpose(x, (1, 2, 0)), [a])
+
+
+class TestPad2d:
+    def test_pad_shape(self, rng):
+        a = t(rng.normal(size=(1, 2, 3, 3)))
+        assert pad2d(a, 2).shape == (1, 2, 7, 7)
+
+    def test_pad_zero_is_identity(self, rng):
+        a = t(rng.normal(size=(1, 1, 3, 3)))
+        assert pad2d(a, 0) is a
+
+    def test_asymmetric_tuple(self, rng):
+        a = t(rng.normal(size=(1, 1, 3, 3)))
+        assert pad2d(a, (1, 2)).shape == (1, 1, 5, 7)
+
+    def test_gradcheck(self, rng):
+        a = t(rng.normal(size=(2, 2, 3, 3)))
+        assert gradcheck(lambda x: pad2d(x, 1), [a])
+
+
+class TestGetitem:
+    def test_slice_forward(self, rng):
+        a = t(rng.normal(size=(4, 5)))
+        out = a[1:3, :2]
+        np.testing.assert_allclose(out.data, a.data[1:3, :2])
+
+    def test_integer_index_gradcheck(self, rng):
+        a = t(rng.normal(size=(4, 5)))
+        assert gradcheck(lambda x: getitem(x, (2, 3)), [a])
+
+    def test_slice_gradcheck(self, rng):
+        a = t(rng.normal(size=(4, 5)))
+        assert gradcheck(lambda x: getitem(x, slice(1, 3)), [a])
+
+    def test_duplicate_fancy_index_accumulates(self):
+        a = t([1.0, 2.0, 3.0])
+        out = getitem(a, np.array([0, 0, 2]))
+        out.backward(np.ones(3))
+        np.testing.assert_allclose(a.grad, [2.0, 0.0, 1.0])
+
+
+class TestConcat:
+    def test_forward(self, rng):
+        a, b = t(rng.normal(size=(2, 3))), t(rng.normal(size=(4, 3)))
+        assert concat([a, b], axis=0).shape == (6, 3)
+
+    def test_gradcheck(self, rng):
+        a, b = t(rng.normal(size=(2, 3))), t(rng.normal(size=(2, 2)))
+        assert gradcheck(lambda x, y: concat([x, y], axis=1), [a, b])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            concat([])
+
+
+class TestBroadcastTo:
+    def test_forward(self):
+        a = t([1.0, 2.0])
+        out = broadcast_to(a, (3, 2))
+        assert out.shape == (3, 2)
+
+    def test_gradient_sums(self):
+        a = t([1.0, 2.0])
+        broadcast_to(a, (3, 2)).backward(np.ones((3, 2)))
+        np.testing.assert_allclose(a.grad, [3.0, 3.0])

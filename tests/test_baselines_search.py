@@ -1,0 +1,81 @@
+"""Unit tests for the fixed-implementation NAS and random-search baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fixed_impl_nas import FixedImplementationNAS, FrozenImplementationModel
+from repro.baselines.random_search import random_search
+from repro.core.config import EDDConfig
+from repro.core.cosearch import build_hardware_model
+from repro.nas.supernet import constant_sample
+
+
+class TestFrozenImplementationModel:
+    def test_exposes_no_impl_parameters(self, tiny_space):
+        inner = build_hardware_model(tiny_space, EDDConfig(target="fpga_recursive"))
+        frozen = FrozenImplementationModel(inner, fixed_bits=16)
+        assert frozen.implementation_parameters() == []
+        assert frozen.resource_bound == inner.resource_bound
+
+    def test_pins_quantisation(self, tiny_space):
+        inner = build_hardware_model(tiny_space, EDDConfig(target="fpga_recursive"))
+        frozen = FrozenImplementationModel(inner, fixed_bits=16)
+        sample = constant_sample(tiny_space, None, [0] * tiny_space.num_blocks)
+        out = frozen.evaluate(sample)
+        # Evaluating the inner model directly at 16-bit must agree.
+        direct = constant_sample(tiny_space, inner.quant,
+                                 [0] * tiny_space.num_blocks,
+                                 inner.quant.bitwidths.index(16))
+        np.testing.assert_allclose(
+            float(out.perf_loss.data), float(inner.evaluate(direct).perf_loss.data)
+        )
+
+    def test_rejects_bits_not_in_menu(self, tiny_space):
+        inner = build_hardware_model(tiny_space, EDDConfig(target="fpga_recursive"))
+        with pytest.raises(ValueError, match="menu"):
+            FrozenImplementationModel(inner, fixed_bits=12)
+
+
+class TestFixedImplementationNAS:
+    def test_search_runs_and_annotates(self, tiny_space, tiny_splits):
+        config = EDDConfig(target="fpga_recursive", epochs=2, batch_size=8,
+                           arch_start_epoch=0, seed=0)
+        nas = FixedImplementationNAS(tiny_space, tiny_splits, config, fixed_bits=16)
+        result = nas.search()
+        assert result.spec.metadata["fixed_implementation"] is True
+        assert result.spec.weight_bits == 16
+
+    def test_pf_stays_at_initialisation(self, tiny_space, tiny_splits):
+        config = EDDConfig(target="fpga_recursive", epochs=2, batch_size=8,
+                           arch_start_epoch=0, seed=0)
+        nas = FixedImplementationNAS(tiny_space, tiny_splits, config)
+        pf_before = nas.hw_model.inner.pf.data.copy()
+        nas.search()
+        np.testing.assert_allclose(nas.hw_model.inner.pf.data, pf_before)
+
+    def test_theta_moves(self, tiny_space, tiny_splits):
+        config = EDDConfig(target="fpga_recursive", epochs=2, batch_size=8,
+                           arch_start_epoch=0, seed=0)
+        nas = FixedImplementationNAS(tiny_space, tiny_splits, config)
+        theta_before = nas.supernet.theta.data.copy()
+        nas.search()
+        assert not np.allclose(nas.supernet.theta.data, theta_before)
+
+
+class TestRandomSearch:
+    def test_returns_best_of_candidates(self, tiny_space, tiny_splits):
+        config = EDDConfig(target="fpga_pipelined", epochs=1, batch_size=8, seed=0)
+        best, candidates = random_search(
+            tiny_space, tiny_splits, config, num_candidates=3, train_epochs=1, seed=0,
+        )
+        assert len(candidates) == 3
+        assert best.objective == min(c.objective for c in candidates)
+        assert best.spec.name.startswith("random-")
+
+    def test_candidates_differ(self, tiny_space, tiny_splits):
+        config = EDDConfig(target="fpga_pipelined", epochs=1, batch_size=8, seed=0)
+        _, candidates = random_search(
+            tiny_space, tiny_splits, config, num_candidates=3, train_epochs=1, seed=1,
+        )
+        descriptions = {c.spec.describe() for c in candidates}
+        assert len(descriptions) > 1

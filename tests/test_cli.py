@@ -1,0 +1,63 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tables_defaults(self):
+        args = build_parser().parse_args(["tables"])
+        assert args.which == "all"
+
+    def test_explore_requires_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore"])
+
+    def test_search_options(self):
+        args = build_parser().parse_args(
+            ["search", "--target", "fpga_pipelined", "--epochs", "2"]
+        )
+        assert args.target == "fpga_pipelined"
+        assert args.epochs == 2
+
+
+class TestCommands:
+    def test_anchors_exit_zero(self, capsys):
+        assert main(["anchors"]) == 0
+        out = capsys.readouterr().out
+        assert "ResNet18@Titan RTX" in out
+        assert "FAIL" not in out
+
+    def test_zoo_lists_models(self, capsys):
+        assert main(["zoo"]) == 0
+        out = capsys.readouterr().out
+        assert "EDD-Net-3" in out and "VGG16" in out
+
+    def test_tables_single(self, capsys):
+        assert main(["tables", "--which", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "DNNBuilder" in out
+
+    def test_explore_model(self, capsys):
+        assert main(["explore", "--model", "ResNet18", "--bits", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "GPU latency" in out
+        assert "FPGA throughput" in out
+
+    def test_explore_unsupported_fpga(self, capsys):
+        assert main(["explore", "--model", "ShuffleNet-V2"]) == 0
+        assert "NA" in capsys.readouterr().out
+
+    def test_search_runs(self, capsys):
+        code = main([
+            "search", "--target", "gpu", "--epochs", "2", "--blocks", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cli-gpu" in out
+        assert "converged" in out

@@ -1,0 +1,77 @@
+"""Unit tests for EDDConfig validation and the Eq. 1 loss composition."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.core.config import EDDConfig
+from repro.core.loss import additive_loss, combined_loss
+from repro.hw.base import HwEvaluation
+
+
+def make_eval(perf=2.0, res=50.0):
+    return HwEvaluation(
+        perf_loss=Tensor(np.asarray(perf), requires_grad=True),
+        resource=Tensor(np.asarray(res), requires_grad=True),
+    )
+
+
+class TestEDDConfig:
+    def test_defaults_valid(self):
+        cfg = EDDConfig()
+        assert cfg.target == "gpu"
+
+    @pytest.mark.parametrize(
+        "target", ["gpu", "fpga_recursive", "fpga_pipelined", "accel"]
+    )
+    def test_all_targets_accepted(self, target):
+        assert EDDConfig(target=target).target == target
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError, match="target"):
+            EDDConfig(target="tpu")
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError, match="epochs"):
+            EDDConfig(epochs=0)
+
+    def test_invalid_resource_fraction(self):
+        with pytest.raises(ValueError, match="resource_fraction"):
+            EDDConfig(resource_fraction=1.5)
+
+    def test_invalid_arch_start(self):
+        with pytest.raises(ValueError, match="arch_start_epoch"):
+            EDDConfig(arch_start_epoch=-1)
+
+
+class TestCombinedLoss:
+    def test_eq1_multiplicative_at_bound(self):
+        """L = Acc*Perf + beta*C^0 at RES == RES_ub."""
+        acc = Tensor(np.asarray(0.7))
+        out = combined_loss(acc, make_eval(perf=2.0, res=100.0), 100.0, beta=0.5)
+        np.testing.assert_allclose(float(out.data), 0.7 * 2.0 + 0.5)
+
+    def test_no_bound_drops_penalty(self):
+        acc = Tensor(np.asarray(0.7))
+        out = combined_loss(acc, make_eval(perf=2.0), None)
+        np.testing.assert_allclose(float(out.data), 1.4)
+
+    def test_gradient_coupling(self):
+        """The multiplicative form scales acc gradients by perf and vice versa."""
+        acc = Tensor(np.asarray(0.7), requires_grad=True)
+        ev = make_eval(perf=3.0, res=10.0)
+        combined_loss(acc, ev, None).backward()
+        np.testing.assert_allclose(acc.grad, 3.0)
+        np.testing.assert_allclose(ev.perf_loss.grad, 0.7)
+
+    def test_penalty_gradient_reaches_resource(self):
+        acc = Tensor(np.asarray(0.7))
+        ev = make_eval(perf=1.0, res=150.0)
+        combined_loss(acc, ev, 100.0).backward()
+        assert ev.resource.grad > 0
+
+    def test_additive_variant(self):
+        acc = Tensor(np.asarray(0.7))
+        out = additive_loss(acc, make_eval(perf=2.0, res=100.0), 100.0,
+                            perf_weight=0.1, beta=0.5)
+        np.testing.assert_allclose(float(out.data), 0.7 + 0.2 + 0.5)

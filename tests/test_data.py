@@ -1,0 +1,166 @@
+"""Unit tests for the synthetic dataset substrate and data loading."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DataLoader,
+    Dataset,
+    SyntheticTaskConfig,
+    make_synthetic_task,
+    normalize,
+    random_flip,
+    random_shift,
+)
+
+
+@pytest.fixture
+def small_config():
+    return SyntheticTaskConfig(
+        num_classes=4, image_size=8, train_per_class=6, val_per_class=3,
+        test_per_class=3, seed=0,
+    )
+
+
+class TestSyntheticTask:
+    def test_split_sizes(self, small_config):
+        splits = make_synthetic_task(small_config)
+        assert len(splits.train) == 24
+        assert len(splits.val) == 12
+        assert len(splits.test) == 12
+
+    def test_shapes_and_dtypes(self, small_config):
+        splits = make_synthetic_task(small_config)
+        assert splits.train.images.shape == (24, 3, 8, 8)
+        assert splits.train.labels.dtype == np.int64
+
+    def test_all_classes_present_in_each_split(self, small_config):
+        splits = make_synthetic_task(small_config)
+        for split in (splits.train, splits.val, splits.test):
+            assert set(split.labels) == {0, 1, 2, 3}
+
+    def test_deterministic_given_seed(self, small_config):
+        a = make_synthetic_task(small_config)
+        b = make_synthetic_task(small_config)
+        np.testing.assert_allclose(a.train.images, b.train.images)
+        np.testing.assert_array_equal(a.train.labels, b.train.labels)
+
+    def test_different_seed_different_data(self, small_config):
+        import dataclasses
+
+        a = make_synthetic_task(small_config)
+        b = make_synthetic_task(dataclasses.replace(small_config, seed=1))
+        assert not np.allclose(a.train.images, b.train.images)
+
+    def test_splits_are_not_identical(self, small_config):
+        splits = make_synthetic_task(small_config)
+        assert not np.allclose(
+            splits.train.images[:12], splits.val.images[:12]
+        )
+
+    def test_within_class_similarity_exceeds_between_class(self):
+        """The class signal must be learnable: same-class samples correlate."""
+        config = SyntheticTaskConfig(
+            num_classes=4, image_size=12, train_per_class=10, noise_std=0.2, seed=2,
+        )
+        splits = make_synthetic_task(config)
+        images, labels = splits.train.images, splits.train.labels
+        flat = images.reshape(len(images), -1)
+        flat = flat - flat.mean(axis=1, keepdims=True)
+        flat /= np.linalg.norm(flat, axis=1, keepdims=True)
+        sim = flat @ flat.T
+        same = sim[labels[:, None] == labels[None, :]]
+        diff = sim[labels[:, None] != labels[None, :]]
+        # Remove self-similarity diagonal contribution.
+        assert same.mean() > diff.mean() + 0.05
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="classes"):
+            SyntheticTaskConfig(num_classes=1)
+        with pytest.raises(ValueError, match="image_size"):
+            SyntheticTaskConfig(image_size=2)
+        with pytest.raises(ValueError, match="split"):
+            SyntheticTaskConfig(train_per_class=0)
+
+    def test_dataset_validation(self):
+        with pytest.raises(ValueError, match="NCHW"):
+            Dataset(images=np.zeros((3, 4)), labels=np.zeros(3))
+        with pytest.raises(ValueError, match="mismatch"):
+            Dataset(images=np.zeros((3, 1, 2, 2)), labels=np.zeros(2))
+
+    def test_num_classes_property(self, small_config):
+        splits = make_synthetic_task(small_config)
+        assert splits.train.num_classes == 4
+
+
+class TestDataLoader:
+    def test_batch_shapes(self, small_config):
+        splits = make_synthetic_task(small_config)
+        loader = DataLoader(splits.train, batch_size=5, seed=0)
+        batches = list(loader)
+        assert len(batches) == len(loader) == 5  # 24 samples -> 4 full + 1 part
+        assert batches[0][0].shape == (5, 3, 8, 8)
+        assert batches[-1][0].shape == (4, 3, 8, 8)
+
+    def test_drop_last(self, small_config):
+        splits = make_synthetic_task(small_config)
+        loader = DataLoader(splits.train, batch_size=5, drop_last=True, seed=0)
+        assert len(loader) == 4
+        assert all(len(y) == 5 for _, y in loader)
+
+    def test_covers_every_sample_once(self, small_config):
+        splits = make_synthetic_task(small_config)
+        loader = DataLoader(splits.train, batch_size=7, shuffle=True, seed=1)
+        seen = np.concatenate([y for _, y in loader])
+        assert len(seen) == 24
+
+    def test_shuffle_differs_between_epochs(self, small_config):
+        splits = make_synthetic_task(small_config)
+        loader = DataLoader(splits.train, batch_size=24, shuffle=True, seed=1)
+        first = next(iter(loader))[1].copy()
+        second = next(iter(loader))[1].copy()
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_preserves_order(self, small_config):
+        splits = make_synthetic_task(small_config)
+        loader = DataLoader(splits.train, batch_size=24, shuffle=False)
+        np.testing.assert_array_equal(next(iter(loader))[1], splits.train.labels)
+
+    def test_rejects_bad_batch_size(self, small_config):
+        splits = make_synthetic_task(small_config)
+        with pytest.raises(ValueError):
+            DataLoader(splits.train, batch_size=0)
+
+
+class TestTransforms:
+    def test_normalize_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(loc=3.0, scale=2.0, size=(10, 3, 4, 4))
+        out = normalize(x)
+        assert abs(out.mean()) < 1e-12
+        assert abs(out.std() - 1.0) < 1e-12
+
+    def test_normalize_with_explicit_stats(self):
+        x = np.ones((2, 1, 2, 2))
+        out = normalize(x, mean=1.0, std=2.0)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_random_flip_preserves_content(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(6, 1, 4, 4))
+        out = random_flip(x, rng, p=1.0)
+        np.testing.assert_allclose(out, x[..., ::-1])
+
+    def test_random_flip_p_zero_identity(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(6, 1, 4, 4))
+        np.testing.assert_allclose(random_flip(x, rng, p=0.0), x)
+
+    def test_random_shift_preserves_pixel_multiset(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(3, 2, 5, 5))
+        out = random_shift(x, rng, max_shift=2)
+        for i in range(3):
+            np.testing.assert_allclose(
+                np.sort(out[i].ravel()), np.sort(x[i].ravel())
+            )

@@ -1,0 +1,98 @@
+"""Unit tests for bring-your-own-data support."""
+
+import numpy as np
+import pytest
+
+from repro.data.external import (
+    load_dataset_npz,
+    save_dataset_npz,
+    splits_from_arrays,
+    splits_from_npz,
+)
+
+
+@pytest.fixture
+def arrays(rng):
+    images = rng.normal(size=(60, 3, 8, 8))
+    labels = np.repeat(np.arange(4), 15)
+    return images, labels
+
+
+class TestNpzRoundTrip:
+    def test_save_load(self, arrays, tmp_path):
+        images, labels = arrays
+        path = save_dataset_npz(tmp_path / "d.npz", images, labels)
+        loaded = load_dataset_npz(path)
+        np.testing.assert_allclose(loaded.images, images)
+        np.testing.assert_array_equal(loaded.labels, labels)
+
+    def test_save_validates_shape(self, tmp_path):
+        with pytest.raises(ValueError, match="NCHW"):
+            save_dataset_npz(tmp_path / "d.npz", np.zeros((4, 8, 8)), np.zeros(4))
+
+    def test_save_validates_lengths(self, tmp_path):
+        with pytest.raises(ValueError, match="mismatch"):
+            save_dataset_npz(tmp_path / "d.npz", np.zeros((4, 1, 2, 2)), np.zeros(3))
+
+    def test_load_missing_keys(self, tmp_path):
+        np.savez(tmp_path / "bad.npz", foo=np.zeros(3))
+        with pytest.raises(KeyError, match="missing arrays"):
+            load_dataset_npz(tmp_path / "bad.npz")
+
+
+class TestSplits:
+    def test_partition_covers_everything_once(self, arrays):
+        images, labels = arrays
+        splits = splits_from_arrays(images, labels, seed=1)
+        total = len(splits.train) + len(splits.val) + len(splits.test)
+        assert total == len(labels)
+
+    def test_stratified_class_balance(self, arrays):
+        images, labels = arrays
+        splits = splits_from_arrays(images, labels, seed=1)
+        for split in (splits.train, splits.val, splits.test):
+            counts = np.bincount(split.labels, minlength=4)
+            assert counts.min() >= 1
+            assert counts.max() - counts.min() <= 1
+
+    def test_fractions_respected(self, arrays):
+        images, labels = arrays
+        splits = splits_from_arrays(images, labels, val_fraction=0.25,
+                                    test_fraction=0.25, seed=0)
+        assert len(splits.val) == 16  # 4 per class out of 15
+        assert len(splits.test) == 16
+
+    def test_deterministic(self, arrays):
+        images, labels = arrays
+        a = splits_from_arrays(images, labels, seed=7)
+        b = splits_from_arrays(images, labels, seed=7)
+        np.testing.assert_array_equal(a.train.labels, b.train.labels)
+
+    def test_unstratified_mode(self, arrays):
+        images, labels = arrays
+        splits = splits_from_arrays(images, labels, seed=1, stratify=False)
+        assert len(splits.train) + len(splits.val) + len(splits.test) == 60
+
+    def test_too_few_samples_per_class(self):
+        images = np.zeros((4, 1, 4, 4))
+        labels = np.array([0, 0, 1, 1])
+        with pytest.raises(ValueError, match="too few"):
+            splits_from_arrays(images, labels, val_fraction=0.4, test_fraction=0.4)
+
+    def test_bad_fractions(self, arrays):
+        images, labels = arrays
+        with pytest.raises(ValueError, match="fractions"):
+            splits_from_arrays(images, labels, val_fraction=0.6, test_fraction=0.6)
+
+    def test_npz_to_splits_to_search(self, arrays, tmp_path, tiny_space):
+        """External data flows through the whole pipeline."""
+        from repro.core.config import EDDConfig
+        from repro.core.cosearch import EDDSearcher
+
+        images, labels = arrays
+        path = save_dataset_npz(tmp_path / "task.npz", images, labels)
+        splits = splits_from_npz(path, seed=0)
+        config = EDDConfig(target="gpu", epochs=1, batch_size=8,
+                           arch_start_epoch=0, seed=0)
+        result = EDDSearcher(tiny_space, splits, config).search()
+        assert result.spec.metadata["op_labels"]

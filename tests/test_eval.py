@@ -1,0 +1,121 @@
+"""Unit tests for the table/figure generators and the experiment registry."""
+
+import pytest
+
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+from repro.eval.figures import figure4, render_architecture
+from repro.eval.metrics import error_rates
+from repro.eval.tables import TableRow, format_table, table1, table2, table3
+
+import numpy as np
+
+
+class TestTable1:
+    def test_eleven_rows(self):
+        rows = table1()
+        assert len(rows) == 11
+
+    def test_shufflenet_fpga_na(self):
+        rows = {r.name: r for r in table1()}
+        assert rows["ShuffleNet-V2"].values["FPGA ms (ours)"] is None
+
+    def test_edd1_fastest_gpu(self):
+        rows = {r.name: r for r in table1()}
+        edd1 = rows["EDD-Net-1"].values["GPU ms (ours)"]
+        for name in ("MnasNet-A1", "FBNet-C", "Proxyless-cpu",
+                     "Proxyless-Mobile", "Proxyless-gpu", "GoogleNet",
+                     "MobileNet-V2", "ShuffleNet-V2"):
+            assert edd1 < rows[name].values["GPU ms (ours)"]
+
+    def test_paper_columns_present(self):
+        row = table1()[0]
+        assert "GPU ms (paper)" in row.values
+        assert "Top-1 err (paper)" in row.values
+
+
+class TestTable2:
+    def test_precision_rows_ordered(self):
+        rows = table2()
+        assert [r.name for r in rows] == ["32-bit", "16-bit", "8-bit"]
+        ours = [r.values["Latency ms (ours)"] for r in rows]
+        assert ours[0] > ours[1] > ours[2]
+
+    def test_measured_errors_merged(self):
+        rows = table2(measured_errors={16: 12.5})
+        by_name = {r.name: r for r in rows}
+        assert by_name["16-bit"].values["Proxy err % (ours)"] == 12.5
+        assert "Proxy err % (ours)" not in by_name["32-bit"].values
+
+    def test_latency_close_to_paper(self):
+        for row in table2():
+            ours = row.values["Latency ms (ours)"]
+            paper = row.values["Latency ms (paper)"]
+            assert abs(ours - paper) / paper < 0.05
+
+
+class TestTable3:
+    def test_edd3_beats_vgg(self):
+        rows = {r.name: r for r in table3()}
+        ratio = rows["EDD-Net-3"].values["fps (ours)"] / rows["VGG16"].values["fps (ours)"]
+        assert ratio > 1.2  # paper: 1.45x
+
+    def test_vgg_near_dnnbuilder_anchor(self):
+        rows = {r.name: r for r in table3()}
+        assert abs(rows["VGG16"].values["fps (ours)"] - 27.7) / 27.7 < 0.1
+
+
+class TestFormatting:
+    def test_format_table_renders_na(self):
+        rows = [TableRow(name="x", values={"a": None, "b": 1.5})]
+        text = format_table(rows, ["a", "b"], "T")
+        assert "NA" in text and "1.50" in text
+
+    def test_header_contains_columns(self):
+        text = format_table([TableRow("m", {"col": 1.0})], ["col"], "title")
+        assert text.splitlines()[0] == "title"
+        assert "col" in text
+
+
+class TestFigure4:
+    def test_contains_three_edd_nets(self):
+        text = figure4()
+        for name in ("EDD-Net-1", "EDD-Net-2", "EDD-Net-3"):
+            assert name in text
+
+    def test_block_labels_rendered(self):
+        text = figure4()
+        assert "MB4 3x3" in text
+        assert "/s2" in text
+
+    def test_render_includes_annotations(self):
+        from repro.baselines.model_zoo import edd_net_1
+
+        spec = edd_net_1()
+        spec.metadata["block_bits"] = [16] * 20
+        text = render_architecture(spec)
+        assert "weight bits" in text
+
+    def test_extra_specs_appended(self, tiny_space):
+        ops = tiny_space.candidate_ops()
+        extra = tiny_space.spec_for_choices([ops[0]] * tiny_space.num_blocks,
+                                            name="fresh-searched")
+        assert "fresh-searched" in figure4([extra])
+
+
+class TestRegistry:
+    def test_all_experiments_run(self):
+        for name in EXPERIMENTS:
+            text = run_experiment(name)
+            assert isinstance(text, str) and text
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("table9")
+
+
+class TestMetrics:
+    def test_error_rates(self):
+        logits = np.array([[5.0, 0.0, 1.0], [4.0, 5.0, 1.0]])
+        errors = error_rates(logits, np.array([0, 0]), ks=(1, 2))
+        assert errors[1] == pytest.approx(50.0)
+        assert errors[2] == pytest.approx(0.0)

@@ -1,0 +1,70 @@
+"""Unit tests for the accuracy/performance trade-off sweep."""
+
+import pytest
+
+from repro.core.config import EDDConfig
+from repro.eval.pareto import (
+    TradeoffPoint,
+    format_tradeoff,
+    pareto_front,
+    tradeoff_sweep,
+)
+
+
+def p(err, perf, alpha=1.0):
+    return TradeoffPoint(alpha_target=alpha, top1_error=err, perf_units=perf,
+                         resource=0.0, spec_name="x")
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert p(10, 1.0).dominates(p(20, 2.0))
+
+    def test_no_self_dominance(self):
+        a = p(10, 1.0)
+        assert not a.dominates(p(10, 1.0))
+
+    def test_tradeoff_points_incomparable(self):
+        assert not p(10, 2.0).dominates(p(20, 1.0))
+        assert not p(20, 1.0).dominates(p(10, 2.0))
+
+
+class TestFront:
+    def test_dominated_points_removed(self):
+        points = [p(10, 1.0), p(20, 2.0), p(5, 3.0)]
+        front = pareto_front(points)
+        assert p(20, 2.0) not in front
+        assert len(front) == 2
+
+    def test_front_sorted_by_perf(self):
+        points = [p(5, 3.0), p(10, 1.0)]
+        front = pareto_front(points)
+        assert front[0].perf_units <= front[1].perf_units
+
+    def test_all_nondominated_kept(self):
+        points = [p(30, 1.0), p(20, 2.0), p(10, 3.0)]
+        assert len(pareto_front(points)) == 3
+
+
+class TestFormat:
+    def test_marks_front(self):
+        text = format_tradeoff([p(10, 1.0, alpha=0.5), p(20, 2.0, alpha=2.0)])
+        lines = text.splitlines()
+        assert lines[1].rstrip().endswith("*")
+        assert not lines[2].rstrip().endswith("*")
+
+
+class TestSweep:
+    def test_reduced_sweep_runs(self, tiny_space, tiny_splits):
+        config = EDDConfig(target="gpu", epochs=1, batch_size=8,
+                           arch_start_epoch=0, seed=0)
+        points = tradeoff_sweep(
+            tiny_space, tiny_splits, config,
+            alpha_targets=(0.5, 2.0), train_epochs=1,
+        )
+        assert len(points) == 2
+        assert {pt.alpha_target for pt in points} == {0.5, 2.0}
+        for pt in points:
+            assert pt.perf_units > 0
+            assert 0 <= pt.top1_error <= 100
+        assert pareto_front(points)

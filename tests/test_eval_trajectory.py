@@ -1,0 +1,113 @@
+"""Unit tests for search-trajectory analysis and ASCII charts."""
+
+import math
+
+import pytest
+
+from repro.core.results import EpochRecord
+from repro.eval.trajectory import (
+    ConvergenceSummary,
+    ascii_chart,
+    render_trajectory,
+    summarize,
+)
+
+
+def make_history(epochs=5, converging=True):
+    records = []
+    for e in range(epochs):
+        progress = e / max(epochs - 1, 1)
+        records.append(
+            EpochRecord(
+                epoch=e,
+                train_loss=2.0 - progress if converging else 2.0,
+                val_acc_loss=float("nan") if e == 0 else 1.8 - progress,
+                perf_loss=float("nan") if e == 0 else 1.0 - 0.3 * progress,
+                resource=float("nan") if e == 0 else 50.0 - 10 * progress,
+                total_loss=float("nan") if e == 0 else 3.0 - progress,
+                temperature=5.0 * 0.9**e,
+                theta_perplexity=4.0 - 3.0 * progress if converging else 4.0,
+            )
+        )
+    return records
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize(make_history())
+        assert summary.epochs == 5
+        assert summary.train_loss_drop == pytest.approx(1.0)
+        assert summary.final_theta_perplexity == pytest.approx(1.0)
+        assert summary.perplexity_drop == pytest.approx(3.0)
+        assert summary.resource_trend < 0
+
+    def test_skips_nan_warmup(self):
+        summary = summarize(make_history())
+        assert math.isfinite(summary.final_val_loss)
+        assert math.isfinite(summary.final_perf_loss)
+
+    def test_converged_detection(self):
+        assert summarize(make_history(converging=True)).converged()
+        assert not summarize(make_history(converging=False)).converged()
+
+    def test_explicit_threshold(self):
+        summary = summarize(make_history())
+        assert summary.converged(perplexity_threshold=1.5)
+        assert not summary.converged(perplexity_threshold=0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize([])
+
+
+class TestAsciiChart:
+    def test_contains_extremes(self):
+        chart = ascii_chart([1.0, 5.0, 3.0], title="t", width=30, height=5)
+        assert "t" in chart
+        assert "5.000" in chart
+        assert "1.000" in chart
+        assert "*" in chart
+
+    def test_handles_all_nan(self):
+        chart = ascii_chart([float("nan")] * 3, title="x")
+        assert "no finite data" in chart
+
+    def test_handles_constant_series(self):
+        chart = ascii_chart([2.0, 2.0, 2.0])
+        assert "*" in chart
+
+    def test_single_point(self):
+        chart = ascii_chart([1.5])
+        assert "*" in chart
+
+    def test_respects_width(self):
+        chart = ascii_chart(list(range(100)), width=20, height=4)
+        body_lines = [l for l in chart.splitlines() if "|" in l]
+        assert all(len(l) <= 9 + 1 + 20 + 2 for l in body_lines)
+
+
+class TestRenderTrajectory:
+    def test_all_panels_present(self):
+        text = render_trajectory(make_history())
+        assert "train loss" in text
+        assert "validation accuracy loss" in text
+        assert "Perf_loss" in text
+        assert "perplexity" in text
+        assert "RES" in text
+
+    def test_gpu_history_omits_resource_panel(self):
+        history = make_history()
+        for r in history:
+            r.resource = 0.0
+        assert "RES (device units)" not in render_trajectory(history)
+
+    def test_integrates_with_real_search(self, tiny_space, tiny_splits):
+        from repro.core.config import EDDConfig
+        from repro.core.cosearch import EDDSearcher
+
+        config = EDDConfig(target="gpu", epochs=2, batch_size=8,
+                           arch_start_epoch=0, seed=0)
+        result = EDDSearcher(tiny_space, tiny_splits, config).search()
+        summary = summarize(result.history)
+        assert isinstance(summary, ConvergenceSummary)
+        assert render_trajectory(result.history)

@@ -1,0 +1,114 @@
+"""Unit + property tests for the resource-allocation algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.allocation import (
+    integer_parallel_factors,
+    round_power_of_two,
+    waterfill_allocation,
+)
+
+
+class TestWaterfill:
+    def test_proportional_without_caps(self):
+        alloc = waterfill_allocation([1.0, 3.0], budget=40.0, minimum=0.0)
+        np.testing.assert_allclose(alloc, [10.0, 30.0])
+
+    def test_default_floor_then_proportional(self):
+        alloc = waterfill_allocation([1.0, 3.0], budget=40.0)
+        np.testing.assert_allclose(alloc, [1 + 38 * 0.25, 1 + 38 * 0.75])
+
+    def test_respects_caps_and_redistributes(self):
+        alloc = waterfill_allocation([1.0, 3.0], budget=40.0, caps=[5.0, 100.0])
+        assert alloc[0] == 5.0
+        np.testing.assert_allclose(alloc[1], 35.0)
+
+    def test_total_never_exceeds_budget(self):
+        alloc = waterfill_allocation([2.0, 2.0, 2.0], budget=10.0)
+        assert sum(alloc) <= 10.0 + 1e-9
+
+    def test_zero_workload_gets_nothing(self):
+        alloc = waterfill_allocation([0.0, 5.0], budget=10.0)
+        assert alloc[0] == 0.0
+        np.testing.assert_allclose(alloc[1], 10.0)
+
+    def test_minimum_floor(self):
+        alloc = waterfill_allocation([1e-9, 1.0], budget=10.0, minimum=2.0)
+        assert alloc[0] >= 2.0
+
+    def test_budget_smaller_than_floors(self):
+        alloc = waterfill_allocation([1.0, 1.0], budget=1.0, minimum=1.0)
+        assert sum(alloc) <= 1.0 + 1e-9
+
+    def test_all_capped(self):
+        alloc = waterfill_allocation([1.0, 1.0], budget=100.0, caps=[2.0, 2.0])
+        np.testing.assert_allclose(alloc, [2.0, 2.0])
+
+    def test_empty(self):
+        assert waterfill_allocation([], budget=10.0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="budget"):
+            waterfill_allocation([1.0], budget=0.0)
+        with pytest.raises(ValueError, match="caps length"):
+            waterfill_allocation([1.0], budget=1.0, caps=[1.0, 2.0])
+
+
+class TestPowerOfTwo:
+    def test_rounds_to_nearest_power(self):
+        assert round_power_of_two(3.0) == 4
+        assert round_power_of_two(5.0) == 4
+        assert round_power_of_two(6.0) == 8
+
+    def test_floor_at_one(self):
+        assert round_power_of_two(0.3) == 1
+
+    def test_max_exponent(self):
+        assert round_power_of_two(1e9, max_exp=10) == 1024
+
+
+class TestIntegerFactors:
+    def test_factors_are_powers_of_two(self):
+        factors = integer_parallel_factors([10.0, 20.0, 40.0], budget=64.0)
+        for f in factors:
+            assert f >= 1 and (f & (f - 1)) == 0
+
+    def test_budget_repair_shrinks(self):
+        factors = integer_parallel_factors([100.0] * 8, budget=16.0)
+        assert sum(factors) <= 16
+
+    def test_heavier_stage_gets_no_less(self):
+        factors = integer_parallel_factors([1.0, 64.0], budget=66.0)
+        assert factors[1] >= factors[0]
+
+    def test_zero_workload_zero_factor(self):
+        factors = integer_parallel_factors([0.0, 8.0], budget=8.0)
+        assert factors[0] == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=12),
+    st.floats(min_value=1.0, max_value=1e4),
+)
+def test_property_waterfill_within_budget(workloads, budget):
+    alloc = waterfill_allocation(workloads, budget)
+    assert sum(alloc) <= budget + 1e-6
+    assert all(a >= 0 for a in alloc)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=2, max_size=8),
+    st.floats(min_value=10.0, max_value=1000.0),
+)
+def test_property_waterfill_monotone_in_workload(workloads, budget):
+    """A stage with strictly larger workload never gets less allocation
+    (when no caps bind)."""
+    alloc = waterfill_allocation(workloads, budget)
+    order = np.argsort(workloads)
+    allocated = np.array(alloc)[order]
+    assert all(a <= b + 1e-6 for a, b in zip(allocated, allocated[1:]))

@@ -1,0 +1,126 @@
+"""Unit tests for the analytic device evaluators and calibration anchors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.model_zoo import get_model
+from repro.hw.analytic import (
+    UnsupportedNetworkError,
+    fpga_pipelined_report,
+    fpga_pipelined_throughput_fps,
+    fpga_recursive_latency_ms,
+    gpu_latency_ms,
+)
+from repro.hw.calibration import ANCHORS, verify_anchors
+from repro.hw.device import GTX_1080TI, TITAN_RTX, ZC706, ZCU102
+from repro.nas.arch_spec import scale_spec
+
+
+class TestCalibrationAnchors:
+    def test_all_anchors_hold(self):
+        results = verify_anchors()
+        for key, (measured, paper, ok) in results.items():
+            assert ok, f"{key}: measured {measured:.2f} vs paper {paper:.2f}"
+
+    def test_anchor_registry_covers_all_flows(self):
+        metrics = {a.metric for a in ANCHORS}
+        assert metrics == {
+            "gpu_latency_ms", "fpga_recursive_latency_ms", "fpga_pipelined_fps",
+        }
+
+
+class TestGPUAnalytic:
+    def test_lower_precision_faster(self):
+        spec = get_model("EDD-Net-1")
+        lat = [gpu_latency_ms(spec, GTX_1080TI, b) for b in (32, 16, 8)]
+        assert lat[0] > lat[1] > lat[2]
+
+    def test_wider_network_slower(self):
+        base = get_model("MobileNet-V2")
+        wide = scale_spec(base, width_mult=2.0)
+        assert gpu_latency_ms(wide, TITAN_RTX) > gpu_latency_ms(base, TITAN_RTX)
+
+    def test_headline_edd1_fastest_nas_model(self):
+        """Table 1's GPU claim: EDD-Net-1 (16-bit) beats every NAS baseline."""
+        edd1 = gpu_latency_ms(get_model("EDD-Net-1"), TITAN_RTX, weight_bits=16)
+        rivals = ("MnasNet-A1", "FBNet-C", "Proxyless-cpu",
+                  "Proxyless-Mobile", "Proxyless-gpu")
+        for name in rivals:
+            assert edd1 < gpu_latency_ms(get_model(name), TITAN_RTX, weight_bits=32)
+
+    def test_headline_speedup_over_proxyless_gpu(self):
+        """Paper: 1.40x over Proxyless-gpu; our model should land nearby."""
+        edd1 = gpu_latency_ms(get_model("EDD-Net-1"), TITAN_RTX, 16)
+        pgpu = gpu_latency_ms(get_model("Proxyless-gpu"), TITAN_RTX, 32)
+        assert 1.15 <= pgpu / edd1 <= 1.7
+
+    def test_ordering_correlates_with_paper(self):
+        from scipy.stats import spearmanr
+
+        paper = {
+            "GoogleNet": 27.75, "MobileNet-V2": 17.87, "ShuffleNet-V2": 21.91,
+            "ResNet18": 9.71, "MnasNet-A1": 17.94, "FBNet-C": 22.54,
+            "Proxyless-cpu": 21.34, "Proxyless-Mobile": 21.23,
+            "Proxyless-gpu": 15.72, "EDD-Net-1": 11.17, "EDD-Net-2": 13.00,
+        }
+        bits = {"EDD-Net-1": 16, "EDD-Net-2": 16}
+        ours = [
+            gpu_latency_ms(get_model(n), TITAN_RTX, bits.get(n, 32)) for n in paper
+        ]
+        rho = spearmanr(ours, list(paper.values())).statistic
+        assert rho > 0.7
+
+
+class TestRecursiveAnalytic:
+    def test_shufflenet_unsupported(self):
+        with pytest.raises(UnsupportedNetworkError, match="shuffle"):
+            fpga_recursive_latency_ms(get_model("ShuffleNet-V2"), ZCU102)
+
+    def test_lower_bits_faster(self):
+        spec = get_model("ResNet18")
+        assert fpga_recursive_latency_ms(spec, ZCU102, 8) < fpga_recursive_latency_ms(
+            spec, ZCU102, 16
+        )
+
+    def test_all_table1_models_in_plausible_range(self):
+        for name in ("GoogleNet", "MobileNet-V2", "ResNet18", "MnasNet-A1",
+                     "FBNet-C", "Proxyless-gpu", "EDD-Net-1", "EDD-Net-2"):
+            ms = fpga_recursive_latency_ms(get_model(name), ZCU102, 16)
+            assert 4.0 < ms < 25.0, f"{name}: {ms}"
+
+
+class TestPipelinedAnalytic:
+    def test_table3_headline_edd3_beats_vgg(self):
+        vgg = fpga_pipelined_throughput_fps(get_model("VGG16"), ZC706, 16)
+        edd3 = fpga_pipelined_throughput_fps(get_model("EDD-Net-3"), ZC706, 16)
+        ratio = edd3 / vgg
+        assert ratio > 1.2  # paper: 1.45x
+
+    def test_report_identifies_bottleneck(self):
+        report = fpga_pipelined_report(get_model("EDD-Net-3"), ZC706, 16)
+        assert report.bottleneck_kind == "dwconv"
+        assert len(report.stage_us) == len(report.allocations)
+        assert max(report.stage_us) == report.stage_us[report.bottleneck_index]
+
+    def test_vgg_bottleneck_is_dense_conv(self):
+        report = fpga_pipelined_report(get_model("VGG16"), ZC706, 16)
+        assert report.bottleneck_kind == "conv"
+
+    def test_allocations_within_dsp_budget(self):
+        report = fpga_pipelined_report(get_model("EDD-Net-3"), ZC706, 16)
+        assert sum(report.allocations) <= ZC706.dsp_total + 1e-6
+
+    def test_more_dsps_more_throughput(self):
+        import dataclasses
+
+        small = dataclasses.replace(ZC706, dsp_total=450)
+        spec = get_model("EDD-Net-3")
+        assert fpga_pipelined_throughput_fps(spec, ZC706) > fpga_pipelined_throughput_fps(
+            spec, small
+        )
+
+    def test_8bit_improves_throughput(self):
+        spec = get_model("EDD-Net-3")
+        assert fpga_pipelined_throughput_fps(spec, ZC706, 8) > fpga_pipelined_throughput_fps(
+            spec, ZC706, 16
+        )

@@ -1,0 +1,238 @@
+"""Unit tests for the differentiable FPGA model (Sec. 4.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hw.device import ZC706, ZCU102
+from repro.hw.fpga import (
+    FPGAModel,
+    mbconv_workload,
+    phi_latency_calibration,
+    psi_dsp,
+)
+from repro.nas.quantization import QuantizationConfig
+from repro.nas.space import BlockGeometry, CandidateOp, SearchSpaceConfig
+from repro.nas.supernet import SuperNet, constant_sample
+
+
+class TestPsi:
+    def test_paper_piecewise_values(self):
+        """Sec. 4.1.2: Psi = 1 for 9-16 bit, 1/2 for 5-8 bit, 0 below 5."""
+        assert psi_dsp(16) == 1.0
+        assert psi_dsp(9) == 1.0
+        assert psi_dsp(8) == 0.5
+        assert psi_dsp(5) == 0.5
+        assert psi_dsp(4) == 0.0
+        assert psi_dsp(2) == 0.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            psi_dsp(0)
+        with pytest.raises(ValueError):
+            psi_dsp(17)
+
+
+class TestPhiCalibration:
+    def test_linear_in_bits_normalised(self):
+        """Sec. 4.1.1: Phi(q) = q, here normalised so 16-bit = 1."""
+        assert phi_latency_calibration(16) == 1.0
+        assert phi_latency_calibration(8) == 0.5
+        assert phi_latency_calibration(4) == 0.25
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            phi_latency_calibration(0)
+
+
+class TestWorkload:
+    GEOM = BlockGeometry(in_ch=8, out_ch=16, stride=2, in_h=8, in_w=8, out_h=4, out_w=4)
+
+    def test_eq12_terms(self):
+        op = CandidateOp(kernel=3, expansion=2)
+        hidden = 16
+        expected = (
+            64 * 8 * hidden          # conv1x1 expand at input resolution
+            + 9 * 16 * hidden        # dwconv at output resolution
+            + 16 * hidden * 16       # conv1x1 project
+            + 64 * hidden + 16 * hidden + 16 * 16  # BN/act "otherwise" terms
+        )
+        assert mbconv_workload(self.GEOM, op) == expected
+
+    def test_monotone_in_kernel_and_expansion(self):
+        w33 = mbconv_workload(self.GEOM, CandidateOp(3, 4))
+        w55 = mbconv_workload(self.GEOM, CandidateOp(5, 4))
+        w35 = mbconv_workload(self.GEOM, CandidateOp(3, 5))
+        assert w55 > w33
+        assert w35 > w33
+
+
+@pytest.fixture
+def recursive_model(tiny_space):
+    return FPGAModel(
+        tiny_space,
+        QuantizationConfig.fpga(sharing="per_op"),
+        device=ZCU102,
+        architecture="recursive",
+    )
+
+
+@pytest.fixture
+def pipelined_model(tiny_space):
+    return FPGAModel(
+        tiny_space,
+        QuantizationConfig.fpga(sharing="per_block_op"),
+        device=ZC706,
+        architecture="pipelined",
+    )
+
+
+class TestConstruction:
+    def test_sharing_mode_enforced(self, tiny_space):
+        with pytest.raises(ValueError, match="per_op"):
+            FPGAModel(tiny_space, QuantizationConfig.fpga("per_block_op"),
+                      architecture="recursive")
+        with pytest.raises(ValueError, match="per_block_op"):
+            FPGAModel(tiny_space, QuantizationConfig.fpga("per_op"),
+                      architecture="pipelined")
+
+    def test_invalid_architecture(self, tiny_space):
+        with pytest.raises(ValueError, match="architecture"):
+            FPGAModel(tiny_space, QuantizationConfig.fpga("per_op"),
+                      architecture="systolic")
+
+    def test_pf_initialisation_recursive(self, recursive_model, tiny_space):
+        """Sec. 5: pf0 = log2(RES_ub / M) for the recursive architecture."""
+        expected = math.log2(ZCU102.dsp_total / tiny_space.num_ops)
+        np.testing.assert_allclose(recursive_model.pf.data, expected)
+        assert recursive_model.pf.shape == (tiny_space.num_ops,)
+
+    def test_pf_initialisation_pipelined(self, pipelined_model, tiny_space):
+        """Sec. 5: pf0 = log2(RES_ub / (M*N)) for the pipelined architecture."""
+        expected = math.log2(ZC706.dsp_total / (tiny_space.num_ops * tiny_space.num_blocks))
+        np.testing.assert_allclose(pipelined_model.pf.data, expected)
+        assert pipelined_model.pf.shape == (tiny_space.num_blocks, tiny_space.num_ops)
+
+    def test_resource_bound_fraction(self, tiny_space):
+        model = FPGAModel(tiny_space, QuantizationConfig.fpga("per_op"),
+                          architecture="recursive", resource_fraction=0.5)
+        assert model.resource_bound == ZCU102.dsp_total * 0.5
+
+
+class TestEvaluateRecursive:
+    def test_eval_outputs_scalars(self, recursive_model, tiny_space):
+        sample = constant_sample(
+            tiny_space, recursive_model.quant, [0] * tiny_space.num_blocks, 2
+        )
+        out = recursive_model.evaluate(sample)
+        assert out.perf_loss.shape == ()
+        assert out.resource.shape == ()
+        assert out.diagnostics["resource_dsp"] > 0
+
+    def test_lower_bits_faster_and_cheaper(self, recursive_model, tiny_space):
+        """Phi(q)=q and Psi(q) make low precision strictly better in hw."""
+        lo = constant_sample(tiny_space, recursive_model.quant,
+                             [0] * tiny_space.num_blocks, 0)  # 4-bit
+        hi = constant_sample(tiny_space, recursive_model.quant,
+                             [0] * tiny_space.num_blocks, 2)  # 16-bit
+        out_lo = recursive_model.evaluate(lo)
+        out_hi = recursive_model.evaluate(hi)
+        assert float(out_lo.perf_loss.data) < float(out_hi.perf_loss.data)
+        assert float(out_lo.resource.data) < float(out_hi.resource.data)
+
+    def test_bigger_ops_cost_more(self, recursive_model, tiny_space):
+        small = constant_sample(tiny_space, recursive_model.quant,
+                                [0] * tiny_space.num_blocks, 2)
+        big = constant_sample(tiny_space, recursive_model.quant,
+                              [tiny_space.num_ops - 1] * tiny_space.num_blocks, 2)
+        assert float(recursive_model.evaluate(big).perf_loss.data) > float(
+            recursive_model.evaluate(small).perf_loss.data
+        )
+
+    def test_shared_resource_counts_ip_once(self, recursive_model, tiny_space):
+        """All blocks choosing the same op should cost ~one IP (Eqs. 9-10)."""
+        same = constant_sample(tiny_space, recursive_model.quant,
+                               [0] * tiny_space.num_blocks, 2)
+        res_same = float(recursive_model.evaluate(same).resource.data)
+        pf = recursive_model.pf.data[0]
+        single_ip = psi_dsp(16) * 2**pf
+        assert res_same < 1.05 * single_ip
+
+    def test_gradients_reach_pf(self, recursive_model, tiny_space, sampler):
+        net = SuperNet(tiny_space, recursive_model.quant, seed=0)
+        sample = net.sample(sampler, hard=False)
+        out = recursive_model.evaluate(sample)
+        (out.perf_loss + out.resource).backward()
+        assert recursive_model.pf.grad is not None
+        assert np.abs(recursive_model.pf.grad).sum() > 0
+        assert net.theta.grad is not None
+        assert net.phi.grad is not None
+
+    def test_higher_pf_lowers_latency_raises_resource(self, recursive_model, tiny_space):
+        sample = constant_sample(tiny_space, recursive_model.quant,
+                                 [0] * tiny_space.num_blocks, 2)
+        base = recursive_model.evaluate(sample)
+        recursive_model.pf.data += 1.0
+        boosted = recursive_model.evaluate(sample)
+        assert float(boosted.perf_loss.data) < float(base.perf_loss.data)
+        assert float(boosted.resource.data) > float(base.resource.data)
+
+    def test_wrong_sharing_sample_rejected(self, recursive_model, tiny_space):
+        bad = constant_sample(tiny_space, QuantizationConfig.fpga("per_block_op"),
+                              [0] * tiny_space.num_blocks, 0)
+        with pytest.raises(ValueError, match="sharing"):
+            recursive_model.evaluate(bad)
+
+
+class TestEvaluatePipelined:
+    def test_eval_runs(self, pipelined_model, tiny_space):
+        sample = constant_sample(tiny_space, pipelined_model.quant,
+                                 [1] * tiny_space.num_blocks, 1)
+        out = pipelined_model.evaluate(sample)
+        assert float(out.perf_loss.data) > 0
+        assert float(out.resource.data) > 0
+
+    def test_perf_is_smooth_max_of_blocks(self, pipelined_model, tiny_space):
+        sample = constant_sample(tiny_space, pipelined_model.quant,
+                                 [0] * tiny_space.num_blocks, 2)
+        out = pipelined_model.evaluate(sample)
+        max_block = out.diagnostics["max_block_latency_units"]
+        assert float(out.perf_loss.data) >= max_block * pipelined_model.alpha - 1e-9
+
+    def test_resource_sums_blocks(self, pipelined_model, tiny_space):
+        sample = constant_sample(tiny_space, pipelined_model.quant,
+                                 [0] * tiny_space.num_blocks, 2)
+        out = pipelined_model.evaluate(sample)
+        pf = pipelined_model.pf.data
+        expected = sum(psi_dsp(16) * 2 ** pf[i, 0] for i in range(tiny_space.num_blocks))
+        np.testing.assert_allclose(float(out.resource.data), expected, rtol=1e-9)
+
+
+class TestProjection:
+    def test_clamps_pf_into_box(self, recursive_model):
+        recursive_model.pf.data[:] = -5.0
+        recursive_model.project_parameters()
+        assert np.all(recursive_model.pf.data >= 0.0)
+        recursive_model.pf.data[:] = 99.0
+        recursive_model.project_parameters()
+        assert np.all(recursive_model.pf.data <= math.log2(ZCU102.dsp_total) + 1e-9)
+
+
+class TestRetune:
+    def test_pipelined_retune_budget(self, pipelined_model, tiny_space):
+        ops = [0] * tiny_space.num_blocks
+        bits = [16] * tiny_space.num_blocks
+        factors = pipelined_model.retune_parallel_factors(ops, bits)
+        assert len(factors) == tiny_space.num_blocks
+        assert all(f >= 1 and (f & (f - 1)) == 0 for f in factors)  # powers of 2
+
+    def test_recursive_retune_shared_ips_get_same_factor(self, recursive_model, tiny_space):
+        ops = [0] * tiny_space.num_blocks
+        bits = [16] * tiny_space.num_blocks
+        factors = recursive_model.retune_parallel_factors(ops, bits)
+        assert len(set(factors)) == 1  # one shared IP -> one factor
+
+    def test_retune_wrong_length(self, recursive_model):
+        with pytest.raises(ValueError, match="op choices"):
+            recursive_model.retune_parallel_factors([0], [16])

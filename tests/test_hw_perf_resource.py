@@ -1,0 +1,177 @@
+"""Unit + property tests for Eqs. 6-10: performance reducers & resource models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd.tensor import Tensor
+from repro.hw.perf_loss import (
+    latency_sum,
+    multi_objective,
+    throughput_hard_max,
+    throughput_lse,
+)
+from repro.hw.resource import resource_penalty, shared_resource, summed_resource
+
+
+def t(x, grad=False):
+    return Tensor(np.asarray(x, dtype=float), requires_grad=grad)
+
+
+class TestLatencySum:
+    def test_eq6_sum(self):
+        assert float(latency_sum(t([1.0, 2.0, 3.0])).data) == 6.0
+
+    def test_alpha_scales(self):
+        assert float(latency_sum(t([1.0, 2.0]), alpha=0.5).data) == 1.5
+
+    def test_gradient_uniform(self):
+        x = t([1.0, 2.0], grad=True)
+        latency_sum(x, alpha=2.0).backward()
+        np.testing.assert_allclose(x.grad, [2.0, 2.0])
+
+
+class TestThroughputLSE:
+    def test_eq7_upper_bounds_max(self):
+        x = [3.0, 1.0, 2.5]
+        val = float(throughput_lse(t(x)).data)
+        assert max(x) <= val <= max(x) + np.log(len(x))
+
+    def test_sharpness_tightens(self):
+        x = t([3.0, 2.9, 2.8])
+        loose = float(throughput_lse(x, sharpness=1.0).data)
+        tight = float(throughput_lse(x, sharpness=0.1).data)
+        assert abs(tight - 3.0) < abs(loose - 3.0)
+
+    def test_gradient_concentrates_on_bottleneck(self):
+        x = t([5.0, 1.0, 1.0], grad=True)
+        throughput_lse(x, sharpness=0.2).backward()
+        assert x.grad[0] > 0.9
+        assert x.grad[1] < 0.05
+
+    def test_gradient_reaches_all_blocks_unlike_hard_max(self):
+        x = t([2.0, 1.9, 1.8], grad=True)
+        throughput_lse(x).backward()
+        assert np.all(x.grad > 0.1)
+        y = t([2.0, 1.9, 1.8], grad=True)
+        throughput_hard_max(y).backward()
+        assert y.grad[1] == 0.0 and y.grad[2] == 0.0
+
+    def test_invalid_sharpness(self):
+        with pytest.raises(ValueError):
+            throughput_lse(t([1.0]), sharpness=0.0)
+
+
+class TestMultiObjective:
+    def test_product(self):
+        out = multi_objective([t(2.0), t(3.0), t(0.5)])
+        assert float(out.data) == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            multi_objective([])
+
+    def test_gradients_flow_to_both(self):
+        a, b = t(2.0, grad=True), t(3.0, grad=True)
+        multi_objective([a, b]).backward()
+        np.testing.assert_allclose(a.grad, 3.0)
+        np.testing.assert_allclose(b.grad, 2.0)
+
+
+class TestSummedResource:
+    def test_eq8(self):
+        assert float(summed_resource(t([10.0, 20.0])).data) == 30.0
+
+
+class TestSharedResource:
+    def test_counts_shared_ip_once(self):
+        """Two blocks surely selecting op 0 must count its IP ~once (Fig. 3)."""
+        theta = t([[1.0, 0.0], [1.0, 0.0]])
+        res = t([100.0, 50.0])
+        val = float(shared_resource(theta, res).data)
+        assert 90.0 < val < 100.0  # tanh(2) * 100 ~ 96.4, not 200
+
+    def test_unused_op_not_counted(self):
+        theta = t([[1.0, 0.0], [1.0, 0.0]])
+        res = t([100.0, 50.0])
+        val = float(shared_resource(theta, res).data)
+        only_first = float(shared_resource(theta, t([100.0, 0.0])).data)
+        np.testing.assert_allclose(val, only_first)
+
+    def test_shared_never_exceeds_summed(self):
+        rng = np.random.default_rng(0)
+        theta = rng.dirichlet(np.ones(3), size=4)
+        res = rng.uniform(1, 10, size=3)
+        shared = float(shared_resource(t(theta), t(res)).data)
+        summed = float((t(theta).sum(axis=0) * t(res)).sum().data)
+        assert shared <= summed + 1e-9
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match=r"\(N, M\)"):
+            shared_resource(t([1.0, 2.0]), t([1.0, 2.0]))
+        with pytest.raises(ValueError, match="does not match"):
+            shared_resource(t([[1.0, 0.0]]), t([1.0, 2.0, 3.0]))
+
+    def test_gradient_flows(self):
+        theta = t([[0.5, 0.5]], grad=True)
+        res = t([10.0, 20.0], grad=True)
+        shared_resource(theta, res).backward()
+        assert theta.grad is not None and res.grad is not None
+
+
+class TestResourcePenalty:
+    def test_at_bound_equals_beta(self):
+        val = float(resource_penalty(t(100.0), 100.0, beta=2.0).data)
+        np.testing.assert_allclose(val, 2.0)
+
+    def test_monotone_increasing_in_res(self):
+        vals = [
+            float(resource_penalty(t(r), 100.0).data) for r in (50.0, 100.0, 150.0, 200.0)
+        ]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_large_overshoot_is_finite(self):
+        val = float(resource_penalty(t(1e6), 100.0, base=20.0).data)
+        assert np.isfinite(val)
+
+    def test_unnormalised_mode(self):
+        val = float(resource_penalty(t(101.0), 100.0, base=np.e, normalise=False).data)
+        np.testing.assert_allclose(val, np.e)
+
+    def test_gradient_positive_above_bound(self):
+        res = t(150.0, grad=True)
+        resource_penalty(res, 100.0).backward()
+        assert res.grad > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="res_ub"):
+            resource_penalty(t(1.0), 0.0)
+        with pytest.raises(ValueError, match="base"):
+            resource_penalty(t(1.0), 1.0, base=1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=10),
+    st.floats(min_value=0.2, max_value=5.0),
+)
+def test_property_lse_bounds(values, sharpness):
+    x = np.array(values)
+    val = float(throughput_lse(Tensor(x), sharpness=sharpness).data)
+    assert x.max() - 1e-6 <= val <= x.max() + sharpness * np.log(len(x)) + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_property_sharing_bounded_by_single_count(n, m, seed):
+    """Eq. 9: with tanh suppression each op's resource counts at most once."""
+    rng = np.random.default_rng(seed)
+    theta = rng.dirichlet(np.ones(m), size=n)
+    res = rng.uniform(0.1, 10.0, size=m)
+    val = float(shared_resource(Tensor(theta), Tensor(res)).data)
+    assert val <= res.sum() + 1e-9

@@ -1,0 +1,81 @@
+"""Unit tests for the per-layer deployment plans."""
+
+import pytest
+
+from repro.baselines.model_zoo import get_model
+from repro.hw.device import TITAN_RTX, ZC706, ZCU102
+from repro.hw.report import (
+    deployment_plan,
+    gpu_plan,
+    pipelined_plan,
+    recursive_plan,
+)
+
+
+class TestPipelinedPlan:
+    def test_contains_bottleneck_marker(self):
+        text = pipelined_plan(get_model("EDD-Net-3"), ZC706, 16)
+        assert "<-- bottleneck" in text
+        assert "throughput:" in text
+
+    def test_stage_count_matches_compute_layers(self):
+        spec = get_model("EDD-Net-3")
+        text = pipelined_plan(spec, ZC706, 16)
+        stages = [l for l in spec.layers() if l.macs > 0 and l.kind != "fc"]
+        data_rows = [l for l in text.splitlines() if l[:4].strip().isdigit()]
+        assert len(data_rows) == len(stages)
+
+    def test_allocation_total_reported(self):
+        text = pipelined_plan(get_model("VGG16"), ZC706, 16)
+        assert f"/ {ZC706.dsp_total}" in text
+
+
+class TestRecursivePlan:
+    def test_latency_matches_analytic(self):
+        from repro.hw.analytic import fpga_recursive_latency_ms
+
+        spec = get_model("ResNet18")
+        text = recursive_plan(spec, ZCU102, 16)
+        reported = float(text.split("end-to-end latency: ")[1].split(" ms")[0])
+        assert reported == pytest.approx(
+            fpga_recursive_latency_ms(spec, ZCU102, 16), abs=0.01
+        )
+
+    def test_skips_pool_layers(self):
+        spec = get_model("VGG16")
+        text = recursive_plan(spec, ZCU102, 16)
+        assert "pool" not in text
+
+
+class TestGPUPlan:
+    def test_latency_matches_analytic(self):
+        from repro.hw.analytic import gpu_latency_ms
+
+        spec = get_model("MobileNet-V2")
+        text = gpu_plan(spec, TITAN_RTX, 32)
+        reported = float(text.split("batch-1 latency: ")[1].split(" ms")[0])
+        assert reported == pytest.approx(gpu_latency_ms(spec, TITAN_RTX, 32), abs=0.01)
+
+    def test_row_per_layer(self):
+        spec = get_model("MobileNet-V2")
+        text = gpu_plan(spec, TITAN_RTX, 32)
+        data_rows = [l for l in text.splitlines() if l[:4].strip().isdigit()]
+        assert len(data_rows) == len(spec.layers())
+
+
+class TestDispatch:
+    def test_all_flows(self):
+        spec = get_model("ResNet18")
+        assert "Pipelined" in deployment_plan(spec, "pipelined", ZC706)
+        assert "Recursive" in deployment_plan(spec, "recursive", ZCU102)
+        assert "GPU" in deployment_plan(spec, "gpu", TITAN_RTX)
+
+    def test_unknown_flow(self):
+        with pytest.raises(ValueError, match="unknown flow"):
+            deployment_plan(get_model("ResNet18"), "asic", ZC706)
+
+    def test_cli_plan_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["explore", "--model", "ResNet18", "--plan", "gpu"]) == 0
+        assert "GPU deployment plan" in capsys.readouterr().out

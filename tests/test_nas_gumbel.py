@@ -1,0 +1,150 @@
+"""Unit + property tests for Gumbel-Softmax sampling (paper Sec. 3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd.tensor import Tensor
+from repro.nas.gumbel import (
+    GumbelSoftmax,
+    TemperatureSchedule,
+    entropy_of_logits,
+    gumbel_softmax_sample,
+    log_m_entropy_budget,
+    perplexity,
+    sample_gumbel,
+    uniform_logits,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(6)
+
+
+class TestSampling:
+    def test_soft_sample_is_distribution(self, rng):
+        logits = Tensor(rng.normal(size=(4, 5)))
+        out = gumbel_softmax_sample(logits, 1.0, rng, hard=False)
+        assert np.all(out.data >= 0)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4), atol=1e-12)
+
+    def test_hard_sample_is_one_hot(self, rng):
+        logits = Tensor(rng.normal(size=(4, 5)))
+        out = gumbel_softmax_sample(logits, 1.0, rng, hard=True)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4))
+        assert set(np.unique(out.data)) <= {0.0, 1.0}
+
+    def test_hard_sample_straight_through_gradient(self, rng):
+        logits = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        out = gumbel_softmax_sample(logits, 1.0, rng, hard=True)
+        out.backward(np.ones(3))
+        assert logits.grad is not None
+        # Softmax jacobian rows sum to ~0.
+        np.testing.assert_allclose(logits.grad.sum(), 0.0, atol=1e-10)
+
+    def test_soft_gradient_reaches_logits(self, rng):
+        logits = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        out = gumbel_softmax_sample(logits, 2.0, rng, hard=False)
+        (out * Tensor(np.arange(5.0))).sum().backward()
+        assert np.abs(logits.grad).sum() > 0
+
+    def test_low_temperature_concentrates(self, rng):
+        logits = Tensor(np.array([5.0, 0.0, 0.0]))
+        out = gumbel_softmax_sample(logits, 0.05, rng, hard=False)
+        assert out.data.max() > 0.99
+
+    def test_sampling_frequencies_follow_logits(self):
+        """Gumbel-max property: argmax frequencies approximate softmax."""
+        rng = np.random.default_rng(0)
+        logits = Tensor(np.log(np.array([0.6, 0.3, 0.1])))
+        counts = np.zeros(3)
+        for _ in range(2000):
+            out = gumbel_softmax_sample(logits, 1.0, rng, hard=True)
+            counts[np.argmax(out.data)] += 1
+        np.testing.assert_allclose(counts / 2000, [0.6, 0.3, 0.1], atol=0.05)
+
+    def test_invalid_temperature(self, rng):
+        with pytest.raises(ValueError, match="temperature"):
+            gumbel_softmax_sample(Tensor(np.zeros(3)), 0.0, rng)
+
+    def test_gumbel_noise_statistics(self, rng):
+        noise = sample_gumbel((20000,), rng)
+        # Gumbel(0,1): mean = Euler-Mascheroni, var = pi^2/6.
+        assert abs(noise.mean() - 0.5772) < 0.03
+        assert abs(noise.var() - np.pi**2 / 6) < 0.1
+
+
+class TestTemperatureSchedule:
+    def test_monotone_decay_to_floor(self):
+        sched = TemperatureSchedule(t_initial=5.0, t_min=0.5, decay=0.5)
+        temps = [sched.at_epoch(e) for e in range(10)]
+        assert temps[0] == 5.0
+        assert all(a >= b for a, b in zip(temps, temps[1:]))
+        assert temps[-1] == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TemperatureSchedule(t_initial=-1.0)
+        with pytest.raises(ValueError):
+            TemperatureSchedule(decay=1.5)
+
+    def test_sampler_set_epoch(self):
+        sampler = GumbelSoftmax(TemperatureSchedule(5.0, 0.1, 0.5), seed=0)
+        assert sampler.set_epoch(0) == 5.0
+        assert sampler.set_epoch(2) == 1.25
+
+    def test_sampler_reproducible_by_seed(self):
+        logits = Tensor(np.zeros(4))
+        a = GumbelSoftmax(seed=3).sample(logits).data
+        b = GumbelSoftmax(seed=3).sample(logits).data
+        np.testing.assert_allclose(a, b)
+
+    def test_expected_is_noise_free(self):
+        sampler = GumbelSoftmax(seed=0)
+        logits = Tensor(np.array([1.0, 0.0]))
+        a = sampler.expected(logits).data
+        b = sampler.expected(logits).data
+        np.testing.assert_allclose(a, b)
+
+
+class TestEntropyHelpers:
+    def test_uniform_logits_max_entropy(self):
+        logits = uniform_logits((4,))
+        np.testing.assert_allclose(entropy_of_logits(logits), log_m_entropy_budget(4))
+
+    def test_perplexity_of_uniform(self):
+        np.testing.assert_allclose(perplexity(uniform_logits((5,))), 5.0)
+
+    def test_peaked_logits_low_entropy(self):
+        assert entropy_of_logits(np.array([100.0, 0.0, 0.0])) < 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=2, max_size=8
+    ),
+    st.floats(min_value=0.1, max_value=10.0),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_property_sample_always_simplex(logits, temperature, seed):
+    rng = np.random.default_rng(seed)
+    out = gumbel_softmax_sample(Tensor(np.array(logits)), temperature, rng, hard=False)
+    assert np.all(out.data >= 0)
+    np.testing.assert_allclose(out.data.sum(), 1.0, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=2, max_size=8
+    ),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_property_hard_sample_selects_valid_index(logits, seed):
+    rng = np.random.default_rng(seed)
+    out = gumbel_softmax_sample(Tensor(np.array(logits)), 1.0, rng, hard=True)
+    assert int(out.data.argmax()) in range(len(logits))
+    np.testing.assert_allclose(np.sort(out.data)[-1], 1.0)

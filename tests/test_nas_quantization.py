@@ -1,0 +1,144 @@
+"""Unit + property tests for differentiable quantisation (Sec. 3.2.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd.tensor import Tensor
+from repro.nas.quantization import (
+    QuantizationConfig,
+    fake_quantize,
+    mixed_quantize,
+    quantization_error,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestConfig:
+    def test_fpga_menu(self):
+        q = QuantizationConfig.fpga()
+        assert q.bitwidths == (4, 8, 16)
+        assert q.activation_bits == 16
+        assert q.num_levels == 3
+
+    def test_gpu_menu_is_global(self):
+        q = QuantizationConfig.gpu()
+        assert q.bitwidths == (8, 16, 32)
+        assert q.sharing == "global"
+
+    def test_phi_shapes_per_sharing(self):
+        n, m = 4, 3
+        assert QuantizationConfig.fpga("per_block_op").phi_shape(n, m) == (4, 3, 3)
+        assert QuantizationConfig.fpga("per_op").phi_shape(n, m) == (3, 3)
+        assert QuantizationConfig.gpu().phi_shape(n, m) == (3,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            QuantizationConfig(bitwidths=())
+        with pytest.raises(ValueError, match="range"):
+            QuantizationConfig(bitwidths=(1,))
+        with pytest.raises(ValueError, match="sharing"):
+            QuantizationConfig(sharing="bogus")
+
+
+class TestFakeQuantize:
+    def test_32bit_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(5,)))
+        assert fake_quantize(x, 32) is x
+
+    def test_output_on_grid(self, rng):
+        x = Tensor(rng.normal(size=(100,)))
+        bits = 4
+        out = fake_quantize(x, bits)
+        max_abs = np.abs(x.data).max()
+        scale = max_abs / (2 ** (bits - 1) - 1)
+        grid_positions = out.data / scale
+        np.testing.assert_allclose(grid_positions, np.round(grid_positions), atol=1e-9)
+
+    def test_error_shrinks_with_bits(self, rng):
+        x = rng.normal(size=(200,))
+        errors = [quantization_error(x, b) for b in (2, 4, 8, 16)]
+        assert all(a > b for a, b in zip(errors, errors[1:]))
+        assert quantization_error(x, 32) == 0.0
+
+    def test_gradient_straight_through(self, rng):
+        x = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        fake_quantize(x, 8).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(5))
+
+    def test_explicit_max_abs_clips(self):
+        x = Tensor(np.array([10.0, 0.5]))
+        out = fake_quantize(x, 8, max_abs=1.0)
+        assert out.data[0] <= 1.0
+
+    def test_rejects_tiny_bits(self):
+        with pytest.raises(ValueError):
+            fake_quantize(Tensor(np.ones(2)), 1)
+
+    def test_all_zero_input_survives(self):
+        out = fake_quantize(Tensor(np.zeros(4)), 8)
+        np.testing.assert_allclose(out.data, np.zeros(4))
+
+
+class TestMixedQuantize:
+    def test_one_hot_weights_select_single_path(self, rng):
+        x = Tensor(rng.normal(size=(6,)))
+        weights = Tensor(np.array([0.0, 1.0, 0.0]))
+        out = mixed_quantize(x, weights, (4, 8, 16))
+        np.testing.assert_allclose(out.data, fake_quantize(x, 8).data)
+
+    def test_soft_weights_interpolate(self, rng):
+        x = Tensor(rng.normal(size=(6,)))
+        weights = Tensor(np.array([0.5, 0.5]))
+        out = mixed_quantize(x, weights, (4, 16))
+        expected = 0.5 * fake_quantize(x, 4).data + 0.5 * fake_quantize(x, 16).data
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_gradient_reaches_weights(self, rng):
+        x = Tensor(rng.normal(size=(6,)))
+        weights = Tensor(np.array([0.3, 0.7]), requires_grad=True)
+        mixed_quantize(x, weights, (4, 16)).sum().backward()
+        assert weights.grad is not None
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="match"):
+            mixed_quantize(Tensor(np.ones(3)), Tensor(np.ones(2)), (4, 8, 16))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    ),
+    st.sampled_from([2, 3, 4, 6, 8, 12, 16]),
+)
+def test_property_quantization_error_bounded_by_half_step(values, bits):
+    """|x - q(x)| <= scale/2 inside the clip range."""
+    x = np.array(values)
+    max_abs = np.abs(x).max() or 1.0
+    scale = max_abs / (2 ** (bits - 1) - 1)
+    out = fake_quantize(Tensor(x), bits).data
+    assert np.all(np.abs(out - np.clip(x, -max_abs, max_abs)) <= scale / 2 + 1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_quantization_idempotent(values):
+    x = np.array(values)
+    once = fake_quantize(Tensor(x), 8).data
+    max_abs = np.abs(x).max() or 1.0
+    twice = fake_quantize(Tensor(once), 8, max_abs=max_abs).data
+    np.testing.assert_allclose(once, twice, atol=1e-9)

@@ -1,0 +1,89 @@
+"""Unit tests for the search-space configuration."""
+
+import pytest
+
+from repro.nas.arch_spec import MBConvBlock
+from repro.nas.space import CandidateOp, SearchSpaceConfig
+
+
+class TestPaperScale:
+    def test_paper_dimensions(self):
+        space = SearchSpaceConfig.paper_scale()
+        assert space.num_blocks == 20  # N = 20 (Sec. 6)
+        assert space.num_ops == 9      # M = 3 kernels x 3 expansions
+
+    def test_candidate_menu(self):
+        space = SearchSpaceConfig.paper_scale()
+        ops = space.candidate_ops()
+        assert len(ops) == 9
+        assert CandidateOp(kernel=3, expansion=4) in ops
+        assert CandidateOp(kernel=7, expansion=6) in ops
+        kernels = {op.kernel for op in ops}
+        expansions = {op.expansion for op in ops}
+        assert kernels == {3, 5, 7}
+        assert expansions == {4, 5, 6}
+
+    def test_label(self):
+        assert CandidateOp(kernel=5, expansion=4).label == "MB4 5x5"
+
+
+class TestGeometry:
+    def test_block_geometries_walk_strides(self):
+        space = SearchSpaceConfig.reduced(num_blocks=4, input_size=16)
+        geoms = space.block_geometries()
+        assert len(geoms) == 4
+        # Stem halves 16 -> 8; the middle block halves again.
+        assert geoms[0].in_h == 8
+        strided = [g for g in geoms if g.stride == 2]
+        assert len(strided) == 1
+        assert strided[0].out_h == 4
+
+    def test_geometry_channels_chain(self):
+        space = SearchSpaceConfig.reduced(num_blocks=3)
+        geoms = space.block_geometries()
+        for prev, nxt in zip(geoms, geoms[1:]):
+            assert nxt.in_ch == prev.out_ch
+
+    def test_block_input_channels(self):
+        space = SearchSpaceConfig.reduced(num_blocks=3)
+        inputs = space.block_input_channels()
+        assert inputs[0] == space.pre_block_channels
+        assert inputs[1:] == list(space.block_channels[:-1])
+
+
+class TestSpecAssembly:
+    def test_spec_for_choices_structure(self):
+        space = SearchSpaceConfig.tiny()
+        ops = space.candidate_ops()
+        spec = space.spec_for_choices([ops[0]] * space.num_blocks, name="x")
+        mb_blocks = [b for b in spec.blocks if isinstance(b, MBConvBlock)]
+        assert len(mb_blocks) == space.num_blocks
+        assert spec.blocks[0].out_ch == space.stem_channels
+
+    def test_spec_channels_match_schedule(self):
+        space = SearchSpaceConfig.tiny()
+        ops = space.candidate_ops()
+        spec = space.spec_for_choices([ops[1]] * space.num_blocks)
+        mb_blocks = [b for b in spec.blocks if isinstance(b, MBConvBlock)]
+        assert tuple(b.out_ch for b in mb_blocks) == space.block_channels
+
+    def test_wrong_choice_count_raises(self):
+        space = SearchSpaceConfig.tiny()
+        with pytest.raises(ValueError, match="choices"):
+            space.spec_for_choices([space.candidate_ops()[0]])
+
+
+class TestValidation:
+    def test_mismatched_schedules_raise(self):
+        with pytest.raises(ValueError, match="same length"):
+            SearchSpaceConfig(block_channels=(8, 16), block_strides=(1,))
+
+    def test_empty_menu_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SearchSpaceConfig(kernel_sizes=(), expansions=(4,))
+
+    def test_reduced_is_consistent(self):
+        space = SearchSpaceConfig.reduced(num_blocks=5, num_classes=7)
+        assert space.num_blocks == 5
+        assert space.num_classes == 7
+        assert len(space.block_geometries()) == 5

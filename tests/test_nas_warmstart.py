@@ -1,0 +1,101 @@
+"""Unit tests for supernet -> derived-network weight inheritance."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.nas.derive import derive_arch_spec
+from repro.nas.network import build_network
+from repro.nas.space import SearchSpaceConfig
+from repro.nas.supernet import SuperNet
+from repro.nas.warmstart import inherit_weights
+
+
+@pytest.fixture
+def trained_supernet(tiny_space):
+    """A supernet with non-trivial (randomised) weights and a decided theta."""
+    net = SuperNet(tiny_space, quant=None, seed=3)
+    rng = np.random.default_rng(9)
+    net.theta.data = rng.normal(size=net.theta.shape)
+    # Perturb BN running stats so stat copying is observable.
+    for _, p in net.named_parameters():
+        pass
+    return net
+
+
+class TestInheritance:
+    def test_copies_report_count(self, trained_supernet):
+        spec = derive_arch_spec(trained_supernet, name="child")
+        child = build_network(spec, seed=99)
+        copied = inherit_weights(trained_supernet, child)
+        assert copied > 10
+
+    def test_forward_exact_equivalence(self, trained_supernet, rng):
+        """In eval mode, the warm-started child computes exactly what the
+        supernet's argmax path computes (quantisation disabled)."""
+        from repro.nas.gumbel import GumbelSoftmax
+        from repro.nas.supernet import constant_sample
+
+        supernet = trained_supernet
+        spec = derive_arch_spec(supernet, name="child")
+        child = build_network(spec, seed=99)
+        inherit_weights(supernet, child)
+
+        supernet.eval()
+        child.eval()
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        chosen = [int(i) for i in supernet.theta.data.argmax(axis=-1)]
+        sample = constant_sample(supernet.space, None, chosen)
+        with no_grad():
+            reference = supernet(x, sample=sample)
+            warm = child(x, bits=None)
+        np.testing.assert_allclose(warm.data, reference.data, atol=1e-10)
+
+    def test_warmstart_beats_cold_start(self, trained_supernet, tiny_splits):
+        """After brief supernet training, the inherited child starts with a
+        lower loss than a fresh initialisation."""
+        from repro.core.config import EDDConfig
+        from repro.core.cosearch import EDDSearcher
+        from repro.nn.functional import cross_entropy
+
+        space = trained_supernet.space
+        config = EDDConfig(target="gpu", epochs=3, batch_size=8, seed=0,
+                           arch_start_epoch=0)
+        searcher = EDDSearcher(space, tiny_splits, config)
+        searcher.search()
+
+        spec = derive_arch_spec(searcher.supernet, name="warm")
+        cold = build_network(spec, seed=1)
+        warm = build_network(spec, seed=1)
+        inherit_weights(searcher.supernet, warm)
+
+        x = Tensor(tiny_splits.val.images)
+        y = tiny_splits.val.labels
+        cold.eval()
+        warm.eval()
+        with no_grad():
+            cold_loss = cross_entropy(cold(x, bits=None), y).item()
+            warm_loss = cross_entropy(warm(x, bits=None), y).item()
+        assert warm_loss < cold_loss
+
+    def test_skip_blocks_handled(self, tiny_splits):
+        space = dataclasses.replace(SearchSpaceConfig.tiny(), allow_skip=True)
+        net = SuperNet(space, quant=None, seed=0)
+        # Force skips everywhere (last op index is the skip).
+        net.theta.data[:, -1] = 10.0
+        spec = derive_arch_spec(net, name="skippy")
+        child = build_network(spec, seed=5)
+        copied = inherit_weights(net, child)
+        assert copied > 0  # stem/head always copy
+
+    def test_space_mismatch_raises(self, trained_supernet):
+        other_space = SearchSpaceConfig.reduced(num_blocks=2, num_classes=4,
+                                                input_size=8)
+        other = SuperNet(other_space, quant=None, seed=0)
+        spec = derive_arch_spec(other, name="other")
+        child = build_network(spec, seed=0)
+        # Different trunk width in the reduced space -> shape mismatch.
+        with pytest.raises(ValueError, match="mismatch"):
+            inherit_weights(trained_supernet, child)

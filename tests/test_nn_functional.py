@@ -1,0 +1,74 @@
+"""Unit tests for losses and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import gradcheck
+from repro.autograd.ops_nn import log_softmax
+from repro.autograd.tensor import Tensor, tensor
+from repro.nn.functional import accuracy, cross_entropy, nll_loss, topk_accuracy
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self, rng):
+        logits = rng.normal(size=(4, 3))
+        targets = np.array([0, 2, 1, 0])
+        loss = cross_entropy(tensor(logits), targets)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(4), targets].mean()
+        np.testing.assert_allclose(float(loss.data), expected)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss = cross_entropy(tensor(logits), np.array([0, 1]))
+        assert float(loss.data) < 1e-6
+
+    def test_uniform_logits_log_k(self):
+        loss = cross_entropy(tensor(np.zeros((2, 5))), np.array([0, 1]))
+        np.testing.assert_allclose(float(loss.data), np.log(5.0))
+
+    def test_gradcheck(self, rng):
+        logits = tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        targets = np.array([1, 0, 3])
+        assert gradcheck(lambda t: cross_entropy(t, targets), [logits])
+
+    def test_gradient_sums_to_zero_per_row(self, rng):
+        logits = tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        cross_entropy(logits, np.array([0, 1, 2])).backward()
+        np.testing.assert_allclose(logits.grad.sum(axis=1), np.zeros(3), atol=1e-12)
+
+
+class TestNLL:
+    def test_nll_gradcheck(self, rng):
+        logits = tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        targets = np.array([2, 2, 0])
+        assert gradcheck(lambda t: nll_loss(log_softmax(t, axis=-1), targets), [logits])
+
+
+class TestAccuracy:
+    def test_top1(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_topk_includes_lower_ranks(self):
+        logits = np.array([[3.0, 2.0, 1.0, 0.0]])
+        assert topk_accuracy(logits, np.array([2]), k=3) == 1.0
+        assert topk_accuracy(logits, np.array([3]), k=3) == 0.0
+
+    def test_k_clamped_to_classes(self):
+        logits = np.array([[1.0, 0.0]])
+        assert topk_accuracy(logits, np.array([1]), k=10) == 1.0
+
+    def test_accepts_tensor_input(self):
+        logits = Tensor(np.array([[1.0, 0.0]]))
+        assert accuracy(logits, np.array([0])) == 1.0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match=r"\(N, C\)"):
+            topk_accuracy(np.ones(3), np.array([0]), k=1)

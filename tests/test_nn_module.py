@@ -1,0 +1,117 @@
+"""Unit tests for the Module/Parameter system."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.nn import Linear, Module, ModuleList, Parameter, Sequential, ReLU
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8)
+        self.fc2 = Linear(8, 2)
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x))
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self):
+        net = TwoLayer()
+        names = [n for n, _ in net.named_parameters()]
+        assert names == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+    def test_num_parameters(self):
+        net = TwoLayer()
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_direct_parameter_attribute(self):
+        class M(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones(3))
+
+        assert [n for n, _ in M().named_parameters()] == ["w"]
+
+    def test_plain_tensor_not_registered(self):
+        class M(Module):
+            def __init__(self):
+                super().__init__()
+                self.buf = Tensor(np.ones(3))
+
+        assert M().parameters() == []
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        net = TwoLayer()
+        net.eval()
+        assert not net.training and not net.fc1.training
+        net.train()
+        assert net.training and net.fc2.training
+
+    def test_zero_grad_clears(self):
+        net = TwoLayer()
+        out = net(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert net.fc1.weight.grad is not None
+        net.zero_grad()
+        assert net.fc1.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = TwoLayer(), TwoLayer()
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_allclose(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = TwoLayer()
+        state = net.state_dict()
+        state["fc1.weight"][:] = 0.0
+        assert not np.allclose(net.fc1.weight.data, 0.0)
+
+    def test_missing_key_raises(self):
+        net = TwoLayer()
+        state = net.state_dict()
+        del state["fc1.bias"]
+        with pytest.raises(KeyError, match="missing"):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = TwoLayer()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            net.load_state_dict(state)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        seq = Sequential(Linear(4, 8), ReLU(), Linear(8, 3))
+        out = seq(Tensor(np.ones((2, 4))))
+        assert out.shape == (2, 3)
+        assert len(seq) == 3
+        assert isinstance(seq[1], ReLU)
+
+    def test_sequential_registers_parameters(self):
+        seq = Sequential(Linear(4, 8), Linear(8, 3))
+        assert len(seq.parameters()) == 4
+
+    def test_sequential_append(self):
+        seq = Sequential(Linear(4, 4))
+        seq.append(Linear(4, 2))
+        assert seq(Tensor(np.ones((1, 4)))).shape == (1, 2)
+
+    def test_module_list_indexing_and_iteration(self):
+        ml = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(ml) == 2
+        assert len(list(iter(ml))) == 2
+        assert len(ml.parameters()) == 4
+
+    def test_module_list_forward_raises(self):
+        with pytest.raises(RuntimeError, match="container"):
+            ModuleList([])(None)

@@ -1,0 +1,138 @@
+"""Unit tests for repro.utils (rng, numeric helpers, serialization, logging)."""
+
+import dataclasses
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    from_json_file,
+    get_logger,
+    log_sum_exp,
+    new_rng,
+    one_hot,
+    sigmoid,
+    softmax,
+    spawn_rngs,
+    stable_log,
+    to_json_file,
+)
+from repro.utils.rng import DEFAULT_SEED, RngMixin
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        assert new_rng(5).normal() == new_rng(5).normal()
+
+    def test_different_seeds_differ(self):
+        assert new_rng(5).normal() != new_rng(6).normal()
+
+    def test_none_uses_default_seed(self):
+        assert new_rng(None).normal() == new_rng(DEFAULT_SEED).normal()
+
+    def test_spawn_count_and_independence(self):
+        streams = spawn_rngs(1, 3)
+        assert len(streams) == 3
+        draws = [s.normal() for s in streams]
+        assert len(set(draws)) == 3
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_mixin_lazy_and_reseed(self):
+        class Thing(RngMixin):
+            def __init__(self, seed):
+                self._seed = seed
+
+        a, b = Thing(3), Thing(3)
+        assert a.rng.normal() == b.rng.normal()
+        first = Thing(3).rng.normal()
+        thing = Thing(3)
+        thing.rng.normal()
+        thing.reseed(3)
+        assert thing.rng.normal() == first
+
+
+class TestNumeric:
+    def test_softmax_matches_scipy(self):
+        from scipy.special import softmax as ref
+
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        np.testing.assert_allclose(softmax(x, axis=-1), ref(x, axis=-1))
+
+    def test_softmax_handles_large_values(self):
+        out = softmax(np.array([1000.0, 1000.0]))
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+    def test_log_sum_exp_reference(self):
+        from scipy.special import logsumexp as ref
+
+        x = np.random.default_rng(1).normal(size=(4, 5))
+        np.testing.assert_allclose(log_sum_exp(x, axis=1), ref(x, axis=1))
+
+    def test_log_sum_exp_none_axis_scalar(self):
+        assert log_sum_exp(np.ones((2, 2))).shape == ()
+
+    def test_sigmoid_bounds(self):
+        out = sigmoid(np.array([-1e4, 0.0, 1e4]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-12)
+
+    def test_stable_log_clamps(self):
+        assert np.isfinite(stable_log(np.array([0.0])))
+
+    def test_one_hot_shape_and_values(self):
+        out = one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_multidim(self):
+        out = one_hot(np.array([[0, 1], [1, 0]]), 2)
+        assert out.shape == (2, 2, 2)
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones((2, 2)))
+
+    def test_one_hot_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            one_hot(np.array([3]), 3)
+
+    def test_one_hot_rejects_bad_classes(self):
+        with pytest.raises(ValueError, match="positive"):
+            one_hot(np.array([0]), 0)
+
+
+class TestSerialization:
+    def test_roundtrip_with_numpy_types(self, tmp_path):
+        payload = {
+            "i": np.int64(3),
+            "f": np.float64(1.5),
+            "b": np.bool_(True),
+            "a": np.arange(3),
+        }
+        path = to_json_file(payload, tmp_path / "x.json")
+        loaded = from_json_file(path)
+        assert loaded == {"i": 3, "f": 1.5, "b": True, "a": [0, 1, 2]}
+
+    def test_dataclass_support(self, tmp_path):
+        @dataclasses.dataclass
+        class Point:
+            x: int
+            y: int
+
+        path = to_json_file(Point(1, 2), tmp_path / "p.json")
+        assert from_json_file(path) == {"x": 1, "y": 2}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = to_json_file([1], tmp_path / "a" / "b" / "c.json")
+        assert path.exists()
+
+
+class TestLogging:
+    def test_namespacing(self):
+        assert get_logger("core").name == "repro.core"
+        assert get_logger("repro.hw").name == "repro.hw"
+
+    def test_no_duplicate_handlers(self):
+        get_logger("x")
+        get_logger("y")
+        root = logging.getLogger("repro")
+        assert len(root.handlers) == 1
