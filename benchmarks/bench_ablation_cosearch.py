@@ -15,7 +15,8 @@ from conftest import bench_config, register_artifact
 
 from repro.baselines.fixed_impl_nas import FixedImplementationNAS
 from repro.baselines.random_search import random_search
-from repro.core.cosearch import EDDSearcher, build_hardware_model, quantization_for_target
+from repro.core.cosearch import EDDSearcher
+from repro.hw.registry import build_hardware_model, quantization_for_target
 from repro.core.trainer import train_from_spec
 from repro.nas.supernet import constant_sample
 

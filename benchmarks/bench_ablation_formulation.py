@@ -12,7 +12,8 @@ import numpy as np
 from conftest import bench_config, register_artifact
 
 from repro.autograd.tensor import Tensor
-from repro.core.cosearch import EDDSearcher, quantization_for_target
+from repro.core.cosearch import EDDSearcher
+from repro.hw.registry import quantization_for_target
 from repro.hw.perf_loss import throughput_hard_max, throughput_lse
 from repro.hw.resource import shared_resource, summed_resource
 from repro.nas.supernet import constant_sample

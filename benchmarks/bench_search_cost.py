@@ -52,7 +52,7 @@ def test_hw_model_cost_scales_with_space_not_dnn(benchmark):
     """Paper-scale space (N=20, M=9, Q=3): the Stage 1-4 algebra stays
     sub-millisecond-ish even at full size, supporting the efficiency claim."""
     from repro.core.config import EDDConfig
-    from repro.core.cosearch import build_hardware_model, quantization_for_target
+    from repro.hw.registry import build_hardware_model, quantization_for_target
     from repro.nas.supernet import constant_sample
 
     space = SearchSpaceConfig.paper_scale()

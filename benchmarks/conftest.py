@@ -57,11 +57,12 @@ def bench_splits():
 
 def bench_config(target: str, **overrides) -> EDDConfig:
     """Canonical reduced-scale co-search configuration."""
+    from repro.hw.registry import get_target
+
     defaults = dict(
         target=target, epochs=4, batch_size=12, seed=BENCH_SEED,
-        arch_start_epoch=1, resource_fraction=0.05,
+        arch_start_epoch=1,
+        resource_fraction=get_target(target).default_resource_fraction,
     )
-    if target == "gpu":
-        defaults["resource_fraction"] = 1.0
     defaults.update(overrides)
     return EDDConfig(**defaults)

@@ -23,8 +23,8 @@ from repro.core import EDDConfig, EDDSearcher, train_from_spec
 from repro.data import SyntheticTaskConfig, make_synthetic_task
 from repro.eval.figures import render_architecture
 from repro.hw.accel import BitSerialAccelModel
+from repro.hw.registry import quantization_for_target
 from repro.nas.space import SearchSpaceConfig
-from repro.core.cosearch import quantization_for_target
 
 
 def main() -> None:

@@ -2,9 +2,11 @@
 """Explore the analytic device models across the whole model zoo.
 
 No search here — this is the measurement substrate of Tables 1-3 exposed as
-a tool: estimate GPU latency, recursive-FPGA latency and pipelined-FPGA
-throughput for every network (paper baselines + EDD-Nets), at any precision
-and width multiplier.
+a tool, driven through the ``repro.api`` batch estimator: one
+:func:`repro.api.estimate` call evaluates every network (paper baselines +
+EDD-Nets) on every registered hardware target, at any precision and width
+multiplier.  Bit-widths outside a target's menu are clamped with an explicit
+note, never silently.
 
 Usage:
     python examples/latency_model_explorer.py                  # full sweep
@@ -16,67 +18,77 @@ from __future__ import annotations
 
 import argparse
 
+from repro import api
 from repro.baselines.model_zoo import MODEL_ZOO, get_model
-from repro.hw.analytic import (
-    UnsupportedNetworkError,
-    fpga_pipelined_report,
-    fpga_recursive_latency_ms,
-    gpu_latency_ms,
-)
-from repro.hw.device import GTX_1080TI, TITAN_RTX, ZC706, ZCU102
-from repro.nas.arch_spec import scale_spec
+from repro.nas.arch_spec import ArchSpec, scale_spec
+
+
+def _specs(names: list[str], width_mult: float) -> list[ArchSpec]:
+    specs = [get_model(name) for name in names]
+    if width_mult != 1.0:
+        specs = [scale_spec(spec, width_mult=width_mult) for spec in specs]
+    return specs
 
 
 def sweep(names: list[str], bits: int, width_mult: float) -> None:
+    specs = _specs(names, width_mult)
+    # One batch call: every model x {gpu, fpga_recursive, fpga_pipelined};
+    # a second sweeps the GPU target on the 1080 Ti for the Table 2 column.
+    report = api.estimate(
+        models=specs, targets=["gpu", "fpga_recursive", "fpga_pipelined"],
+        bits=[bits],
+    )
+    ti = api.estimate(
+        models=specs, targets=["gpu"], bits=[bits],
+        devices={"gpu": "gtx-1080ti"},
+    )
+    by_key = {(r.model, r.target): r for r in report}
+    ti_by_model = {r.model: r for r in ti}
+
     print(f"{'model':18s} {'MACs':>9s} {'params':>8s} "
           f"{'RTX ms':>8s} {'1080Ti ms':>10s} {'ZCU102 ms':>10s} {'ZC706 fps':>10s}")
     print("-" * 80)
-    for name in names:
-        spec = get_model(name)
-        if width_mult != 1.0:
-            spec = scale_spec(spec, width_mult=width_mult)
-        gpu_rtx = gpu_latency_ms(spec, TITAN_RTX, bits)
-        gpu_ti = gpu_latency_ms(spec, GTX_1080TI, bits)
-        try:
-            fpga_rec = f"{fpga_recursive_latency_ms(spec, ZCU102, min(bits, 16)):10.2f}"
-        except UnsupportedNetworkError:
-            fpga_rec = f"{'NA':>10s}"
-        report = fpga_pipelined_report(spec, ZC706, min(bits, 16))
+    notes: dict[str, str] = {}
+    for spec in specs:
+        gpu = by_key[(spec.name, "gpu")]
+        rec = by_key[(spec.name, "fpga_recursive")]
+        pipe = by_key[(spec.name, "fpga_pipelined")]
+        rec_cell = f"{rec.value:10.2f}" if rec.supported else f"{'NA':>10s}"
         print(f"{spec.name:18s} {spec.total_macs() / 1e9:8.2f}G "
-              f"{spec.total_params() / 1e6:7.2f}M {gpu_rtx:8.2f} {gpu_ti:10.2f} "
-              f"{fpga_rec} {report.fps:10.1f}")
+              f"{spec.total_params() / 1e6:7.2f}M {gpu.value:8.2f} "
+              f"{ti_by_model[spec.name].value:10.2f} "
+              f"{rec_cell} {pipe.value:10.1f}")
+        for r in (gpu, ti_by_model[spec.name], rec, pipe):
+            if r.clamped and r.target not in notes:
+                notes[r.target] = r.note.split(";")[0]
+    for note in notes.values():
+        print(f"note: {note}")
 
 
 def detail(name: str, bits: int, width_mult: float) -> None:
-    spec = get_model(name)
-    if width_mult != 1.0:
-        spec = scale_spec(spec, width_mult=width_mult)
+    spec = _specs([name], width_mult)[0]
     print(spec.describe())
     print(f"\ntotal: {spec.total_macs() / 1e9:.2f} GMACs, "
           f"{spec.total_params() / 1e6:.2f} M params, {spec.num_layers()} layers")
-    print(f"\nGPU latency  (Titan RTX,  {bits}-bit): "
-          f"{gpu_latency_ms(spec, TITAN_RTX, bits):8.2f} ms")
-    print(f"GPU latency  (1080 Ti,    {bits}-bit): "
-          f"{gpu_latency_ms(spec, GTX_1080TI, bits):8.2f} ms")
-    fpga_bits = min(bits, 16)
-    try:
-        print(f"FPGA latency (ZCU102 recursive, {fpga_bits}-bit): "
-              f"{fpga_recursive_latency_ms(spec, ZCU102, fpga_bits):8.2f} ms")
-    except UnsupportedNetworkError as exc:
-        print(f"FPGA latency (ZCU102 recursive): NA ({exc})")
-    report = fpga_pipelined_report(spec, ZC706, fpga_bits)
-    print(f"FPGA throughput (ZC706 pipelined, {fpga_bits}-bit): {report.fps:8.1f} fps")
-    print(f"  pipeline bottleneck: {report.bottleneck_kind}"
-          f"{report.bottleneck_kernel} stage #{report.bottleneck_index} "
-          f"({report.stage_us[report.bottleneck_index]:.1f} us, "
-          f"{report.allocations[report.bottleneck_index]:.0f} DSPs)")
+    print()
+    report = api.estimate(models=[spec], bits=[bits])
+    ti = api.estimate(models=[spec], targets=["gpu"], bits=[bits],
+                      devices={"gpu": "gtx-1080ti"})
+    for r in (*report, *ti):
+        metric = r.metric.split("_")[0]
+        unit = "ms" if r.metric == "latency_ms" else "fps"
+        cell = f"{r.value:8.2f} {unit}" if r.supported else f"NA ({r.note})"
+        print(f"{r.target:16s} {metric:10s} ({r.device}, {r.bits}-bit): {cell}")
+        if r.clamped:
+            print(f"  note: {r.note.split(';')[0]}")
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--model", choices=sorted(MODEL_ZOO), default=None,
                         help="detail view for one network (default: sweep all)")
-    parser.add_argument("--bits", type=int, default=32, choices=(8, 16, 32))
+    parser.add_argument("--bits", type=int, default=32,
+                        help="requested precision; clamped per target with a note")
     parser.add_argument("--width-mult", type=float, default=1.0)
     args = parser.parse_args()
 

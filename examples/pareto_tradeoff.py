@@ -18,13 +18,14 @@ import argparse
 from repro.core import EDDConfig
 from repro.data import SyntheticTaskConfig, make_synthetic_task
 from repro.eval.pareto import format_tradeoff, pareto_front, tradeoff_sweep
+from repro.hw.registry import get_target, target_names
 from repro.nas.space import SearchSpaceConfig
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--target", default="fpga_pipelined",
-                        choices=["gpu", "fpga_recursive", "fpga_pipelined", "accel"])
+                        choices=target_names())
     parser.add_argument("--alphas", type=float, nargs="+", default=[0.25, 1.0, 4.0])
     parser.add_argument("--epochs", type=int, default=5)
     parser.add_argument("--blocks", type=int, default=3)
@@ -42,7 +43,7 @@ def main() -> None:
     base = EDDConfig(
         target=args.target, epochs=args.epochs, batch_size=12, seed=args.seed,
         arch_start_epoch=1,
-        resource_fraction=0.05 if args.target.startswith("fpga") else 1.0,
+        resource_fraction=get_target(args.target).default_resource_fraction,
     )
 
     points = tradeoff_sweep(

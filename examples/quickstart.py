@@ -73,6 +73,16 @@ def main() -> None:
     print(f"model-latency at 32-bit: "
           f"{gpu_latency_ms(result.spec, TITAN_RTX, 32):7.3f} ms")
 
+    # One repro.api batch call retargets the derived network to every
+    # registered device model — the paper's retargeting claim in one line.
+    from repro import api
+
+    print("\ncross-target estimates (repro.api.estimate):")
+    for record in api.estimate(models=[result.spec], bits=[bits]):
+        value = "NA" if not record.supported else f"{record.value:8.2f}"
+        print(f"  {record.target:16s} {record.device:16s} "
+              f"{record.bits:2d}-bit  {record.metric:14s} {value}")
+
 
 if __name__ == "__main__":
     main()

@@ -1,0 +1,18 @@
+"""EDD reproduction: differentiable DNN architecture/implementation co-search.
+
+The supported programmatic entry point is :mod:`repro.api` (imported lazily
+so ``import repro`` stays cheap); hardware targets and devices are registered
+in :mod:`repro.hw.registry`.
+"""
+
+__version__ = "0.2.0"
+
+__all__ = ["api", "__version__"]
+
+
+def __getattr__(name: str):
+    if name == "api":
+        import repro.api as api
+
+        return api
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,457 @@
+"""Stable public facade of the EDD reproduction.
+
+This module is the supported programmatic entry point: typed request /
+response dataclasses plus three functions —
+
+* :func:`search`   — run one reduced-scale co-search for any registered
+  target and get a machine-readable report;
+* :func:`estimate` — batch-evaluate many models x targets x bit-widths with
+  the analytic device models in a single call;
+* :func:`deploy_plan` — render the per-layer implementation plan a hardware
+  engineer would take from a network.
+
+Every response object has a ``to_dict()`` returning plain JSON-serialisable
+types (see :mod:`repro.utils.serialization`), which is what the CLI's
+``--format json`` prints.  Target and device strings are resolved through
+:mod:`repro.hw.registry` — the single dispatch point — so unknown names fail
+fast with the list of registered alternatives, and requested bit-widths are
+clamped to each target's supported menu *with an explicit note*, never
+silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.baselines.model_zoo import MODEL_ZOO, get_model
+from repro.core.config import EDDConfig
+from repro.core.cosearch import EDDSearcher
+from repro.core.results import SearchResult, TrainResult
+from repro.core.trainer import train_from_spec
+from repro.data.synthetic import SyntheticTaskConfig, make_synthetic_task
+from repro.eval.trajectory import summarize
+from repro.hw import registry
+from repro.hw.report import deployment_plan as _render_plan
+from repro.nas.arch_spec import ArchSpec
+from repro.nas.space import SearchSpaceConfig
+
+__all__ = [
+    "DeployPlan",
+    "EstimateRecord",
+    "EstimateReport",
+    "EstimateRequest",
+    "SearchReport",
+    "SearchRequest",
+    "deploy_plan",
+    "devices",
+    "estimate",
+    "search",
+    "targets",
+    "zoo",
+]
+
+
+def _resolve_spec(model: str | ArchSpec) -> ArchSpec:
+    """Zoo name or already-built spec -> :class:`ArchSpec`."""
+    if isinstance(model, ArchSpec):
+        return model
+    if model not in MODEL_ZOO:
+        raise ValueError(f"unknown model {model!r}, known: {sorted(MODEL_ZOO)}")
+    return get_model(model)
+
+
+# --------------------------------------------------------------- introspection
+def targets() -> list[dict[str, Any]]:
+    """Machine-readable description of every registered hardware target."""
+    out = []
+    for name, spec in registry.TARGETS.items():
+        out.append({
+            "name": name,
+            "description": spec.description,
+            "default_device": spec.default_device,
+            "devices": list(spec.devices),
+            "deploy_bits": list(spec.deploy_bits),
+            "default_deploy_bits": spec.default_deploy_bits,
+            "search_bits": list(spec.quant().bitwidths),
+            "sharing": spec.quant().sharing,
+            "has_plan": spec.plan_flow is not None,
+        })
+    return out
+
+
+def devices() -> list[dict[str, Any]]:
+    """Machine-readable description of every registered device."""
+    out = []
+    for name, dev in registry.DEVICES.items():
+        out.append({
+            "name": name,
+            "display_name": dev.name,
+            "kind": type(dev).__name__,
+            "targets": [
+                t for t, spec in registry.TARGETS.items() if name in spec.devices
+            ],
+        })
+    return out
+
+
+def zoo() -> list[dict[str, Any]]:
+    """Summaries (blocks/layers/MACs/params) of every model-zoo network."""
+    return [get_model(name).summary() for name in sorted(MODEL_ZOO)]
+
+
+# -------------------------------------------------------------- batch estimate
+@dataclass
+class EstimateRequest:
+    """Batch estimate: the cross product of models x targets x bit-widths.
+
+    ``models`` are zoo names or :class:`ArchSpec` objects; empty ``targets``
+    means every registered target; empty ``bits`` means each target's default
+    deploy precision; ``devices`` optionally overrides the device per target
+    (``{"gpu": "gtx-1080ti"}``).
+    """
+
+    models: tuple[str | ArchSpec, ...]
+    targets: tuple[str, ...] = ()
+    bits: tuple[int, ...] = ()
+    devices: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.models is None or isinstance(self.models, (str, ArchSpec)):
+            self.models = (self.models,) if self.models is not None else ()
+        self.models = tuple(self.models)
+        if isinstance(self.targets, str):
+            self.targets = (self.targets,)
+        self.targets = tuple(self.targets)
+        if isinstance(self.bits, int):
+            self.bits = (self.bits,)
+        self.bits = tuple(self.bits)
+        if not self.models:
+            raise ValueError("EstimateRequest needs at least one model")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "models": [
+                m.name if isinstance(m, ArchSpec) else m for m in self.models
+            ],
+            "targets": list(self.targets),
+            "bits": list(self.bits),
+            "devices": dict(self.devices),
+        }
+
+
+@dataclass
+class EstimateRecord:
+    """One (model, target, device, bits) analytic evaluation."""
+
+    model: str
+    target: str
+    device: str
+    requested_bits: int
+    bits: int
+    clamped: bool
+    supported: bool
+    metric: str
+    value: float | None
+    note: str = ""
+    macs: int = 0
+    params: int = 0
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "model": self.model,
+            "target": self.target,
+            "device": self.device,
+            "requested_bits": self.requested_bits,
+            "bits": self.bits,
+            "clamped": self.clamped,
+            "supported": self.supported,
+            "metric": self.metric,
+            "value": self.value,
+            "note": self.note,
+            "macs": self.macs,
+            "params": self.params,
+            "extras": dict(self.extras),
+        }
+
+
+@dataclass
+class EstimateReport:
+    """All records of one batch estimate call."""
+
+    records: list[EstimateRecord]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def for_model(self, model: str) -> list[EstimateRecord]:
+        return [r for r in self.records if r.model == model]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": len(self.records),
+            "records": [r.to_dict() for r in self.records],
+        }
+
+
+def estimate(
+    request: EstimateRequest | None = None,
+    *,
+    models: Any = None,
+    targets: Any = (),
+    bits: Any = (),
+    devices: dict[str, str] | None = None,
+) -> EstimateReport:
+    """Evaluate many models on many targets at many precisions in one call.
+
+    Either pass an :class:`EstimateRequest` or use the keyword shorthand::
+
+        report = estimate(models=["ResNet18", "EDD-Net-1"],
+                          targets=["gpu", "fpga_recursive", "fpga_pipelined"])
+
+    Bit-widths outside a target's menu are clamped to the nearest supported
+    width and flagged with ``clamped=True`` plus a human-readable ``note``;
+    networks a flow cannot map (e.g. ShuffleNet on the recursive FPGA) come
+    back with ``supported=False`` instead of raising, so one bad combination
+    does not sink a batch.
+    """
+    if request is None:
+        request = EstimateRequest(
+            models=models, targets=targets, bits=bits, devices=devices or {}
+        )
+    target_names = list(request.targets) or registry.target_names()
+    estimated = {registry.get_target(t).name for t in target_names}
+    for key in request.devices:
+        # get_target fails fast on unknown names; a known-but-absent target
+        # would otherwise make the override a silent no-op.
+        if registry.get_target(key).name not in estimated:
+            raise ValueError(
+                f"devices override names target {key!r} which is not being "
+                f"estimated; estimating: {sorted(estimated)}"
+            )
+    records: list[EstimateRecord] = []
+    for model in request.models:
+        arch = _resolve_spec(model)
+        macs, params = arch.total_macs(), arch.total_params()
+        for target_name in target_names:
+            tspec = registry.get_target(target_name)
+            device = tspec.resolve_device(request.devices.get(target_name))
+            for requested in request.bits or (tspec.default_deploy_bits,):
+                effective, clamped = tspec.clamp_bits(requested)
+                outcome = tspec.estimate(arch, device, effective)
+                notes = []
+                if clamped:
+                    notes.append(tspec.clamp_note(requested, effective))
+                if outcome.note:
+                    notes.append(outcome.note)
+                records.append(
+                    EstimateRecord(
+                        model=arch.name,
+                        target=tspec.name,
+                        device=device.name,
+                        requested_bits=requested,
+                        bits=effective,
+                        clamped=clamped,
+                        supported=outcome.supported,
+                        metric=outcome.metric,
+                        value=outcome.value,
+                        note="; ".join(notes),
+                        macs=macs,
+                        params=params,
+                        extras=dict(outcome.extras),
+                    )
+                )
+    return EstimateReport(records=records)
+
+
+# ---------------------------------------------------------------------- search
+@dataclass
+class SearchRequest:
+    """One reduced-scale co-search on the synthetic proxy task.
+
+    ``resource_fraction=None`` uses the target's registered default (tight
+    DSP budgets for the FPGA flows, unbounded for GPU).  ``retrain_epochs>0``
+    additionally retrains the derived network from scratch.
+    """
+
+    target: str = "gpu"
+    device: str | None = None
+    epochs: int = 6
+    blocks: int = 3
+    seed: int = 0
+    batch_size: int = 12
+    num_classes: int = 6
+    input_size: int = 12
+    resource_fraction: float | None = None
+    arch_start_epoch: int = 1
+    retrain_epochs: int = 0
+    name: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "target": self.target,
+            "device": self.device,
+            "epochs": self.epochs,
+            "blocks": self.blocks,
+            "seed": self.seed,
+            "batch_size": self.batch_size,
+            "resource_fraction": self.resource_fraction,
+            "retrain_epochs": self.retrain_epochs,
+        }
+
+
+@dataclass
+class SearchReport:
+    """Machine-readable outcome of one :func:`search` call."""
+
+    target: str
+    device: str
+    spec_name: str
+    result: SearchResult
+    converged: bool
+    train_loss_drop: float
+    final_theta_perplexity: float
+    retrain: TrainResult | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "target": self.target,
+            "device": self.device,
+            "spec_name": self.spec_name,
+            "converged": self.converged,
+            "train_loss_drop": self.train_loss_drop,
+            "final_theta_perplexity": self.final_theta_perplexity,
+            "search": self.result.to_dict(),
+            "retrain": self.retrain.to_dict() if self.retrain else None,
+        }
+
+
+def search(request: SearchRequest | None = None, **kwargs: Any) -> SearchReport:
+    """Run one co-search for any registered target; returns a typed report.
+
+    Accepts a :class:`SearchRequest` or its fields as keyword arguments::
+
+        report = search(target="fpga_pipelined", epochs=4, blocks=3)
+        json.dumps(report.to_dict())
+    """
+    if request is None:
+        request = SearchRequest(**kwargs)
+    tspec = registry.get_target(request.target)
+    device = tspec.resolve_device(request.device)
+    space = SearchSpaceConfig.reduced(
+        num_blocks=request.blocks,
+        num_classes=request.num_classes,
+        input_size=request.input_size,
+    )
+    splits = make_synthetic_task(
+        SyntheticTaskConfig(
+            num_classes=request.num_classes, image_size=request.input_size,
+            train_per_class=16, val_per_class=8, test_per_class=8,
+            seed=request.seed,
+        )
+    )
+    fraction = (
+        tspec.default_resource_fraction
+        if request.resource_fraction is None
+        else request.resource_fraction
+    )
+    config = EDDConfig(
+        target=tspec.name, epochs=request.epochs, batch_size=request.batch_size,
+        seed=request.seed, arch_start_epoch=request.arch_start_epoch,
+        resource_fraction=fraction,
+    )
+    hw_model = tspec.build_model(space, config, device=device)
+    searcher = EDDSearcher(space, splits, config, hw_model=hw_model)
+    result = searcher.search(name=request.name or f"api-{tspec.name}")
+    summary = summarize(result.history)
+    retrain = None
+    if request.retrain_epochs > 0:
+        retrain = train_from_spec(
+            result.spec, splits, epochs=request.retrain_epochs,
+            batch_size=request.batch_size, seed=request.seed,
+        )
+    return SearchReport(
+        target=tspec.name,
+        device=device.name,
+        spec_name=result.spec.name,
+        result=result,
+        converged=summary.converged(),
+        train_loss_drop=summary.train_loss_drop,
+        final_theta_perplexity=summary.final_theta_perplexity,
+        retrain=retrain,
+    )
+
+
+# ----------------------------------------------------------------- deploy plan
+@dataclass
+class DeployPlan:
+    """A rendered per-layer implementation plan plus its headline metric."""
+
+    model: str
+    target: str
+    device: str
+    requested_bits: int
+    bits: int
+    clamped: bool
+    metric: str
+    value: float | None
+    text: str
+    note: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "model": self.model,
+            "target": self.target,
+            "device": self.device,
+            "requested_bits": self.requested_bits,
+            "bits": self.bits,
+            "clamped": self.clamped,
+            "metric": self.metric,
+            "value": self.value,
+            "note": self.note,
+            "text": self.text,
+        }
+
+
+def deploy_plan(
+    model: str | ArchSpec,
+    target: str,
+    device: str | None = None,
+    bits: int | None = None,
+) -> DeployPlan:
+    """Per-layer deployment plan of ``model`` on ``target``.
+
+    Raises ``ValueError`` for unknown models/targets/devices, and for
+    targets without a plan renderer (currently ``accel``).
+    """
+    arch = _resolve_spec(model)
+    tspec = registry.get_target(target)
+    if tspec.plan_flow is None:
+        plannable = [
+            n for n, s in registry.TARGETS.items() if s.plan_flow is not None
+        ]
+        raise ValueError(
+            f"target {tspec.name!r} has no deployment-plan renderer; "
+            f"plans exist for: {plannable}"
+        )
+    dev = tspec.resolve_device(device)
+    requested = tspec.default_deploy_bits if bits is None else bits
+    effective, clamped = tspec.clamp_bits(requested)
+    note = tspec.clamp_note(requested, effective) if clamped else ""
+    outcome = tspec.estimate(arch, dev, effective)
+    return DeployPlan(
+        model=arch.name,
+        target=tspec.name,
+        device=dev.name,
+        requested_bits=requested,
+        bits=effective,
+        clamped=clamped,
+        metric=outcome.metric,
+        value=outcome.value,
+        text=_render_plan(arch, tspec.plan_flow, dev, effective),
+        note=note,
+    )

@@ -20,8 +20,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.config import EDDConfig
-from repro.core.cosearch import build_hardware_model, quantization_for_target
 from repro.core.trainer import train_from_spec
+from repro.hw.registry import build_hardware_model, quantization_for_target
 from repro.data.synthetic import DatasetSplits
 from repro.nas.arch_spec import ArchSpec
 from repro.nas.space import SearchSpaceConfig

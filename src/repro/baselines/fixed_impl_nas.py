@@ -18,8 +18,9 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.core.config import EDDConfig
-from repro.core.cosearch import EDDSearcher, build_hardware_model
+from repro.core.cosearch import EDDSearcher
 from repro.core.results import SearchResult
+from repro.hw.registry import build_hardware_model
 from repro.data.synthetic import DatasetSplits
 from repro.hw.base import HardwareModel, HwEvaluation
 from repro.nas.space import SearchSpaceConfig

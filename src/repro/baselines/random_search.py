@@ -13,8 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.cosearch import build_hardware_model, quantization_for_target
 from repro.core.config import EDDConfig
+from repro.hw.registry import build_hardware_model, quantization_for_target
 from repro.core.trainer import train_from_spec
 from repro.data.synthetic import DatasetSplits
 from repro.nas.arch_spec import ArchSpec

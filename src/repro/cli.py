@@ -6,22 +6,38 @@ Commands
              registered experiment).
 ``anchors``  verify the calibration anchors against the paper's numbers.
 ``zoo``      list every model in the zoo with MACs/params.
-``explore``  latency/throughput estimates for one zoo model across devices.
+``explore``  latency/throughput estimates for one zoo model across every
+             registered hardware target.
 ``search``   run a reduced-scale co-search and print the derived network
              plus its convergence trajectory.
+
+``tables``, ``zoo``, ``explore`` and ``search`` accept ``--format json`` for
+machine-readable output (the ``to_dict()`` forms from :mod:`repro.api`).
+Target and device names come from :mod:`repro.hw.registry`; the CLI holds no
+hardware dispatch of its own.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.baselines.model_zoo import MODEL_ZOO, get_model
-from repro.eval.experiments import EXPERIMENTS, run_experiment
+from repro.baselines.model_zoo import MODEL_ZOO
+from repro.eval.experiments import EXPERIMENTS, experiment_dict, run_experiment
+from repro.hw.registry import TARGETS, device_names, target_names
+from repro.utils.serialization import ReproJSONEncoder
+
+
+def _emit_json(payload) -> None:
+    print(json.dumps(payload, indent=2, cls=ReproJSONEncoder))
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
     names = sorted(EXPERIMENTS) if args.which == "all" else [args.which]
+    if args.format == "json":
+        _emit_json({name: experiment_dict(name) for name in names})
+        return 0
     for name in names:
         print(run_experiment(name))
         print()
@@ -40,86 +56,120 @@ def _cmd_anchors(args: argparse.Namespace) -> int:
 
 
 def _cmd_zoo(args: argparse.Namespace) -> int:
+    from repro import api
+
+    summaries = api.zoo()
+    if args.format == "json":
+        _emit_json({"count": len(summaries), "models": summaries})
+        return 0
     print(f"{'model':18s} {'blocks':>7s} {'layers':>7s} {'MACs':>9s} {'params':>9s}")
-    for name in sorted(MODEL_ZOO):
-        s = get_model(name).summary()
-        print(f"{name:18s} {s['blocks']:7d} {s['layers']:7d} "
+    for s in summaries:
+        print(f"{s['name']:18s} {s['blocks']:7d} {s['layers']:7d} "
               f"{s['macs'] / 1e9:8.2f}G {s['params'] / 1e6:8.2f}M")
     return 0
 
 
+_UNITS = {"latency_ms": "ms", "throughput_fps": "fps"}
+
+
 def _cmd_explore(args: argparse.Namespace) -> int:
-    from repro.hw.analytic import (
-        UnsupportedNetworkError,
-        fpga_pipelined_report,
-        fpga_recursive_latency_ms,
-        gpu_latency_ms,
-    )
-    from repro.hw.device import GTX_1080TI, TITAN_RTX, ZC706, ZCU102
-    from repro.hw.energy import gpu_energy_mj
+    from repro import api
 
-    spec = get_model(args.model)
-    bits = args.bits
-    fpga_bits = min(bits, 16)
     if args.plan:
-        from repro.hw.report import deployment_plan
-
-        device = TITAN_RTX if args.plan == "gpu" else (
-            ZCU102 if args.plan == "recursive" else ZC706
+        plan = api.deploy_plan(
+            args.model, args.plan, device=args.device, bits=args.bits
         )
-        plan_bits = bits if args.plan == "gpu" else fpga_bits
-        print(deployment_plan(spec, args.plan, device, plan_bits))
+        if args.format == "json":
+            _emit_json(plan.to_dict())
+            return 0
+        if plan.note:
+            print(f"note: {plan.note}")
+        print(plan.text)
         return 0
-    print(spec.describe())
-    print(f"\nGPU latency (Titan RTX, {bits}-bit):  "
-          f"{gpu_latency_ms(spec, TITAN_RTX, bits):8.2f} ms")
-    print(f"GPU latency (1080 Ti, {bits}-bit):    "
-          f"{gpu_latency_ms(spec, GTX_1080TI, bits):8.2f} ms")
-    print(f"GPU energy  (Titan RTX, {bits}-bit):  "
-          f"{gpu_energy_mj(spec, TITAN_RTX, bits):8.1f} mJ/inference")
-    try:
-        print(f"FPGA latency (ZCU102 recursive):   "
-              f"{fpga_recursive_latency_ms(spec, ZCU102, fpga_bits):8.2f} ms")
-    except UnsupportedNetworkError:
-        print("FPGA latency (ZCU102 recursive):         NA (unsupported ops)")
-    report = fpga_pipelined_report(spec, ZC706, fpga_bits)
-    print(f"FPGA throughput (ZC706 pipelined): {report.fps:8.1f} fps "
-          f"(bottleneck {report.bottleneck_kind}{report.bottleneck_kernel})")
+
+    targets = list(args.targets) if args.targets else target_names()
+    devices = {}
+    if args.device:
+        # Explicitly requested targets must accept the device (resolve_device
+        # raises otherwise); with the default "all targets" sweep the override
+        # applies only where the device is registered.
+        from repro.hw.registry import get_target
+
+        devices = {
+            t: args.device for t in targets
+            if args.targets or args.device in get_target(t).devices
+        }
+    report = api.estimate(
+        models=[args.model],
+        targets=targets,
+        bits=[args.bits],
+        devices=devices,
+    )
+    if args.format == "json":
+        _emit_json(report.to_dict())
+        return 0
+
+    record0 = report.records[0]
+    print(f"{args.model}: {record0.macs / 1e9:.2f} GMACs, "
+          f"{record0.params / 1e6:.2f}M params\n")
+    print(f"{'target':16s} {'device':16s} {'bits':>4s} {'metric':>10s} "
+          f"{'value':>10s}")
+    notes = []
+    details = []
+    for r in report:
+        metric = r.metric.split("_")[0]
+        unit = _UNITS.get(r.metric, "")
+        value = "NA" if not r.supported else f"{r.value:.2f} {unit}"
+        print(f"{r.target:16s} {r.device:16s} {r.bits:4d} {metric:>10s} "
+              f"{value:>10s}")
+        if r.note:
+            notes.append(f"  {r.target}: {r.note}")
+        if r.extras:
+            pairs = ", ".join(f"{k}={v:.1f}" for k, v in r.extras.items())
+            details.append(f"  {r.target}: {pairs}")
+    if details:
+        print("\ndetails:")
+        print("\n".join(details))
+    if notes:
+        print("\nnotes:")
+        print("\n".join(notes))
     return 0
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    from repro.core.config import EDDConfig
-    from repro.core.cosearch import EDDSearcher
-    from repro.core.trainer import train_from_spec
-    from repro.data.synthetic import SyntheticTaskConfig, make_synthetic_task
+    from repro import api
     from repro.eval.figures import render_architecture
-    from repro.eval.trajectory import render_trajectory, summarize
-    from repro.nas.space import SearchSpaceConfig
+    from repro.eval.trajectory import render_trajectory
 
-    space = SearchSpaceConfig.reduced(
-        num_blocks=args.blocks, num_classes=6, input_size=12
+    request = api.SearchRequest(
+        target=args.target,
+        device=args.device,
+        epochs=args.epochs,
+        blocks=args.blocks,
+        seed=args.seed,
+        batch_size=12,
+        resource_fraction=args.resource_fraction,
+        retrain_epochs=10 if args.retrain else 0,
+        name=f"cli-{args.target}",
     )
-    splits = make_synthetic_task(
-        SyntheticTaskConfig(num_classes=6, image_size=12, train_per_class=16,
-                            val_per_class=8, test_per_class=8, seed=args.seed)
-    )
-    config = EDDConfig(target=args.target, epochs=args.epochs, batch_size=12,
-                       seed=args.seed, arch_start_epoch=1,
-                       resource_fraction=args.resource_fraction)
-    searcher = EDDSearcher(space, splits, config)
-    result = searcher.search(name=f"cli-{args.target}")
-    print(render_architecture(result.spec))
+    report = api.search(request)
+    if args.format == "json":
+        _emit_json(report.to_dict())
+        return 0
+    print(render_architecture(report.result.spec))
     print()
-    print(render_trajectory(result.history))
-    summary = summarize(result.history)
-    print(f"\nconverged: {summary.converged()}  "
-          f"(train-loss drop {summary.train_loss_drop:.3f}, "
-          f"theta perplexity {summary.final_theta_perplexity:.2f})")
-    if args.retrain:
-        trained = train_from_spec(result.spec, splits, epochs=10, batch_size=12)
-        print(f"retrained top-1 error: {trained.top1_error:.1f}%")
+    print(render_trajectory(report.result.history))
+    print(f"\nconverged: {report.converged}  "
+          f"(train-loss drop {report.train_loss_drop:.3f}, "
+          f"theta perplexity {report.final_theta_perplexity:.2f})")
+    if report.retrain is not None:
+        print(f"retrained top-1 error: {report.retrain.top1_error:.1f}%")
     return 0
+
+
+def _add_format(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (json is machine-readable)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -129,36 +179,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_tables = sub.add_parser("tables", help="regenerate paper tables/figures")
     p_tables.add_argument("--which", default="all",
                           choices=["all", *sorted(EXPERIMENTS)])
+    _add_format(p_tables)
     p_tables.set_defaults(fn=_cmd_tables)
 
     p_anchors = sub.add_parser("anchors", help="verify calibration anchors")
     p_anchors.set_defaults(fn=_cmd_anchors)
 
     p_zoo = sub.add_parser("zoo", help="list model-zoo networks")
+    _add_format(p_zoo)
     p_zoo.set_defaults(fn=_cmd_zoo)
 
-    p_explore = sub.add_parser("explore", help="device estimates for one model")
+    plannable = [name for name, spec in TARGETS.items()
+                 if spec.plan_flow is not None]
+    p_explore = sub.add_parser(
+        "explore", help="device estimates for one model across targets"
+    )
     p_explore.add_argument("--model", required=True, choices=sorted(MODEL_ZOO))
-    p_explore.add_argument("--bits", type=int, default=32, choices=(8, 16, 32))
-    p_explore.add_argument("--plan", choices=("gpu", "recursive", "pipelined"),
-                           help="print the per-layer deployment plan instead")
+    p_explore.add_argument("--bits", type=int, default=32,
+                           help="requested weight precision; clamped to each "
+                                "target's supported menu with a note")
+    p_explore.add_argument("--targets", nargs="+", choices=target_names(),
+                           help="restrict to these targets (default: all)")
+    p_explore.add_argument("--device", choices=device_names(),
+                           help="override the target's default device")
+    p_explore.add_argument("--plan", choices=plannable,
+                           help="print the per-layer deployment plan for "
+                                "this target instead")
+    _add_format(p_explore)
     p_explore.set_defaults(fn=_cmd_explore)
 
     p_search = sub.add_parser("search", help="run a reduced-scale co-search")
-    p_search.add_argument("--target", default="gpu",
-                          choices=["gpu", "fpga_recursive", "fpga_pipelined", "accel"])
+    p_search.add_argument("--target", default="gpu", choices=target_names())
+    p_search.add_argument("--device", choices=device_names(),
+                          help="override the target's default device")
     p_search.add_argument("--epochs", type=int, default=6)
     p_search.add_argument("--blocks", type=int, default=3)
     p_search.add_argument("--seed", type=int, default=0)
-    p_search.add_argument("--resource-fraction", type=float, default=0.05)
+    p_search.add_argument("--resource-fraction", type=float, default=None,
+                          help="fraction of device resources as RES_ub "
+                               "(default: the target's registered default)")
     p_search.add_argument("--retrain", action="store_true")
+    _add_format(p_search)
     p_search.set_defaults(fn=_cmd_search)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ValueError as err:
+        # Registry/facade lookup errors (unknown target/device/model or an
+        # incompatible combination) are user input errors, not crashes.
+        print(f"error: {err}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,11 +1,30 @@
-"""Configuration of one EDD co-search run."""
+"""Configuration of one EDD co-search run.
+
+Valid ``target`` names come from :data:`repro.hw.registry.TARGETS` — the
+single dispatch point for hardware targets — so plugging in a new device via
+``@register_target`` makes it immediately usable here, in the CLI and in
+``repro.api`` without touching this module.
+"""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
 
-TARGETS = ("gpu", "fpga_recursive", "fpga_pipelined", "accel")
+
+def _known_targets() -> tuple[str, ...]:
+    # Late import: repro.hw.registry is independent of repro.core, but the
+    # lazy lookup keeps this config module importable on its own and picks up
+    # targets registered after import time.
+    from repro.hw.registry import target_names
+
+    return tuple(target_names())
+
+
+def __getattr__(name: str):  # pragma: no cover - back-compat module attr
+    if name == "TARGETS":
+        return _known_targets()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -72,8 +91,10 @@ class EDDConfig:
     log_every: int = 0  # epochs between log lines; 0 = silent
 
     def __post_init__(self) -> None:
-        if self.target not in TARGETS:
-            raise ValueError(f"target must be one of {TARGETS}, got {self.target!r}")
+        if self.target not in _known_targets():
+            raise ValueError(
+                f"target must be one of {_known_targets()}, got {self.target!r}"
+            )
         if self.epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {self.epochs}")
         if not 0.0 < self.resource_fraction <= 1.0:

@@ -9,6 +9,12 @@ Bilevel stochastic gradient descent over the fused space ``{A, I}``:
 3. anneal the Gumbel temperature;
 4. derive the argmax architecture, re-tune integer parallel factors, and
    hand the spec to the trainer for training from scratch.
+
+Target dispatch note: ``quantization_for_target`` and
+``build_hardware_model`` here are deprecated thin wrappers kept for
+backwards compatibility — targets/devices are registered and resolved in
+:mod:`repro.hw.registry`, and the supported high-level entry point is
+:mod:`repro.api`.
 """
 
 from __future__ import annotations
@@ -23,11 +29,9 @@ from repro.core.loss import combined_loss
 from repro.core.results import EpochRecord, SearchResult
 from repro.data.loader import DataLoader
 from repro.data.synthetic import DatasetSplits
-from repro.hw.accel import BitSerialAccelModel
+from repro.hw import registry as hw_registry
 from repro.hw.base import HardwareModel
-from repro.hw.device import FPGADevice, GPUDevice, TITAN_RTX, ZC706, ZCU102
 from repro.hw.fpga import FPGAModel
-from repro.hw.gpu import GPUModel
 from repro.nas.derive import derive_arch_spec
 from repro.nas.gumbel import GumbelSoftmax, TemperatureSchedule, perplexity
 from repro.nas.quantization import QuantizationConfig
@@ -41,43 +45,38 @@ logger = get_logger("core.cosearch")
 
 
 def quantization_for_target(target: str) -> QuantizationConfig:
-    """The paper's per-device quantisation menus (Sec. 6)."""
-    if target == "gpu":
-        return QuantizationConfig.gpu()
-    if target == "fpga_recursive":
-        return QuantizationConfig.fpga(sharing="per_op")
-    if target == "fpga_pipelined":
-        return QuantizationConfig.fpga(sharing="per_block_op")
-    if target == "accel":
-        return QuantizationConfig.fpga(sharing="per_block_op")
-    raise ValueError(f"unknown target {target!r}")
+    """The paper's per-device quantisation menus (Sec. 6).
+
+    .. deprecated::
+        Thin wrapper kept for backwards compatibility; new code should call
+        :func:`repro.hw.registry.quantization_for_target` (or go through
+        ``repro.api``), where every target is registered exactly once.
+    """
+    return hw_registry.quantization_for_target(target)
 
 
 def build_supernet(space: SearchSpaceConfig, config: EDDConfig) -> SuperNet:
-    return SuperNet(space, quant=quantization_for_target(config.target), seed=config.seed)
+    return SuperNet(
+        space,
+        quant=hw_registry.quantization_for_target(config.target),
+        seed=config.seed,
+    )
 
 
 def build_hardware_model(
     space: SearchSpaceConfig,
     config: EDDConfig,
-    device: GPUDevice | FPGADevice | None = None,
+    device: str | hw_registry.Device | None = None,
 ) -> HardwareModel:
-    """Instantiate the device model matching ``config.target``."""
-    quant = quantization_for_target(config.target)
-    if config.target == "gpu":
-        return GPUModel(space, quant, device=device or TITAN_RTX)
-    if config.target == "fpga_recursive":
-        return FPGAModel(
-            space, quant, device=device or ZCU102, architecture="recursive",
-            resource_fraction=config.resource_fraction,
-        )
-    if config.target == "fpga_pipelined":
-        return FPGAModel(
-            space, quant, device=device or ZC706, architecture="pipelined",
-            lse_sharpness=config.lse_sharpness,
-            resource_fraction=config.resource_fraction,
-        )
-    return BitSerialAccelModel(space, quant)
+    """Instantiate the device model matching ``config.target``.
+
+    .. deprecated::
+        Thin wrapper kept for backwards compatibility; new code should call
+        :func:`repro.hw.registry.build_hardware_model` (or go through
+        ``repro.api``).  Unknown targets raise ``ValueError`` listing the
+        registered names.
+    """
+    return hw_registry.build_hardware_model(space, config, device=device)
 
 
 class EDDSearcher:

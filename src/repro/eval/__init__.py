@@ -11,11 +11,18 @@ from repro.eval.tables import (
 from repro.eval.figures import figure4, render_architecture
 from repro.eval.pareto import TradeoffPoint, format_tradeoff, pareto_front, tradeoff_sweep
 from repro.eval.trajectory import ConvergenceSummary, ascii_chart, render_trajectory, summarize
-from repro.eval.experiments import EXPERIMENTS, run_experiment
+from repro.eval.experiments import (
+    EXPERIMENTS,
+    Experiment,
+    experiment_dict,
+    run_experiment,
+)
 
 __all__ = [
     "ConvergenceSummary",
     "EXPERIMENTS",
+    "Experiment",
+    "experiment_dict",
     "TradeoffPoint",
     "ascii_chart",
     "format_tradeoff",

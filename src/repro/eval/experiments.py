@@ -1,50 +1,101 @@
 """Experiment registry: one entry per paper table/figure and per ablation.
 
-``run_experiment("table1")`` etc. return the printable artefact; the
-benchmark files are thin wrappers over these so everything is reproducible
-from Python as well as from pytest.
+``run_experiment("table1")`` etc. return the printable artefact;
+``experiment_dict("table1")`` returns the same content as plain
+JSON-serialisable data (what ``python -m repro tables --format json``
+prints).  The benchmark files are thin wrappers over these so everything is
+reproducible from Python as well as from pytest.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
 
 from repro.eval.figures import figure4
-from repro.eval.tables import format_table, table1, table2, table3
+from repro.eval.tables import TableRow, format_table, table1, table2, table3
 
 
-def _table1_text() -> str:
-    rows = table1()
-    columns = [
-        "Top-1 err (paper)", "Top-5 err (paper)",
-        "GPU ms (ours)", "GPU ms (paper)",
-        "FPGA ms (ours)", "FPGA ms (paper)",
-    ]
-    return format_table(rows, columns, "Table 1: comparison with existing NAS solutions")
+@dataclass(frozen=True)
+class Experiment:
+    """One regenerable artefact: structured rows plus a text rendering."""
+
+    name: str
+    title: str
+    columns: tuple[str, ...] | None          # None = free-form text artefact
+    rows: Callable[[], list[TableRow]] | None
+    text: Callable[[], str] | None = None    # override for text artefacts
+
+    def render(self) -> str:
+        if self.rows is not None and self.columns is not None:
+            return format_table(self.rows(), list(self.columns), self.title)
+        assert self.text is not None
+        return self.text()
+
+    def data(self) -> dict[str, Any]:
+        if self.rows is not None and self.columns is not None:
+            return {
+                "name": self.name,
+                "title": self.title,
+                "columns": list(self.columns),
+                "rows": [
+                    {"name": row.name, "values": row.values}
+                    for row in self.rows()
+                ],
+            }
+        assert self.text is not None
+        return {"name": self.name, "title": self.title, "text": self.text()}
 
 
-def _table2_text() -> str:
-    rows = table2()
-    columns = ["Latency ms (ours)", "Latency ms (paper)", "Err % (paper)"]
-    return format_table(rows, columns, "Table 2: EDD-Net-1 on GTX 1080 Ti across precisions")
-
-
-def _table3_text() -> str:
-    rows = table3()
-    columns = ["Top-1 err (paper)", "Top-5 err (paper)", "fps (ours)", "fps (paper)"]
-    return format_table(rows, columns, "Table 3: EDD-Net-3 vs DNNBuilder (ZC706)")
-
-
-EXPERIMENTS: dict[str, Callable[[], str]] = {
-    "table1": _table1_text,
-    "table2": _table2_text,
-    "table3": _table3_text,
-    "figure4": figure4,
+EXPERIMENTS: dict[str, Experiment] = {
+    exp.name: exp
+    for exp in (
+        Experiment(
+            name="table1",
+            title="Table 1: comparison with existing NAS solutions",
+            columns=(
+                "Top-1 err (paper)", "Top-5 err (paper)",
+                "GPU ms (ours)", "GPU ms (paper)",
+                "FPGA ms (ours)", "FPGA ms (paper)",
+            ),
+            rows=table1,
+        ),
+        Experiment(
+            name="table2",
+            title="Table 2: EDD-Net-1 on GTX 1080 Ti across precisions",
+            columns=("Latency ms (ours)", "Latency ms (paper)", "Err % (paper)"),
+            rows=table2,
+        ),
+        Experiment(
+            name="table3",
+            title="Table 3: EDD-Net-3 vs DNNBuilder (ZC706)",
+            columns=(
+                "Top-1 err (paper)", "Top-5 err (paper)",
+                "fps (ours)", "fps (paper)",
+            ),
+            rows=table3,
+        ),
+        Experiment(
+            name="figure4",
+            title="Figure 4: the searched EDD-Net architectures",
+            columns=None,
+            rows=None,
+            text=figure4,
+        ),
+    )
 }
 
 
 def run_experiment(name: str) -> str:
-    """Regenerate one registered experiment artefact by id."""
+    """Regenerate one registered experiment artefact by id (text form)."""
     if name not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
-    return EXPERIMENTS[name]()
+    return EXPERIMENTS[name].render()
+
+
+def experiment_dict(name: str) -> dict[str, Any]:
+    """Regenerate one experiment as JSON-serialisable data."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[name].data()

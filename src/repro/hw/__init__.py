@@ -14,8 +14,11 @@ Two families live here:
 """
 
 from repro.hw.device import (
+    ACCEL_DEVICES,
     GPU_DEVICES,
     FPGA_DEVICES,
+    AccelDevice,
+    BIT_SERIAL_EDGE,
     FPGADevice,
     GPUDevice,
     GTX_1080TI,
@@ -36,8 +39,39 @@ from repro.hw.analytic import (
     fpga_recursive_latency_ms,
     gpu_latency_ms,
 )
+from repro.hw.accel import bit_serial_latency_ms
+from repro.hw.registry import (
+    DEVICES,
+    TARGETS,
+    EstimateOutcome,
+    TargetSpec,
+    build_hardware_model,
+    device_names,
+    get_device,
+    get_target,
+    quantization_for_target,
+    register_device,
+    register_target,
+    target_names,
+)
 
 __all__ = [
+    "ACCEL_DEVICES",
+    "AccelDevice",
+    "BIT_SERIAL_EDGE",
+    "DEVICES",
+    "EstimateOutcome",
+    "TARGETS",
+    "TargetSpec",
+    "bit_serial_latency_ms",
+    "build_hardware_model",
+    "device_names",
+    "get_device",
+    "get_target",
+    "quantization_for_target",
+    "register_device",
+    "register_target",
+    "target_names",
     "BitSerialAccelModel",
     "GPUEnergyModel",
     "deployment_plan",

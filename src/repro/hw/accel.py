@@ -27,6 +27,7 @@ import numpy as np
 from repro.autograd.ops_basic import exp
 from repro.autograd.tensor import Tensor
 from repro.hw.base import HardwareModel, HwEvaluation
+from repro.hw.device import AccelDevice, BIT_SERIAL_EDGE
 from repro.hw.fpga import WORKLOAD_UNIT, candidate_workload
 from repro.hw.perf_loss import latency_sum, multi_objective
 from repro.nas.quantization import QuantizationConfig
@@ -35,6 +36,24 @@ from repro.nas.supernet import SampledArch
 from repro.nn.module import Parameter
 
 LN2 = math.log(2.0)
+
+
+def bit_serial_latency_ms(spec, device: AccelDevice = BIT_SERIAL_EDGE,
+                          weight_bits: int = 8) -> float:
+    """Analytic bit-serial latency for a complete :class:`ArchSpec` network.
+
+    The non-differentiable counterpart of :class:`BitSerialAccelModel`, used
+    by the batch estimator (``repro.api.estimate``): every compute layer's
+    MACs are retired across the device's lanes at a rate proportional to
+    ``q_w * q_a / 16^2`` — the paper's Sec. 4.3 proportional-precision rule.
+    """
+    cycles_per_mac = weight_bits * device.activation_bits / 256.0
+    total_macs = sum(
+        layer.macs for layer in spec.layers()
+        if layer.kind not in ("pool", "shuffle")
+    )
+    seconds = total_macs * cycles_per_mac / device.lanes / device.clock_hz
+    return seconds * 1e3 * device.calibration_scale
 
 
 class BitSerialAccelModel(HardwareModel):

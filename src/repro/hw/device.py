@@ -177,5 +177,30 @@ ZCU102 = FPGADevice(name="ZCU102", dsp_total=2520, clock_mhz=200.0)
 
 ZC706 = FPGADevice(name="ZC706", dsp_total=900, clock_mhz=200.0)
 
+
+@dataclass(frozen=True)
+class AccelDevice:
+    """A dedicated bit-serial accelerator (Stripes/Loom/Bit-Fusion family).
+
+    ``lanes`` is the number of parallel bit-serial multiply lanes; one lane
+    retires one MAC every ``q_w * q_a / 16^2`` normalised cycles (Sec. 4.3's
+    proportional-precision rule), so latency scales with both operand
+    precisions.
+    """
+
+    name: str
+    lanes: int = 4096
+    clock_mhz: float = 500.0
+    activation_bits: int = 16
+    calibration_scale: float = 1.0
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_mhz * 1e6
+
+
+BIT_SERIAL_EDGE = AccelDevice(name="Bit-Serial Edge", lanes=4096, clock_mhz=500.0)
+
 GPU_DEVICES = {d.name: d for d in (TITAN_RTX, GTX_1080TI, P100)}
 FPGA_DEVICES = {d.name: d for d in (ZCU102, ZC706)}
+ACCEL_DEVICES = {d.name: d for d in (BIT_SERIAL_EDGE,)}

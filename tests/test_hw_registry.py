@@ -1,0 +1,184 @@
+"""Unit tests for the target/device registry — the single dispatch point."""
+
+import pytest
+
+from repro.core.config import EDDConfig
+from repro.hw.accel import BitSerialAccelModel
+from repro.hw.device import GPUDevice, TITAN_RTX, ZC706
+from repro.hw.fpga import FPGAModel
+from repro.hw.gpu import GPUModel
+from repro.hw.registry import (
+    DEVICES,
+    TARGETS,
+    Registry,
+    TargetSpec,
+    build_hardware_model,
+    get_device,
+    get_target,
+    quantization_for_target,
+)
+
+
+class TestRegistryMechanics:
+    def test_round_trip(self):
+        reg = Registry("thing")
+        reg.register("alpha", 1)
+        reg.register("Beta_Two", 2)
+        assert reg.get("alpha") == 1
+        assert reg.get("beta-two") == 2  # normalised lookup
+        assert reg.names() == ["Beta_Two", "alpha"]
+        assert "alpha" in reg and "gamma" not in reg
+        assert len(reg) == 2
+
+    def test_duplicate_rejected(self):
+        reg = Registry("thing")
+        reg.register("alpha", 1)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("alpha", 2)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("ALPHA", 3)  # same normalised key
+
+    def test_unknown_lists_known(self):
+        reg = Registry("widget")
+        reg.register("alpha", 1)
+        with pytest.raises(ValueError, match=r"unknown widget 'zeta'.*alpha"):
+            reg.get("zeta")
+
+
+class TestBuiltinRegistrations:
+    def test_paper_targets_present(self):
+        assert TARGETS.names() == [
+            "accel", "fpga_pipelined", "fpga_recursive", "gpu",
+        ]
+
+    def test_paper_devices_present(self):
+        for name in ("titan-rtx", "gtx-1080ti", "zcu102", "zc706",
+                     "bit-serial-edge"):
+            assert name in DEVICES
+
+    def test_quantization_menus(self):
+        assert quantization_for_target("gpu").sharing == "global"
+        assert quantization_for_target("fpga_recursive").sharing == "per_op"
+        assert quantization_for_target("fpga_pipelined").sharing == "per_block_op"
+        assert quantization_for_target("accel").sharing == "per_block_op"
+
+    def test_unknown_target_message(self):
+        with pytest.raises(ValueError, match=r"unknown target 'tpu', known:"):
+            get_target("tpu")
+
+    def test_unknown_device_message(self):
+        with pytest.raises(ValueError, match=r"unknown device 'a100', known:"):
+            get_device("a100")
+
+    def test_device_lookup_is_lenient(self):
+        assert get_device("Titan_RTX") is TITAN_RTX
+        assert get_device("zc706") is ZC706
+
+
+class TestModelBuild:
+    def test_builds_each_target(self, tiny_space):
+        built = {
+            name: build_hardware_model(tiny_space, EDDConfig(target=name))
+            for name in TARGETS.names()
+        }
+        assert isinstance(built["gpu"], GPUModel)
+        assert isinstance(built["fpga_recursive"], FPGAModel)
+        assert built["fpga_recursive"].architecture == "recursive"
+        assert built["fpga_pipelined"].architecture == "pipelined"
+        assert isinstance(built["accel"], BitSerialAccelModel)
+
+    def test_unknown_target_raises_at_build_site(self, tiny_space):
+        """Satellite: no silent fall-through to the accel model."""
+        config = EDDConfig(target="gpu")
+        config.target = "npu-v9"  # bypass __post_init__ validation
+        with pytest.raises(ValueError, match=r"unknown target 'npu-v9'"):
+            build_hardware_model(tiny_space, config)
+
+    def test_device_override_by_name(self, tiny_space):
+        model = build_hardware_model(
+            tiny_space, EDDConfig(target="gpu"), device="gtx-1080ti"
+        )
+        assert model.device.name == "GTX 1080 Ti"
+
+    def test_device_not_allowed_for_target(self, tiny_space):
+        with pytest.raises(ValueError, match="not registered for target"):
+            build_hardware_model(
+                tiny_space, EDDConfig(target="fpga_recursive"),
+                device="titan-rtx",
+            )
+
+
+class TestTargetSpecCapabilities:
+    def test_clamp_inside_menu_is_identity(self):
+        spec = get_target("fpga_pipelined")
+        for bits in spec.deploy_bits:
+            assert spec.clamp_bits(bits) == (bits, False)
+
+    def test_clamp_above_menu(self):
+        assert get_target("fpga_recursive").clamp_bits(32) == (16, True)
+
+    def test_clamp_below_menu(self):
+        assert get_target("gpu").clamp_bits(4) == (8, True)
+
+    def test_default_resource_fractions(self):
+        assert get_target("gpu").default_resource_fraction == 1.0
+        assert get_target("fpga_pipelined").default_resource_fraction < 1.0
+
+    def test_estimator_present_for_all_targets(self):
+        for name in TARGETS.names():
+            assert get_target(name).estimator is not None
+
+
+class TestExtension:
+    def test_new_target_registration(self, tiny_space):
+        """The plug-in recipe from the README, end to end."""
+        from repro.hw.registry import register_device, register_target
+        from repro.nas.quantization import QuantizationConfig
+
+        device = GPUDevice(name="Test GPU", peak_fp32_tflops=1.0,
+                           mem_bandwidth_gbps=100.0)
+        try:
+            register_device("test-gpu", device)
+
+            @register_target(
+                name="test_target",
+                description="unit-test target",
+                quantization=QuantizationConfig.gpu,
+                default_device="test-gpu",
+                devices=("test-gpu",),
+                deploy_bits=(8, 16, 32),
+                default_deploy_bits=32,
+            )
+            def _build(space, quant, config, dev):
+                return GPUModel(space, quant, device=dev)
+
+            assert "test_target" in TARGETS
+            model = build_hardware_model(
+                tiny_space, EDDConfig(target="test_target")
+            )
+            assert model.device is device
+        finally:
+            # Registries are process-global: undo so other tests see only the
+            # built-in entries.
+            TARGETS._items.pop("test-target", None)
+            TARGETS._display.pop("test-target", None)
+            DEVICES._items.pop("test-gpu", None)
+            DEVICES._display.pop("test-gpu", None)
+
+    def test_target_referencing_unknown_device_rejected(self):
+        from repro.hw.registry import register_target
+        from repro.nas.quantization import QuantizationConfig
+
+        with pytest.raises(ValueError, match="unregistered device"):
+            @register_target(
+                name="bad_target",
+                description="",
+                quantization=QuantizationConfig.gpu,
+                default_device="no-such-board",
+                devices=("no-such-board",),
+                deploy_bits=(32,),
+                default_deploy_bits=32,
+            )
+            def _build(space, quant, config, dev):  # pragma: no cover
+                raise AssertionError("should not be registered")
+        assert "bad_target" not in TARGETS
