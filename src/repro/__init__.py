@@ -5,7 +5,7 @@ so ``import repro`` stays cheap); hardware targets and devices are registered
 in :mod:`repro.hw.registry`.
 """
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = ["api", "__version__"]
 

@@ -8,8 +8,10 @@ variables alike — exactly the property the paper's formulation needs.
 
 Design notes
 ------------
-* Tensors hold ``float64`` numpy arrays; gradients are dense arrays of the
-  same shape.
+* Tensors hold numpy arrays in the policy dtype — ``float32`` by default,
+  switchable via :func:`set_default_dtype` / the :func:`default_dtype`
+  context manager (``float64`` is retained for gradcheck-grade numerics).
+  Gradients are dense arrays of the same shape and dtype.
 * Each primitive op records its parents and a backward closure; ``backward``
   runs a topological sort.  There is no tape object — the graph *is* the
   tape.
@@ -17,7 +19,14 @@ Design notes
   parent shape.
 """
 
-from repro.autograd.tensor import Tensor, no_grad, tensor
+from repro.autograd.tensor import (
+    Tensor,
+    default_dtype,
+    get_default_dtype,
+    no_grad,
+    set_default_dtype,
+    tensor,
+)
 from repro.autograd.ops_basic import (
     add,
     div,
@@ -61,6 +70,9 @@ from repro.autograd.gradcheck import gradcheck
 __all__ = [
     "Tensor",
     "add",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
     "avg_pool2d",
     "broadcast_to",
     "concat",

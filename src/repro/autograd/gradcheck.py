@@ -4,15 +4,22 @@
 central finite differences.  Every primitive op in the engine is validated by
 the test-suite through this routine; it is also exported so downstream users
 can verify custom composite ops.
+
+Even though the library's default dtype policy is ``float32`` (the fast
+path), ``gradcheck`` runs under an explicit dtype policy — ``float64`` by
+default — because central differences at ``eps=1e-6`` are meaningless in
+single precision.  Pass ``dtype=np.float32`` (with loosened ``eps``/``atol``/
+``rtol``) to verify that gradients also hold at the production precision.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, default_dtype
 
 
 def numerical_gradient(
@@ -43,25 +50,40 @@ def gradcheck(
     eps: float = 1e-6,
     atol: float = 1e-5,
     rtol: float = 1e-4,
+    dtype: Any = np.float64,
 ) -> bool:
     """Verify analytic gradients of ``fn`` against finite differences.
 
-    Raises ``AssertionError`` with a diagnostic message on mismatch; returns
-    True on success so it can sit inside ``assert gradcheck(...)``.
+    Inputs are cast to ``dtype`` and both passes run under that dtype policy
+    (``float64`` by default, so checks stay precise even when the global
+    policy is ``float32``).  Raises ``AssertionError`` with a diagnostic
+    message on mismatch; returns True on success so it can sit inside
+    ``assert gradcheck(...)``.
     """
-    for t in inputs:
-        t.zero_grad()
-    out = fn(*inputs)
-    out.backward(np.ones_like(out.data))
-    for i, t in enumerate(inputs):
-        if not t.requires_grad:
-            continue
-        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
-        numeric = numerical_gradient(fn, inputs, i, eps=eps)
-        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
-            worst = np.max(np.abs(analytic - numeric))
-            raise AssertionError(
-                f"gradient mismatch on input {i}: max abs diff {worst:.3e}\n"
-                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
-            )
+    original_data = [t.data for t in inputs]
+    try:
+        with default_dtype(dtype):
+            for t in inputs:
+                t.data = np.asarray(t.data, dtype=np.dtype(dtype))
+                t.zero_grad()
+            out = fn(*inputs)
+            out.backward(np.ones_like(out.data))
+            for i, t in enumerate(inputs):
+                if not t.requires_grad:
+                    continue
+                analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+                numeric = numerical_gradient(fn, inputs, i, eps=eps)
+                if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+                    worst = np.max(np.abs(analytic - numeric))
+                    raise AssertionError(
+                        f"gradient mismatch on input {i}: max abs diff {worst:.3e}\n"
+                        f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+                    )
+    finally:
+        # The check rebinds t.data (dtype cast) and accumulates its own seed
+        # gradients; restore the caller's arrays and clear grads so checking
+        # a live model never silently changes its state.
+        for t, data in zip(inputs, original_data):
+            t.data = data
+            t.zero_grad()
     return True

@@ -167,6 +167,23 @@ def round_ste(a: Tensor) -> Tensor:
     return make_op(out, (a,), backward, "round_ste")
 
 
+def quantize_ste(a: Tensor, scale: float, low: float, high: float) -> Tensor:
+    """Fused fake-quantisation: clip to ``[low, high]``, snap to the ``scale``
+    grid, with straight-through gradients inside the clip range.
+
+    Equivalent to ``round_ste(clip_ste(a, low, high) * (1/scale)) * scale``
+    as a single graph node — the STE gradients of the composite collapse to
+    ``grad * (low <= a <= high)`` because the scale factors cancel.
+    """
+    out = np.round(np.clip(a.data, low, high) * (1.0 / scale)) * scale
+
+    def backward(grad: np.ndarray):
+        inside = (a.data >= low) & (a.data <= high)
+        return (grad * inside,)
+
+    return make_op(out, (a,), backward, "quantize_ste")
+
+
 def clip_ste(a: Tensor, low: float, high: float) -> Tensor:
     """Clip values to ``[low, high]`` passing gradients only inside the range."""
     out = np.clip(a.data, low, high)

@@ -62,7 +62,7 @@ def max_reduce(a: Tensor, axis: Axis = None, keepdims: bool = False) -> Tensor:
 
     def backward(grad: np.ndarray):
         grad = _restore_dims(grad, axes, keepdims)
-        mask = (a.data == out_kept).astype(np.float64)
+        mask = (a.data == out_kept).astype(a.data.dtype)
         mask /= mask.sum(axis=axes, keepdims=True)
         return (mask * grad,)
 

@@ -1,9 +1,20 @@
-"""The :class:`Tensor` node type and graph-walking ``backward``.
+"""The :class:`Tensor` node type, the dtype policy and graph-walking ``backward``.
 
 A tensor is a numpy array plus (optionally) a record of how it was computed:
 its ``parents`` and a ``backward_fn`` mapping the output gradient to one
 gradient per parent.  ``Tensor.backward()`` topologically sorts the graph and
 accumulates gradients into every leaf with ``requires_grad=True``.
+
+Dtype policy
+------------
+Every tensor holds its array in the *default dtype* — ``float32`` unless
+changed via :func:`set_default_dtype` or the :func:`default_dtype` context
+manager.  Op outputs are coerced back to the policy dtype by ``make_op``, so
+a graph can never silently upcast (a float64 constant slipping into one op
+does not poison everything downstream).  ``float64`` remains available for
+precision-critical work — :func:`repro.autograd.gradcheck.gradcheck` runs its
+finite differences under a ``float64`` policy regardless of the global
+setting.
 """
 
 from __future__ import annotations
@@ -19,6 +30,49 @@ import numpy as np
 BackwardFn = Callable[[np.ndarray], Sequence[np.ndarray | None]]
 
 _grad_enabled = True
+
+SUPPORTED_DTYPES = (np.float32, np.float64)
+
+_default_dtype = np.dtype(np.float32)
+
+
+def _as_dtype(dtype: Any) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved not in (np.dtype(d) for d in SUPPORTED_DTYPES):
+        supported = [np.dtype(d).name for d in SUPPORTED_DTYPES]
+        raise ValueError(
+            f"unsupported dtype {resolved.name!r}; supported: {supported}"
+        )
+    return resolved
+
+
+def set_default_dtype(dtype: Any) -> np.dtype:
+    """Set the global tensor dtype policy; returns the *previous* dtype.
+
+    ``float32`` (the default) is the fast path for search and training;
+    ``float64`` is retained for gradcheck-grade numerics.  Tensors created
+    before the switch keep their dtype — the policy applies to construction
+    and to op outputs from this point on.
+    """
+    global _default_dtype
+    previous = _default_dtype
+    _default_dtype = _as_dtype(dtype)
+    return previous
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype newly constructed tensors (and op outputs) are coerced to."""
+    return _default_dtype
+
+
+@contextlib.contextmanager
+def default_dtype(dtype: Any) -> Iterator[np.dtype]:
+    """Scoped :func:`set_default_dtype` (restores the previous policy)."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield _default_dtype
+    finally:
+        set_default_dtype(previous)
 
 
 @contextlib.contextmanager
@@ -43,9 +97,12 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like; stored as ``float64`` (gradcheck-friendly precision).
+        Array-like; stored in the policy dtype (see :func:`set_default_dtype`)
+        unless an explicit ``dtype`` is given.
     requires_grad:
         Whether gradients should be accumulated into ``self.grad``.
+    dtype:
+        Explicit storage dtype overriding the policy (``float32``/``float64``).
     parents, backward_fn, op_name:
         Graph-construction internals filled in by the op layer; user code
         never passes these.
@@ -60,8 +117,10 @@ class Tensor:
         parents: tuple["Tensor", ...] = (),
         backward_fn: BackwardFn | None = None,
         op_name: str = "leaf",
+        dtype: Any = None,
     ) -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+        target = _default_dtype if dtype is None else _as_dtype(dtype)
+        self.data = np.asarray(data, dtype=target)
         self.requires_grad = bool(requires_grad)
         self.grad: np.ndarray | None = None
         self.parents = parents
@@ -76,6 +135,10 @@ class Tensor:
     @property
     def ndim(self) -> int:
         return self.data.ndim
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
 
     @property
     def size(self) -> int:
@@ -97,8 +160,12 @@ class Tensor:
 
     # -- graph management ---------------------------------------------------
     def detach(self) -> "Tensor":
-        """A view of the same data cut off from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        """A view of the same data cut off from the graph (dtype preserved)."""
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
+
+    def astype(self, dtype: Any) -> "Tensor":
+        """A graph-detached copy in ``dtype`` (explicit, never silent)."""
+        return Tensor(self.data, requires_grad=False, dtype=dtype)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -113,7 +180,7 @@ class Tensor:
         if grad is None:
             grad = np.ones_like(self.data)
         else:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=self.data.dtype)
             if grad.shape != self.data.shape:
                 raise ValueError(
                     f"seed gradient shape {grad.shape} does not match tensor "
@@ -237,9 +304,9 @@ class Tensor:
         return tanh(self)
 
 
-def tensor(data: Any, requires_grad: bool = False) -> Tensor:
+def tensor(data: Any, requires_grad: bool = False, dtype: Any = None) -> Tensor:
     """Construct a leaf tensor (the public constructor)."""
-    return Tensor(data, requires_grad=requires_grad)
+    return Tensor(data, requires_grad=requires_grad, dtype=dtype)
 
 
 def _coerce(value: Any) -> Tensor:

@@ -5,6 +5,11 @@ combined objective (short proxy training for accuracy + device model for
 performance), and returns the best.  Differentiable co-search should beat
 this at equal candidate-evaluation budget; ``bench_ablation_cosearch.py``
 checks it does.
+
+Each candidate's proxy training goes through
+:func:`repro.core.trainer.train_from_spec`, which drives the shared
+:class:`repro.core.engine.SearchEngine` — this module holds no epoch loop of
+its own.
 """
 
 from __future__ import annotations

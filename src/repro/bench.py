@@ -1,0 +1,317 @@
+"""Headless numerics benchmark suite (``repro bench``).
+
+Measures the hot paths this library lives on and writes a machine-readable
+``BENCH_numerics.json`` so the performance trajectory is tracked per PR:
+
+* ``conv``      — conv2d forward+backward microbenchmarks over the supernet's
+  actual workload shapes (MBConv expand/depthwise/project, stem, grouped);
+* ``supernet``  — one bilevel weight step and one architecture step of
+  :class:`repro.core.cosearch.EDDSearcher`;
+* ``search``    — a small end-to-end ``repro.api.search()`` run, with the
+  engine's per-phase wall-clock split.
+
+Every section reports the *current* implementation next to a faithful
+**pre-refactor baseline** emulated in-process: float64 tensor policy, the
+original shift-and-accumulate convolutions (:func:`_reference_conv2d`), the
+composite (unfused) BatchNorm and the composite straight-through
+fake-quantisation — i.e. the hot path exactly as it was before the fast
+numerics core landed.  Speedups are therefore measured in the same
+environment on the same machine, as like-for-like as an in-repo harness can
+make them.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.autograd import ops_nn
+from repro.autograd.ops_basic import clip_ste, round_ste
+from repro.autograd.tensor import Tensor, default_dtype, get_default_dtype, tensor
+
+# (batch, c_in, h, w, c_out, kernel, stride, padding, groups) — the conv
+# population of a supernet step at reduced scale ("r_") and at the paper's
+# MBConv widths ("p_"), plus a grouped-conv case (where the old
+# implementation looped over groups *and* offsets).
+CONV_CASES: dict[str, tuple[int, ...]] = {
+    "r_stem3x3_s2": (12, 3, 12, 12, 8, 3, 2, 1, 1),
+    "r_expand1x1": (12, 16, 6, 6, 64, 1, 1, 0, 1),
+    "r_dw3x3": (12, 64, 6, 6, 64, 3, 1, 1, 64),
+    "r_dw5x5_s2": (12, 64, 6, 6, 64, 5, 2, 2, 64),
+    "r_project1x1": (12, 64, 3, 3, 32, 1, 1, 0, 1),
+    "p_expand1x1": (12, 16, 12, 12, 96, 1, 1, 0, 1),
+    "p_dw3x3": (12, 96, 12, 12, 96, 3, 1, 1, 96),
+    "p_dw5x5": (12, 96, 12, 12, 96, 5, 1, 2, 96),
+    "p_project1x1": (12, 96, 12, 12, 32, 1, 1, 0, 1),
+    "dense3x3": (16, 32, 14, 14, 64, 3, 1, 1, 1),
+    "grouped3x3_g4": (16, 32, 14, 14, 64, 3, 1, 1, 4),
+}
+
+
+def _median_seconds(fn: Callable[[], Any], repeats: int, warmup: int = 2) -> float:
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+# ------------------------------------------------------- baseline emulation
+def _composite_bn_forward(self, x):
+    """The pre-refactor BatchNorm2d.forward (unfused autograd composite)."""
+    if x.ndim != 4:
+        raise ValueError(f"BatchNorm2d expects NCHW input, got {x.shape}")
+    if self.training:
+        batch_mean = x.data.mean(axis=(0, 2, 3))
+        batch_var = x.data.var(axis=(0, 2, 3))
+        self.running_mean = (
+            (1.0 - self.momentum) * self.running_mean + self.momentum * batch_mean
+        )
+        self.running_var = (
+            (1.0 - self.momentum) * self.running_var + self.momentum * batch_var
+        )
+        mean_t = x.mean(axis=(0, 2, 3), keepdims=True)
+        centered = x - mean_t
+        var_t = (centered * centered).mean(axis=(0, 2, 3), keepdims=True)
+        inv_std = (var_t + self.eps) ** -0.5
+        normalised = centered * inv_std
+    else:
+        mean = self.running_mean.reshape(1, -1, 1, 1)
+        inv_std = 1.0 / np.sqrt(self.running_var.reshape(1, -1, 1, 1) + self.eps)
+        normalised = (x - Tensor(mean)) * Tensor(inv_std)
+    gamma = self.gamma.reshape(1, self.channels, 1, 1)
+    beta = self.beta.reshape(1, self.channels, 1, 1)
+    return normalised * gamma + beta
+
+
+def _composite_fake_quantize(x, bits, max_abs=None):
+    """The pre-refactor fake_quantize (clip_ste -> scale -> round_ste)."""
+    if bits >= 32:
+        return x
+    if bits < 2:
+        raise ValueError(f"cannot quantise to {bits} bits")
+    if max_abs is None:
+        max_abs = float(np.max(np.abs(x.data))) or 1.0
+    if max_abs < 1e-30:
+        return x
+    levels = float(2 ** (bits - 1) - 1)
+    scale = max_abs / levels
+    clipped = clip_ste(x, -max_abs, max_abs)
+    return round_ste(clipped * (1.0 / scale)) * scale
+
+
+@contextlib.contextmanager
+def pre_refactor_numerics() -> Iterator[None]:
+    """Emulate the pre-refactor hot path: float64 policy, loop convolutions,
+    composite BatchNorm and composite fake-quantisation."""
+    import repro.nas.network as network
+    import repro.nas.quantization as quantization
+    import repro.nas.supernet as supernet
+    from repro.nn.layers import BatchNorm2d
+
+    # Every module that imported fake_quantize by value needs its own patch.
+    quantize_holders = (quantization, supernet, network)
+    saved_quantize = [m.fake_quantize for m in quantize_holders]
+    saved = (ops_nn.conv2d, BatchNorm2d.forward)
+    ops_nn.conv2d = ops_nn._reference_conv2d
+    BatchNorm2d.forward = _composite_bn_forward
+    for module in quantize_holders:
+        module.fake_quantize = _composite_fake_quantize
+    try:
+        with default_dtype(np.float64):
+            yield
+    finally:
+        ops_nn.conv2d, BatchNorm2d.forward = saved
+        for module, original in zip(quantize_holders, saved_quantize):
+            module.fake_quantize = original
+
+
+# ------------------------------------------------------------------ sections
+def bench_conv(quick: bool = False) -> dict[str, Any]:
+    """Conv fwd+bwd per case: current vs pre-refactor, interleaved."""
+    repeats = 5 if quick else 15
+    rng = np.random.default_rng(2026)
+    cases = []
+    for name, (n, c_in, h, w, c_out, k, s, p, g) in CONV_CASES.items():
+        x = rng.normal(size=(n, c_in, h, w))
+        weight = rng.normal(size=(c_out, c_in // g, k, k))
+
+        def fwd_bwd(conv_fn):
+            xt = tensor(x, requires_grad=True)
+            wt = tensor(weight, requires_grad=True)
+            out = conv_fn(xt, wt, stride=s, padding=p, groups=g)
+            out.backward(np.ones(out.shape, dtype=xt.data.dtype))
+
+        current = _median_seconds(lambda: fwd_bwd(ops_nn.conv2d), repeats)
+
+        def baseline_once():
+            with default_dtype(np.float64):
+                fwd_bwd(ops_nn._reference_conv2d)
+
+        baseline = _median_seconds(baseline_once, max(3, repeats // 3))
+        cases.append({
+            "name": name,
+            "shape": {"batch": n, "c_in": c_in, "hw": h, "c_out": c_out,
+                      "kernel": k, "stride": s, "groups": g},
+            "current_ms": current * 1e3,
+            "baseline_ms": baseline * 1e3,
+            "current_ops_per_sec": 1.0 / current,
+            "speedup": baseline / current,
+        })
+    speedups = [c["speedup"] for c in cases]
+    return {
+        "cases": cases,
+        "geomean_speedup": float(np.exp(np.mean(np.log(speedups)))),
+        "total_speedup": float(
+            sum(c["baseline_ms"] for c in cases) / sum(c["current_ms"] for c in cases)
+        ),
+    }
+
+
+def _make_searcher():
+    from repro.core.config import EDDConfig
+    from repro.core.cosearch import EDDSearcher
+    from repro.data.synthetic import SyntheticTaskConfig, make_synthetic_task
+    from repro.nas.space import SearchSpaceConfig
+
+    space = SearchSpaceConfig.reduced(num_blocks=3, num_classes=6, input_size=12)
+    splits = make_synthetic_task(SyntheticTaskConfig(
+        num_classes=6, image_size=12, train_per_class=16, val_per_class=8,
+        test_per_class=8, seed=0,
+    ))
+    config = EDDConfig(target="fpga_pipelined", epochs=4, batch_size=12,
+                       seed=0, arch_start_epoch=1)
+    searcher = EDDSearcher(space, splits, config)
+    searcher.calibrate_alpha()
+    return searcher, splits
+
+
+def bench_supernet_step(quick: bool = False) -> dict[str, Any]:
+    """One bilevel weight step + one architecture step, current vs baseline."""
+    repeats = 4 if quick else 10
+
+    def measure():
+        searcher, splits = _make_searcher()
+        x, y = splits.train.images[:12], splits.train.labels[:12]
+        xv, yv = splits.val.images[:12], splits.val.labels[:12]
+        weight = _median_seconds(lambda: searcher.weight_step(x, y), repeats)
+        arch = _median_seconds(lambda: searcher.arch_step(xv, yv), repeats)
+        return weight, arch
+
+    weight_now, arch_now = measure()
+    with pre_refactor_numerics():
+        weight_base, arch_base = measure()
+    return {
+        "weight_step_ms": weight_now * 1e3,
+        "arch_step_ms": arch_now * 1e3,
+        "baseline_weight_step_ms": weight_base * 1e3,
+        "baseline_arch_step_ms": arch_base * 1e3,
+        "weight_step_speedup": weight_base / weight_now,
+        "arch_step_speedup": arch_base / arch_now,
+        "weight_steps_per_sec": 1.0 / weight_now,
+    }
+
+
+def bench_search(quick: bool = False) -> dict[str, Any]:
+    """End-to-end ``api.search()`` wall time, current vs baseline."""
+    from repro import api
+
+    request = api.SearchRequest(
+        target="fpga_pipelined",
+        epochs=2 if quick else 4,
+        blocks=2 if quick else 3,
+        seed=0,
+        batch_size=12,
+        arch_start_epoch=1,
+        name="bench",
+    )
+
+    def run() -> tuple[float, dict | None]:
+        start = time.perf_counter()
+        report = api.search(request)
+        return time.perf_counter() - start, report.result.phase_seconds
+
+    wall_now, phases = run()
+    with pre_refactor_numerics():
+        wall_base, _ = run()
+    return {
+        "epochs": request.epochs,
+        "blocks": request.blocks,
+        "wall_seconds": wall_now,
+        "baseline_wall_seconds": wall_base,
+        "speedup": wall_base / wall_now,
+        "phase_seconds": phases,
+    }
+
+
+def run_benchmarks(quick: bool = False) -> dict[str, Any]:
+    """Run every section; returns the JSON-serialisable report."""
+    return {
+        "meta": {
+            "quick": quick,
+            "dtype_policy": get_default_dtype().name,
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "conv": bench_conv(quick),
+        "supernet": bench_supernet_step(quick),
+        "search": bench_search(quick),
+    }
+
+
+def write_report(report: dict[str, Any], path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """Human-readable summary of :func:`run_benchmarks` output."""
+    lines = [
+        f"numerics bench (dtype={report['meta']['dtype_policy']}, "
+        f"numpy {report['meta']['numpy']}, quick={report['meta']['quick']})",
+        "",
+        f"{'conv case':16s} {'current':>10s} {'baseline':>10s} {'speedup':>8s}",
+    ]
+    for case in report["conv"]["cases"]:
+        lines.append(
+            f"{case['name']:16s} {case['current_ms']:8.2f}ms "
+            f"{case['baseline_ms']:8.2f}ms {case['speedup']:7.1f}x"
+        )
+    lines.append(
+        f"{'geomean':16s} {'':>10s} {'':>10s} "
+        f"{report['conv']['geomean_speedup']:7.1f}x"
+    )
+    sup = report["supernet"]
+    lines += [
+        "",
+        f"supernet weight step {sup['weight_step_ms']:7.1f}ms "
+        f"(baseline {sup['baseline_weight_step_ms']:.1f}ms, "
+        f"{sup['weight_step_speedup']:.1f}x)",
+        f"supernet arch step   {sup['arch_step_ms']:7.1f}ms "
+        f"(baseline {sup['baseline_arch_step_ms']:.1f}ms, "
+        f"{sup['arch_step_speedup']:.1f}x)",
+    ]
+    search = report["search"]
+    lines.append(
+        f"api.search ({search['epochs']} epochs, {search['blocks']} blocks) "
+        f"{search['wall_seconds']:.2f}s (baseline "
+        f"{search['baseline_wall_seconds']:.2f}s, {search['speedup']:.1f}x)"
+    )
+    if search.get("phase_seconds"):
+        shares = ", ".join(
+            f"{phase}={seconds:.2f}s"
+            for phase, seconds in search["phase_seconds"].items()
+        )
+        lines.append(f"  engine phases: {shares}")
+    return "\n".join(lines)

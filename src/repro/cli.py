@@ -10,6 +10,9 @@ Commands
              registered hardware target.
 ``search``   run a reduced-scale co-search and print the derived network
              plus its convergence trajectory.
+``bench``    run the numerics benchmark suite headlessly and write
+             ``BENCH_numerics.json`` (conv fwd+bwd, supernet step,
+             end-to-end search — each against the pre-refactor baseline).
 
 ``tables``, ``zoo``, ``explore`` and ``search`` accept ``--format json`` for
 machine-readable output (the ``to_dict()`` forms from :mod:`repro.api`).
@@ -167,6 +170,19 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    report = bench.run_benchmarks(quick=args.quick)
+    path = bench.write_report(report, args.output)
+    if args.format == "json":
+        _emit_json(report)
+    else:
+        print(bench.render_report(report))
+        print(f"\nwrote {path}")
+    return 0
+
+
 def _add_format(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="output format (json is machine-readable)")
@@ -221,6 +237,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--retrain", action="store_true")
     _add_format(p_search)
     p_search.set_defaults(fn=_cmd_search)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the numerics benchmark suite headlessly"
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="fewer repeats and a smaller search "
+                              "(CI smoke mode)")
+    p_bench.add_argument("--output", default="BENCH_numerics.json",
+                         help="where to write the JSON report")
+    _add_format(p_bench)
+    p_bench.set_defaults(fn=_cmd_bench)
     return parser
 
 

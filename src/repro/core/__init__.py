@@ -2,6 +2,7 @@
 
 from repro.core.checkpoint import load_checkpoint, save_checkpoint
 from repro.core.config import EDDConfig
+from repro.core.engine import EngineRun, EpochContext, SearchEngine
 from repro.core.loss import combined_loss
 from repro.core.cosearch import EDDSearcher, build_hardware_model, build_supernet
 from repro.core.results import EpochRecord, SearchResult, TrainResult
@@ -9,6 +10,9 @@ from repro.core.trainer import evaluate_network, train_from_spec
 
 __all__ = [
     "EDDConfig",
+    "EngineRun",
+    "EpochContext",
+    "SearchEngine",
     "load_checkpoint",
     "save_checkpoint",
     "EDDSearcher",

@@ -20,11 +20,13 @@ backwards compatibility — targets/devices are registered and resolved in
 from __future__ import annotations
 
 import time
+import warnings
 
 import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.core.config import EDDConfig
+from repro.core.engine import EpochContext, SearchEngine
 from repro.core.loss import combined_loss
 from repro.core.results import EpochRecord, SearchResult
 from repro.data.loader import DataLoader
@@ -52,6 +54,12 @@ def quantization_for_target(target: str) -> QuantizationConfig:
         :func:`repro.hw.registry.quantization_for_target` (or go through
         ``repro.api``), where every target is registered exactly once.
     """
+    warnings.warn(
+        "repro.core.cosearch.quantization_for_target is deprecated; use "
+        "repro.hw.registry.quantization_for_target instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return hw_registry.quantization_for_target(target)
 
 
@@ -76,6 +84,12 @@ def build_hardware_model(
         ``repro.api``).  Unknown targets raise ``ValueError`` listing the
         registered names.
     """
+    warnings.warn(
+        "repro.core.cosearch.build_hardware_model is deprecated; use "
+        "repro.hw.registry.build_hardware_model instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return hw_registry.build_hardware_model(space, config, device=device)
 
 
@@ -94,7 +108,9 @@ class EDDSearcher:
         self.space = space
         self.splits = splits
         self.supernet = supernet or build_supernet(space, self.config)
-        self.hw_model = hw_model or build_hardware_model(space, self.config)
+        self.hw_model = hw_model or hw_registry.build_hardware_model(
+            space, self.config
+        )
         self.sampler = GumbelSoftmax(
             schedule=TemperatureSchedule(
                 t_initial=self.config.temperature_initial,
@@ -297,61 +313,20 @@ class EDDSearcher:
             "unroll_scale": stats_extra,
         }
 
-    # -- main loop --------------------------------------------------------------
-    def search(self, name: str = "EDD-searched") -> SearchResult:
-        config = self.config
-        start = time.perf_counter()
-        if not self._alpha_calibrated:
-            self.calibrate_alpha()
-        train_loader = DataLoader(
-            self.splits.train, config.batch_size, shuffle=True, seed=config.seed + 2
-        )
-        val_loader = DataLoader(
-            self.splits.val, config.batch_size, shuffle=True, seed=config.seed + 3
-        )
-        history: list[EpochRecord] = []
-        for epoch in range(config.epochs):
-            temperature = self.sampler.set_epoch(epoch)
-            train_batches = list(train_loader)
-            train_losses = [self.weight_step(x, y) for x, y in train_batches]
-            if epoch >= config.arch_start_epoch:
-                if config.bilevel_order == 2:
-                    arch_stats = [
-                        self.arch_step_unrolled(
-                            x, y, *train_batches[i % len(train_batches)]
-                        )
-                        for i, (x, y) in enumerate(val_loader)
-                    ]
-                else:
-                    arch_stats = [self.arch_step(x, y) for x, y in val_loader]
-            else:
-                arch_stats = []
+    # -- engine plumbing ---------------------------------------------------------
+    def _engine_arch_step(
+        self, images: np.ndarray, labels: np.ndarray, ctx: EpochContext
+    ) -> dict[str, float]:
+        """Engine adapter: first- or second-order arch step per config."""
+        if self.config.bilevel_order == 2:
+            train_x, train_y = ctx.train_batches[ctx.step % len(ctx.train_batches)]
+            return self.arch_step_unrolled(images, labels, train_x, train_y)
+        return self.arch_step(images, labels)
 
-            def _mean(key: str) -> float:
-                if not arch_stats:
-                    return float("nan")
-                return float(np.mean([s[key] for s in arch_stats]))
-
-            record = EpochRecord(
-                epoch=epoch,
-                train_loss=float(np.mean(train_losses)),
-                val_acc_loss=_mean("acc_loss"),
-                perf_loss=_mean("perf_loss"),
-                resource=_mean("resource"),
-                total_loss=_mean("total_loss"),
-                temperature=temperature,
-                theta_perplexity=float(np.mean(perplexity(self.supernet.theta.data))),
-            )
-            history.append(record)
-            if config.log_every and epoch % config.log_every == 0:
-                logger.info(
-                    "epoch %d train=%.3f val=%.3f perf=%.3f res=%.1f T=%.2f",
-                    epoch, record.train_loss, record.val_acc_loss,
-                    record.perf_loss, record.resource, temperature,
-                )
-
+    def _derive(self, name: str) -> tuple:
+        """Derive phase: argmax spec plus FPGA parallel-factor retuning."""
         spec = derive_arch_spec(self.supernet, name=name)
-        spec.metadata["target"] = config.target
+        spec.metadata["target"] = self.config.target
         parallel_factors = None
         if isinstance(self.hw_model, FPGAModel):
             theta_idx = [int(i) for i in self.supernet.theta.data.argmax(axis=-1)]
@@ -360,12 +335,55 @@ class EDDSearcher:
             )
             parallel_factors = self.hw_model.retune_parallel_factors(theta_idx, bits)
             spec.metadata["parallel_factors"] = parallel_factors
+        return spec, parallel_factors
+
+    def _log_epoch(self, record: EpochRecord) -> None:
+        if self.config.log_every and record.epoch % self.config.log_every == 0:
+            logger.info(
+                "epoch %d train=%.3f val=%.3f perf=%.3f res=%.1f T=%.2f",
+                record.epoch, record.train_loss, record.val_acc_loss,
+                record.perf_loss, record.resource, record.temperature,
+            )
+
+    def build_engine(self, name: str = "EDD-searched") -> SearchEngine:
+        """The :class:`~repro.core.engine.SearchEngine` behind :meth:`search`."""
+        return SearchEngine(
+            epochs=self.config.epochs,
+            weight_step=self.weight_step,
+            arch_step=self._engine_arch_step,
+            arch_start_epoch=self.config.arch_start_epoch,
+            anneal=self.sampler.set_epoch,
+            derive=lambda: self._derive(name),
+            perplexity_fn=lambda: float(
+                np.mean(perplexity(self.supernet.theta.data))
+            ),
+            # Only the DARTS-style unrolled arch step reads the epoch's
+            # training batches.
+            buffer_train_batches=self.config.bilevel_order == 2,
+            callbacks=[self._log_epoch],
+        )
+
+    # -- main loop --------------------------------------------------------------
+    def search(self, name: str = "EDD-searched") -> SearchResult:
+        config = self.config
+        start = time.perf_counter()  # includes alpha calibration, as before
+        if not self._alpha_calibrated:
+            self.calibrate_alpha()
+        train_loader = DataLoader(
+            self.splits.train, config.batch_size, shuffle=True, seed=config.seed + 2
+        )
+        val_loader = DataLoader(
+            self.splits.val, config.batch_size, shuffle=True, seed=config.seed + 3
+        )
+        run = self.build_engine(name).run(train_loader, val_loader)
+        spec, parallel_factors = run.derived
         return SearchResult(
             spec=spec,
-            history=history,
+            history=run.history,
             theta=self.supernet.theta.data.copy(),
             phi=self.supernet.phi.data.copy(),
             parallel_factors=parallel_factors,
             search_seconds=time.perf_counter() - start,
             config=config,
+            phase_seconds=dict(run.phase_seconds),
         )

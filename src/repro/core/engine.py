@@ -1,0 +1,249 @@
+"""Reusable epoch-driven search/training engine.
+
+Every training-style loop in the repo — the bilevel co-search, the
+architecture-only baselines and plain from-scratch training — is the same
+skeleton: *anneal* a schedule, run *weight* steps over the training loader,
+optionally run *arch* steps over the validation loader, record an epoch
+summary, and finally *derive* a result.  :class:`SearchEngine` owns that
+skeleton exactly once; callers plug in phase callbacks and receive an
+:class:`EngineRun` with the epoch history and wall-clock accounting per
+phase.
+
+Drivers
+-------
+* :meth:`repro.core.cosearch.EDDSearcher.search` — full co-search (all four
+  phases; second-order arch steps reach the epoch's training batches through
+  the :class:`EpochContext`).
+* :class:`repro.baselines.fixed_impl_nas.FixedImplementationNAS` — inherits
+  the searcher's engine wiring.
+* :func:`repro.core.trainer.train_from_spec` — weight phase only, with the
+  LR schedule as the (end-of-epoch) anneal hook; the random-search baseline
+  drives the engine through it for every candidate it scores.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.results import EpochRecord
+
+PHASES = ("anneal", "weight", "arch", "derive")
+
+Batch = tuple[np.ndarray, np.ndarray]
+
+
+@dataclass
+class EpochContext:
+    """What an arch step may see of the epoch it runs in.
+
+    ``train_batches`` holds the epoch's materialised training batches so
+    second-order (unrolled) architecture steps can take virtual weight steps
+    on real training data; ``step`` is the index of the current validation
+    batch.
+    """
+
+    epoch: int
+    temperature: float = float("nan")
+    step: int = 0
+    train_batches: list[Batch] = field(default_factory=list)
+
+
+@dataclass
+class EngineRun:
+    """Outcome of :meth:`SearchEngine.run`."""
+
+    history: list[EpochRecord]
+    phase_seconds: dict[str, float]
+    phase_calls: dict[str, int]
+    wall_seconds: float
+    derived: Any = None
+
+    def timing_summary(self) -> dict[str, Any]:
+        """JSON-friendly per-phase accounting (seconds, calls, share)."""
+        total = self.wall_seconds or 1.0
+        return {
+            phase: {
+                "seconds": self.phase_seconds[phase],
+                "calls": self.phase_calls[phase],
+                "share": self.phase_seconds[phase] / total,
+            }
+            for phase in PHASES
+        }
+
+
+WeightStep = Callable[[np.ndarray, np.ndarray], float]
+ArchStep = Callable[[np.ndarray, np.ndarray, EpochContext], dict[str, float]]
+EpochCallback = Callable[[EpochRecord], None]
+
+# Keys an arch step must report; they populate the EpochRecord telemetry.
+_ARCH_STAT_KEYS = ("acc_loss", "perf_loss", "resource", "total_loss")
+
+
+class SearchEngine:
+    """Drives epochs of ``anneal -> weight -> arch`` plus a final ``derive``.
+
+    Parameters
+    ----------
+    epochs:
+        Number of epochs to run (0 is allowed: no steps, straight to derive).
+    weight_step:
+        ``(images, labels) -> loss`` — the inner-level update.
+    arch_step:
+        Optional ``(images, labels, ctx) -> stats dict`` run over the
+        validation loader from ``arch_start_epoch`` on; the stats dict must
+        contain ``acc_loss``/``perf_loss``/``resource``/``total_loss``.
+    anneal:
+        Optional ``epoch -> scalar`` schedule hook (Gumbel temperature for
+        the co-search, learning rate for plain training); its return value is
+        recorded as the epoch's ``temperature``.  ``anneal_at`` selects
+        whether it fires before the epoch's steps (``"start"``, the
+        temperature-annealing convention) or after (``"end"``, the LR-decay
+        convention).
+    derive:
+        Optional zero-argument finaliser whose return value lands in
+        :attr:`EngineRun.derived`.
+    perplexity_fn:
+        Optional probe recorded as ``theta_perplexity`` per epoch.
+    buffer_train_batches:
+        Materialise each epoch's training batches into
+        :attr:`EpochContext.train_batches`.  Only second-order (unrolled)
+        architecture steps read them, so the default is off and the training
+        loader streams; a driver that needs the batches (bilevel order 2)
+        switches this on.
+    callbacks:
+        Called with every completed :class:`EpochRecord` (logging, live
+        trajectory plots, checkpoint triggers, ...).
+    """
+
+    def __init__(
+        self,
+        *,
+        epochs: int,
+        weight_step: WeightStep,
+        arch_step: ArchStep | None = None,
+        arch_start_epoch: int = 0,
+        anneal: Callable[[int], float] | None = None,
+        anneal_at: str = "start",
+        derive: Callable[[], Any] | None = None,
+        perplexity_fn: Callable[[], float] | None = None,
+        buffer_train_batches: bool = False,
+        callbacks: Sequence[EpochCallback] = (),
+    ) -> None:
+        if epochs < 0:
+            raise ValueError(f"epochs must be >= 0, got {epochs}")
+        if anneal_at not in ("start", "end"):
+            raise ValueError(f"anneal_at must be 'start' or 'end', got {anneal_at!r}")
+        self.epochs = epochs
+        self.weight_step = weight_step
+        self.arch_step = arch_step
+        self.arch_start_epoch = arch_start_epoch
+        self.anneal = anneal
+        self.anneal_at = anneal_at
+        self.derive = derive
+        self.perplexity_fn = perplexity_fn
+        self.buffer_train_batches = buffer_train_batches
+        self.callbacks = list(callbacks)
+        self.phase_seconds: dict[str, float] = dict.fromkeys(PHASES, 0.0)
+        self.phase_calls: dict[str, int] = dict.fromkeys(PHASES, 0)
+
+    # -- timing ----------------------------------------------------------------
+    def _timed(self, phase: str, fn: Callable[[], Any]) -> Any:
+        start = time.perf_counter()
+        try:
+            return fn()
+        finally:
+            self.phase_seconds[phase] += time.perf_counter() - start
+            self.phase_calls[phase] += 1
+
+    # -- main loop -------------------------------------------------------------
+    def run(
+        self,
+        train_loader: Iterable[Batch],
+        val_loader: Iterable[Batch] | None = None,
+    ) -> EngineRun:
+        """Run all epochs and the derive phase; returns the full record."""
+        start = time.perf_counter()
+        # Fresh accounting per run: an engine may be re-run (e.g. resumed),
+        # and the returned telemetry must cover this run only.
+        self.phase_seconds = dict.fromkeys(PHASES, 0.0)
+        self.phase_calls = dict.fromkeys(PHASES, 0)
+        history: list[EpochRecord] = []
+        for epoch in range(self.epochs):
+            ctx = EpochContext(epoch=epoch)
+            if self.anneal is not None and self.anneal_at == "start":
+                ctx.temperature = float(
+                    self._timed("anneal", lambda: self.anneal(epoch))
+                )
+
+            if self.buffer_train_batches and self.arch_step is not None:
+                ctx.train_batches = list(train_loader)
+                train_losses = self._timed(
+                    "weight",
+                    lambda: [self.weight_step(x, y) for x, y in ctx.train_batches],
+                )
+            else:
+                # Stream the loader instead of holding a full epoch of data
+                # in memory; only unrolled arch steps need the batch list.
+                train_losses = self._timed(
+                    "weight",
+                    lambda: [self.weight_step(x, y) for x, y in train_loader],
+                )
+
+            arch_stats: list[dict[str, float]] = []
+            if (
+                self.arch_step is not None
+                and val_loader is not None
+                and epoch >= self.arch_start_epoch
+            ):
+                def _arch_epoch() -> list[dict[str, float]]:
+                    stats = []
+                    for i, (x, y) in enumerate(val_loader):
+                        ctx.step = i
+                        stats.append(self.arch_step(x, y, ctx))
+                    return stats
+
+                arch_stats = self._timed("arch", _arch_epoch)
+
+            if self.anneal is not None and self.anneal_at == "end":
+                ctx.temperature = float(
+                    self._timed("anneal", lambda: self.anneal(epoch))
+                )
+
+            def _mean(key: str) -> float:
+                if not arch_stats:
+                    return float("nan")
+                return float(np.mean([s[key] for s in arch_stats]))
+
+            record = EpochRecord(
+                epoch=epoch,
+                train_loss=float(np.mean(train_losses)) if train_losses else float("nan"),
+                val_acc_loss=_mean("acc_loss"),
+                perf_loss=_mean("perf_loss"),
+                resource=_mean("resource"),
+                total_loss=_mean("total_loss"),
+                temperature=ctx.temperature,
+                theta_perplexity=(
+                    float(self.perplexity_fn())
+                    if self.perplexity_fn is not None
+                    else float("nan")
+                ),
+            )
+            history.append(record)
+            for callback in self.callbacks:
+                callback(record)
+
+        derived = None
+        if self.derive is not None:
+            derived = self._timed("derive", self.derive)
+        return EngineRun(
+            history=history,
+            phase_seconds=dict(self.phase_seconds),
+            phase_calls=dict(self.phase_calls),
+            wall_seconds=time.perf_counter() - start,
+            derived=derived,
+        )

@@ -47,6 +47,9 @@ class SearchResult:
     parallel_factors: list[int] | None
     search_seconds: float
     config: Any = None
+    #: Wall-clock seconds per engine phase (anneal/weight/arch/derive), from
+    #: :class:`repro.core.engine.SearchEngine`.
+    phase_seconds: dict[str, float] | None = None
 
     @property
     def op_labels(self) -> list[str]:
@@ -60,6 +63,7 @@ class SearchResult:
             "parallel_factors": self.parallel_factors,
             "history": [r.to_dict() for r in self.history],
             "search_seconds": self.search_seconds,
+            "phase_seconds": self.phase_seconds,
         }
 
 

@@ -8,9 +8,8 @@ settings against each other (the role accuracy plays in Tables 1-3).
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.autograd.tensor import Tensor, no_grad
+from repro.core.engine import SearchEngine
 from repro.core.results import TrainResult
 from repro.data.loader import DataLoader
 from repro.data.synthetic import Dataset, DatasetSplits
@@ -71,20 +70,27 @@ def train_from_spec(
     optimizer = SGD(net.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay)
     loader = DataLoader(splits.train, batch_size, shuffle=True, seed=seed + 1)
     schedule = CosineSchedule(optimizer, total_steps=max(epochs, 1))
-    losses: list[float] = []
-    for _ in range(epochs):
-        epoch_losses = []
-        for images, labels in loader:
-            optimizer.zero_grad()
-            logits = net(Tensor(images), bits=bits)
-            loss = cross_entropy(logits, labels)
-            loss.backward()
-            if grad_clip is not None:
-                clip_grad_norm(optimizer.params, grad_clip)
-            optimizer.step()
-            epoch_losses.append(loss.item())
-        schedule.step()
-        losses.append(float(np.mean(epoch_losses)))
+
+    def weight_step(images, labels) -> float:
+        optimizer.zero_grad()
+        logits = net(Tensor(images), bits=bits)
+        loss = cross_entropy(logits, labels)
+        loss.backward()
+        if grad_clip is not None:
+            clip_grad_norm(optimizer.params, grad_clip)
+        optimizer.step()
+        return loss.item()
+
+    # Weight phase only: the LR schedule is the anneal hook, stepped at epoch
+    # end (cosine-decay convention — epoch 0 trains at the full base LR).
+    engine = SearchEngine(
+        epochs=epochs,
+        weight_step=weight_step,
+        anneal=lambda epoch: schedule.step(),
+        anneal_at="end",
+    )
+    run = engine.run(loader)
+    losses = [record.train_loss for record in run.history]
     metrics = evaluate_network(net, splits.test, batch_size=batch_size, bits=bits)
     top5 = metrics.get(5, metrics[max(metrics)])
     return TrainResult(

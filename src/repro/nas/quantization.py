@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.autograd.ops_basic import clip_ste, round_ste
+from repro.autograd.ops_basic import quantize_ste
 from repro.autograd.tensor import Tensor
 
 SHARING_MODES = ("per_block_op", "per_op", "global")
@@ -92,8 +92,7 @@ def fake_quantize(x: Tensor, bits: int, max_abs: float | None = None) -> Tensor:
         return x
     levels = float(2 ** (bits - 1) - 1)
     scale = max_abs / levels
-    clipped = clip_ste(x, -max_abs, max_abs)
-    return round_ste(clipped * (1.0 / scale)) * scale
+    return quantize_ste(x, scale, -max_abs, max_abs)
 
 
 def quantization_error(x: np.ndarray, bits: int) -> float:

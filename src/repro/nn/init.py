@@ -1,8 +1,15 @@
-"""Weight initialisers (numpy-level; used when constructing layer Parameters)."""
+"""Weight initialisers (numpy-level; used when constructing layer Parameters).
+
+Draws come out of numpy's generators as ``float64``; every initialiser casts
+to the tensor dtype policy (:func:`repro.autograd.tensor.get_default_dtype`)
+so freshly built networks start — and stay — in the fast dtype.
+"""
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.autograd.tensor import get_default_dtype
 
 
 def kaiming_normal(
@@ -19,7 +26,7 @@ def kaiming_normal(
     if fan_in is None:
         fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
     std = np.sqrt(2.0 / max(fan_in, 1))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def xavier_uniform(
@@ -30,4 +37,4 @@ def xavier_uniform(
     fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
     fan_out = shape[0]
     bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype(), copy=False)

@@ -105,30 +105,26 @@ class BatchNorm2d(Module):
         self.momentum = momentum
         self.gamma = Parameter(np.ones(channels))
         self.beta = Parameter(np.zeros(channels))
-        self.running_mean = np.zeros(channels)
-        self.running_var = np.ones(channels)
+        self.running_mean = np.zeros(channels, dtype=self.gamma.data.dtype)
+        self.running_var = np.ones(channels, dtype=self.gamma.data.dtype)
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 4:
             raise ValueError(f"BatchNorm2d expects NCHW input, got {x.shape}")
         if self.training:
-            batch_mean = x.data.mean(axis=(0, 2, 3))
-            batch_var = x.data.var(axis=(0, 2, 3))
+            out, batch_mean, batch_var = ops_nn.batch_norm2d(
+                x, self.gamma, self.beta, eps=self.eps
+            )
             self.running_mean = (
                 (1.0 - self.momentum) * self.running_mean + self.momentum * batch_mean
             )
             self.running_var = (
                 (1.0 - self.momentum) * self.running_var + self.momentum * batch_var
             )
-            mean_t = x.mean(axis=(0, 2, 3), keepdims=True)
-            centered = x - mean_t
-            var_t = (centered * centered).mean(axis=(0, 2, 3), keepdims=True)
-            inv_std = (var_t + self.eps) ** -0.5
-            normalised = centered * inv_std
-        else:
-            mean = self.running_mean.reshape(1, -1, 1, 1)
-            inv_std = 1.0 / np.sqrt(self.running_var.reshape(1, -1, 1, 1) + self.eps)
-            normalised = (x - Tensor(mean)) * Tensor(inv_std)
+            return out
+        mean = self.running_mean.reshape(1, -1, 1, 1)
+        inv_std = 1.0 / np.sqrt(self.running_var.reshape(1, -1, 1, 1) + self.eps)
+        normalised = (x - Tensor(mean)) * Tensor(inv_std)
         gamma = self.gamma.reshape(1, self.channels, 1, 1)
         beta = self.beta.reshape(1, self.channels, 1, 1)
         return normalised * gamma + beta

@@ -21,6 +21,20 @@ def rng() -> np.random.Generator:
 
 
 @pytest.fixture
+def float64_numerics():
+    """Pin the tensor dtype policy to float64 for exact-math assertions.
+
+    Modules full of identity/gradcheck checks opt in with
+    ``pytestmark = pytest.mark.usefixtures("float64_numerics")``; the
+    float32 production policy is exercised by test_autograd_dtype.
+    """
+    from repro.autograd.tensor import default_dtype
+
+    with default_dtype(np.float64):
+        yield
+
+
+@pytest.fixture
 def tiny_space() -> SearchSpaceConfig:
     return SearchSpaceConfig.tiny()
 

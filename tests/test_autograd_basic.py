@@ -28,6 +28,24 @@ def t(data, grad=True):
     return tensor(np.asarray(data, dtype=float), requires_grad=grad)
 
 
+# Gradcheck runs under an explicit dtype policy: float64 at finite-difference
+# precision, float32 (the production default) with loosened tolerances.
+GRADCHECK_SETTINGS = {
+    np.dtype(np.float64): dict(eps=1e-6, atol=1e-5, rtol=1e-4),
+    np.dtype(np.float32): dict(eps=3e-3, atol=5e-2, rtol=5e-2),
+}
+
+
+@pytest.fixture(params=sorted(GRADCHECK_SETTINGS, key=str), ids=lambda d: d.name)
+def gc(request):
+    dtype = request.param
+
+    def check(fn, inputs):
+        return gradcheck(fn, inputs, dtype=dtype, **GRADCHECK_SETTINGS[dtype])
+
+    return check
+
+
 class TestForwardValues:
     def test_add(self):
         out = add(t([1.0, 2.0]), t([3.0, 4.0]))
@@ -82,45 +100,45 @@ class TestForwardValues:
 
 
 class TestGradients:
-    def test_add_gradcheck(self, rng):
+    def test_add_gradcheck(self, rng, gc):
         a, b = t(rng.normal(size=(3, 4))), t(rng.normal(size=(3, 4)))
-        assert gradcheck(add, [a, b])
+        assert gc(add, [a, b])
 
-    def test_mul_gradcheck(self, rng):
+    def test_mul_gradcheck(self, rng, gc):
         a, b = t(rng.normal(size=(3, 4))), t(rng.normal(size=(3, 4)))
-        assert gradcheck(mul, [a, b])
+        assert gc(mul, [a, b])
 
-    def test_div_gradcheck(self, rng):
+    def test_div_gradcheck(self, rng, gc):
         a = t(rng.normal(size=(3,)))
         b = t(rng.uniform(1.0, 2.0, size=(3,)))
-        assert gradcheck(div, [a, b])
+        assert gc(div, [a, b])
 
-    def test_broadcast_gradcheck(self, rng):
+    def test_broadcast_gradcheck(self, rng, gc):
         a = t(rng.normal(size=(3, 4)))
         b = t(rng.normal(size=(4,)))
-        assert gradcheck(add, [a, b])
-        assert gradcheck(mul, [a, b])
+        assert gc(add, [a, b])
+        assert gc(mul, [a, b])
 
-    def test_scalar_broadcast_gradcheck(self, rng):
+    def test_scalar_broadcast_gradcheck(self, rng, gc):
         a = t(rng.normal(size=(2, 3)))
         b = t(rng.normal(size=()))
-        assert gradcheck(mul, [a, b])
+        assert gc(mul, [a, b])
 
-    def test_pow_gradcheck(self, rng):
+    def test_pow_gradcheck(self, rng, gc):
         a = t(rng.uniform(0.5, 2.0, size=(5,)))
-        assert gradcheck(lambda x: pow_(x, 3.0), [a])
-        assert gradcheck(lambda x: pow_(x, -0.5), [a])
+        assert gc(lambda x: pow_(x, 3.0), [a])
+        assert gc(lambda x: pow_(x, -0.5), [a])
 
-    def test_exp_log_sqrt_tanh_sigmoid_gradcheck(self, rng):
+    def test_exp_log_sqrt_tanh_sigmoid_gradcheck(self, rng, gc):
         a = t(rng.uniform(0.5, 2.0, size=(4,)))
         for fn in (exp, log, sqrt, tanh, sigmoid):
             a.zero_grad()
-            assert gradcheck(fn, [a])
+            assert gc(fn, [a])
 
-    def test_maximum_gradcheck_no_ties(self, rng):
+    def test_maximum_gradcheck_no_ties(self, rng, gc):
         a = t([1.0, 5.0, -2.0])
         b = t([3.0, 2.0, -4.0])
-        assert gradcheck(maximum, [a, b])
+        assert gc(maximum, [a, b])
 
     def test_maximum_tie_splits_gradient(self):
         a, b = t([2.0]), t([2.0])

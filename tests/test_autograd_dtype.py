@@ -1,0 +1,185 @@
+"""Dtype-policy tests: float32 default, explicit switching, no silent upcasts.
+
+The production policy is float32 (the fast path); these tests assert that
+every layer of the stack — tensor construction, conv/bn forward+backward,
+optimizer steps, quantisation — stays in the policy dtype, for both
+float32 and float64 policies, and that gradcheck retains float64 precision
+regardless of the global setting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import gradcheck
+from repro.autograd.ops_basic import quantize_ste
+from repro.autograd.ops_nn import batch_norm2d, conv2d, max_pool2d
+from repro.autograd.tensor import (
+    Tensor,
+    default_dtype,
+    get_default_dtype,
+    set_default_dtype,
+    tensor,
+)
+from repro.nas.quantization import fake_quantize, mixed_quantize
+from repro.nn.layers import BatchNorm2d, Conv2d, Linear
+from repro.nn.optim import SGD, Adam
+
+DTYPES = (np.float32, np.float64)
+
+
+class TestPolicyPlumbing:
+    def test_default_is_float32(self):
+        assert get_default_dtype() == np.dtype(np.float32)
+
+    def test_set_returns_previous_and_sticks(self):
+        previous = set_default_dtype(np.float64)
+        try:
+            assert previous == np.dtype(np.float32)
+            assert get_default_dtype() == np.dtype(np.float64)
+            assert tensor([1.0]).data.dtype == np.float64
+        finally:
+            set_default_dtype(previous)
+        assert get_default_dtype() == np.dtype(np.float32)
+
+    def test_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with default_dtype(np.float64):
+                assert get_default_dtype() == np.dtype(np.float64)
+                raise RuntimeError("boom")
+        assert get_default_dtype() == np.dtype(np.float32)
+
+    def test_rejects_unsupported_dtypes(self):
+        with pytest.raises(ValueError, match="unsupported dtype"):
+            set_default_dtype(np.int32)
+        with pytest.raises(ValueError, match="unsupported dtype"):
+            tensor([1.0], dtype=np.float16)
+
+    def test_construction_coerces_to_policy(self):
+        assert tensor([1, 2, 3]).data.dtype == np.float32
+        assert tensor(np.zeros(3, dtype=np.float64)).data.dtype == np.float32
+        assert tensor([1.0], dtype=np.float64).data.dtype == np.float64
+
+    def test_detach_preserves_dtype_across_policy(self):
+        t64 = tensor(np.zeros(3), dtype=np.float64)
+        assert t64.detach().data.dtype == np.float64
+        assert t64.astype(np.float32).data.dtype == np.float32
+
+
+@pytest.mark.parametrize("dtype", DTYPES, ids=lambda d: np.dtype(d).name)
+class TestNoSilentUpcast:
+    """Forward, backward and optimizer state all stay in the policy dtype."""
+
+    def test_conv_bn_forward_backward(self, dtype):
+        with default_dtype(dtype):
+            rng = np.random.default_rng(0)
+            conv = Conv2d(3, 8, 3, rng=rng)
+            bn = BatchNorm2d(8)
+            # float64 input data must not leak through the policy
+            x = Tensor(rng.normal(size=(2, 3, 8, 8)), requires_grad=True)
+            assert x.data.dtype == dtype
+            out = bn(conv(x))
+            assert out.data.dtype == dtype
+            out.sum().backward()
+            assert x.grad.dtype == dtype
+            assert conv.weight.grad.dtype == dtype
+            assert bn.gamma.grad.dtype == dtype
+            assert bn.running_mean.dtype == dtype
+
+    def test_pooling_and_linear(self, dtype):
+        with default_dtype(dtype):
+            rng = np.random.default_rng(1)
+            x = Tensor(rng.normal(size=(2, 3, 6, 6)), requires_grad=True)
+            pooled = max_pool2d(x, 2)
+            assert pooled.data.dtype == dtype
+            pooled.sum().backward()
+            assert x.grad.dtype == dtype
+            lin = Linear(4, 2, rng=rng)
+            out = lin(Tensor(rng.normal(size=(5, 4))))
+            assert out.data.dtype == dtype
+
+    def test_optimizer_steps_keep_dtype(self, dtype):
+        with default_dtype(dtype):
+            rng = np.random.default_rng(2)
+            for make in (
+                lambda ps: SGD(ps, lr=0.1, momentum=0.9, weight_decay=1e-4),
+                lambda ps: Adam(ps, lr=0.1),
+            ):
+                p = tensor(rng.normal(size=(3, 3)), requires_grad=True)
+                opt = make([p])
+                (p * p).sum().backward()
+                opt.step()
+                assert p.data.dtype == dtype
+                assert p.grad.dtype == dtype
+
+    def test_quantization_keeps_dtype(self, dtype):
+        with default_dtype(dtype):
+            rng = np.random.default_rng(3)
+            x = tensor(rng.normal(size=(4, 4)), requires_grad=True)
+            q = fake_quantize(x, 8)
+            assert q.data.dtype == dtype
+            weights = tensor([0.25, 0.25, 0.5])
+            mixed = mixed_quantize(x, weights, (4, 8, 16))
+            assert mixed.data.dtype == dtype
+            mixed.sum().backward()
+            assert x.grad.dtype == dtype
+
+    def test_float64_constant_does_not_poison_graph(self, dtype):
+        with default_dtype(dtype):
+            x = tensor([1.0, 2.0], requires_grad=True)
+            poisoned = x * Tensor(np.float64(2.0) * np.ones(2, dtype=np.float64))
+            # make_op coerces every op output back to the policy dtype
+            assert poisoned.data.dtype == dtype
+
+
+@pytest.mark.parametrize("dtype,eps,atol,rtol", [
+    (np.float64, 1e-6, 1e-5, 1e-4),
+    (np.float32, 3e-3, 5e-2, 5e-2),
+], ids=["float64", "float32"])
+class TestGradcheckAcrossDtypes:
+    """Gradients hold at both precisions (loose tolerances for float32)."""
+
+    def test_conv2d(self, dtype, eps, atol, rtol):
+        rng = np.random.default_rng(4)
+        x = tensor(rng.normal(size=(2, 2, 5, 5)), requires_grad=True)
+        w = tensor(rng.normal(size=(3, 2, 3, 3)), requires_grad=True)
+        assert gradcheck(
+            lambda a, b: conv2d(a, b, stride=2, padding=1),
+            [x, w], eps=eps, atol=atol, rtol=rtol, dtype=dtype,
+        )
+
+    def test_batch_norm(self, dtype, eps, atol, rtol):
+        rng = np.random.default_rng(5)
+        x = tensor(rng.normal(size=(3, 2, 3, 3)), requires_grad=True)
+        gamma = tensor(rng.uniform(0.5, 1.5, size=(2,)), requires_grad=True)
+        beta = tensor(rng.normal(size=(2,)), requires_grad=True)
+        assert gradcheck(
+            lambda a, g, b: batch_norm2d(a, g, b)[0],
+            [x, gamma, beta], eps=eps, atol=atol, rtol=rtol, dtype=dtype,
+        )
+
+
+def test_gradcheck_precise_under_float32_policy():
+    """gradcheck must hold float64 precision even when the policy is float32."""
+    rng = np.random.default_rng(6)
+    assert get_default_dtype() == np.dtype(np.float32)
+    x = tensor(rng.normal(size=(2, 3, 4, 4)), requires_grad=True)
+    w = tensor(rng.normal(size=(3, 3, 3, 3)), requires_grad=True)
+    assert gradcheck(lambda a, b: conv2d(a, b, padding=1), [x, w])
+
+
+def test_quantize_ste_matches_composite():
+    """The fused STE op equals the old clip->scale->round->rescale chain."""
+    from repro.autograd.ops_basic import clip_ste, round_ste
+
+    rng = np.random.default_rng(7)
+    with default_dtype(np.float64):
+        data = rng.normal(size=(6, 6)) * 2.0
+        scale, low, high = 0.125, -1.5, 1.5
+        a = tensor(data, requires_grad=True)
+        fused = quantize_ste(a, scale, low, high)
+        fused.backward(np.ones_like(fused.data))
+        b = tensor(data, requires_grad=True)
+        composite = round_ste(clip_ste(b, low, high) * (1.0 / scale)) * scale
+        composite.backward(np.ones_like(composite.data))
+        np.testing.assert_allclose(fused.data, composite.data)
+        np.testing.assert_allclose(a.grad, b.grad)

@@ -17,6 +17,9 @@ from repro.autograd.ops_nn import (
 )
 from repro.autograd.tensor import tensor
 
+pytestmark = pytest.mark.usefixtures("float64_numerics")
+
+
 
 @pytest.fixture
 def rng():

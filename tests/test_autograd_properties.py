@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) for autograd invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import array_shapes, arrays
@@ -9,6 +10,9 @@ from repro.autograd.ops_basic import add, exp, mul, round_ste, tanh
 from repro.autograd.ops_nn import softmax
 from repro.autograd.ops_reduce import logsumexp, sum_reduce
 from repro.autograd.tensor import Tensor, tensor, unbroadcast
+
+pytestmark = pytest.mark.usefixtures("float64_numerics")
+
 
 finite_floats = st.floats(
     min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False

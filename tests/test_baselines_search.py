@@ -6,7 +6,7 @@ import pytest
 from repro.baselines.fixed_impl_nas import FixedImplementationNAS, FrozenImplementationModel
 from repro.baselines.random_search import random_search
 from repro.core.config import EDDConfig
-from repro.core.cosearch import build_hardware_model
+from repro.hw.registry import build_hardware_model
 from repro.nas.supernet import constant_sample
 
 

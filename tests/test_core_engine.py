@@ -1,0 +1,189 @@
+"""Unit tests for the reusable SearchEngine (repro.core.engine)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import PHASES, EngineRun, EpochContext, SearchEngine
+
+
+def loader(batches):
+    """A re-iterable loader yielding fixed (x, y) batches."""
+    return [
+        (np.full((2, 2), float(i)), np.zeros(2, dtype=int)) for i in range(batches)
+    ]
+
+
+class TestEngineLoop:
+    def test_runs_all_phases_and_records_history(self):
+        calls = {"weight": 0, "arch": 0, "anneal": [], "derive": 0}
+
+        def weight_step(x, y):
+            calls["weight"] += 1
+            return 1.5
+
+        def arch_step(x, y, ctx):
+            calls["arch"] += 1
+            return {"acc_loss": 1.0, "perf_loss": 2.0, "resource": 3.0,
+                    "total_loss": 4.0}
+
+        def anneal(epoch):
+            calls["anneal"].append(epoch)
+            return 5.0 * 0.5 ** epoch
+
+        def derive():
+            calls["derive"] += 1
+            return "spec"
+
+        engine = SearchEngine(
+            epochs=3, weight_step=weight_step, arch_step=arch_step,
+            anneal=anneal, derive=derive,
+        )
+        run = engine.run(loader(4), loader(2))
+        assert isinstance(run, EngineRun)
+        assert calls == {"weight": 12, "arch": 6, "anneal": [0, 1, 2], "derive": 1}
+        assert run.derived == "spec"
+        assert len(run.history) == 3
+        assert run.history[0].train_loss == pytest.approx(1.5)
+        assert run.history[0].val_acc_loss == pytest.approx(1.0)
+        assert run.history[0].temperature == pytest.approx(5.0)
+        assert run.history[2].temperature == pytest.approx(1.25)
+
+    def test_arch_start_epoch_defers_arch_phase(self):
+        stats = []
+        engine = SearchEngine(
+            epochs=3,
+            weight_step=lambda x, y: 0.0,
+            arch_step=lambda x, y, ctx: stats.append(ctx.epoch) or {
+                "acc_loss": 0.0, "perf_loss": 0.0, "resource": 0.0,
+                "total_loss": 0.0,
+            },
+            arch_start_epoch=2,
+        )
+        run = engine.run(loader(1), loader(1))
+        assert stats == [2]
+        assert np.isnan(run.history[0].val_acc_loss)
+        assert np.isfinite(run.history[2].val_acc_loss)
+
+    def test_context_carries_train_batches_and_step(self):
+        seen = []
+
+        def arch_step(x, y, ctx: EpochContext):
+            seen.append((ctx.epoch, ctx.step, len(ctx.train_batches)))
+            return {"acc_loss": 0.0, "perf_loss": 0.0, "resource": 0.0,
+                    "total_loss": 0.0}
+
+        SearchEngine(
+            epochs=2, weight_step=lambda x, y: 0.0, arch_step=arch_step,
+            buffer_train_batches=True,
+        ).run(loader(3), loader(2))
+        assert seen == [(0, 0, 3), (0, 1, 3), (1, 0, 3), (1, 1, 3)]
+
+    def test_train_batches_not_buffered_by_default(self):
+        seen = []
+
+        def arch_step(x, y, ctx: EpochContext):
+            seen.append(len(ctx.train_batches))
+            return {"acc_loss": 0.0, "perf_loss": 0.0, "resource": 0.0,
+                    "total_loss": 0.0}
+
+        SearchEngine(
+            epochs=1, weight_step=lambda x, y: 0.0, arch_step=arch_step,
+        ).run(loader(3), loader(1))
+        assert seen == [0]
+
+    def test_anneal_at_end_fires_after_steps(self):
+        order = []
+        engine = SearchEngine(
+            epochs=1,
+            weight_step=lambda x, y: order.append("weight") or 0.0,
+            anneal=lambda epoch: order.append("anneal") or 0.1,
+            anneal_at="end",
+        )
+        run = engine.run(loader(2))
+        assert order == ["weight", "weight", "anneal"]
+        assert run.history[0].temperature == pytest.approx(0.1)
+
+    def test_zero_epochs_goes_straight_to_derive(self):
+        run = SearchEngine(
+            epochs=0, weight_step=lambda x, y: 0.0, derive=lambda: 42,
+        ).run(loader(1))
+        assert run.history == []
+        assert run.derived == 42
+
+    def test_callbacks_receive_records(self):
+        records = []
+        SearchEngine(
+            epochs=2, weight_step=lambda x, y: 0.0, callbacks=[records.append],
+        ).run(loader(1))
+        assert [r.epoch for r in records] == [0, 1]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="epochs"):
+            SearchEngine(epochs=-1, weight_step=lambda x, y: 0.0)
+        with pytest.raises(ValueError, match="anneal_at"):
+            SearchEngine(epochs=1, weight_step=lambda x, y: 0.0,
+                         anneal_at="middle")
+
+
+class TestTiming:
+    def test_phase_accounting_covers_all_phases(self):
+        engine = SearchEngine(
+            epochs=2,
+            weight_step=lambda x, y: 0.0,
+            arch_step=lambda x, y, ctx: {
+                "acc_loss": 0.0, "perf_loss": 0.0, "resource": 0.0,
+                "total_loss": 0.0,
+            },
+            anneal=lambda epoch: 1.0,
+            derive=lambda: None,
+        )
+        run = engine.run(loader(2), loader(1))
+        assert set(run.phase_seconds) == set(PHASES)
+        assert all(v >= 0.0 for v in run.phase_seconds.values())
+        assert run.phase_calls["anneal"] == 2
+        assert run.phase_calls["weight"] == 2   # one timed call per epoch
+        assert run.phase_calls["arch"] == 2
+        assert run.phase_calls["derive"] == 1
+        assert run.wall_seconds > 0
+        summary = run.timing_summary()
+        assert set(summary) == set(PHASES)
+        assert summary["weight"]["calls"] == 2
+
+
+class TestDrivers:
+    """The searcher and the trainer both drive the shared engine."""
+
+    def test_searcher_result_carries_phase_seconds(self, tiny_space, tiny_splits):
+        from repro.core.config import EDDConfig
+        from repro.core.cosearch import EDDSearcher
+
+        config = EDDConfig(target="gpu", epochs=2, batch_size=8, seed=0,
+                           arch_start_epoch=0)
+        result = EDDSearcher(tiny_space, tiny_splits, config).search(name="t")
+        assert result.phase_seconds is not None
+        assert set(result.phase_seconds) == set(PHASES)
+        assert result.phase_seconds["weight"] > 0
+        assert result.phase_seconds["arch"] > 0
+        assert result.to_dict()["phase_seconds"]["weight"] > 0
+
+    def test_searcher_history_matches_epochs(self, tiny_space, tiny_splits):
+        from repro.core.config import EDDConfig
+        from repro.core.cosearch import EDDSearcher
+
+        config = EDDConfig(target="gpu", epochs=2, batch_size=8, seed=0,
+                           arch_start_epoch=1)
+        result = EDDSearcher(tiny_space, tiny_splits, config).search()
+        assert len(result.history) == 2
+        assert np.isnan(result.history[0].val_acc_loss)
+        assert np.isfinite(result.history[1].val_acc_loss)
+
+    def test_trainer_drives_engine(self, tiny_splits):
+        from repro.core.trainer import train_from_spec
+        from repro.nas.space import SearchSpaceConfig
+
+        space = SearchSpaceConfig.tiny()
+        ops = space.candidate_ops()
+        spec = space.spec_for_choices([ops[0]] * space.num_blocks, name="t")
+        result = train_from_spec(spec, tiny_splits, epochs=2, batch_size=8)
+        assert len(result.train_losses) == 2
+        assert all(np.isfinite(loss) for loss in result.train_losses)

@@ -14,6 +14,9 @@ from repro.nas.quantization import QuantizationConfig
 from repro.nas.space import BlockGeometry, CandidateOp
 from repro.nas.supernet import SuperNet, constant_sample
 
+pytestmark = pytest.mark.usefixtures("float64_numerics")
+
+
 GEOM = BlockGeometry(in_ch=16, out_ch=24, stride=2, in_h=16, in_w=16, out_h=8, out_w=8)
 
 

@@ -14,6 +14,9 @@ from repro.hw.perf_loss import (
 )
 from repro.hw.resource import resource_penalty, shared_resource, summed_resource
 
+pytestmark = pytest.mark.usefixtures("float64_numerics")
+
+
 
 def t(x, grad=False):
     return Tensor(np.asarray(x, dtype=float), requires_grad=grad)

@@ -17,6 +17,8 @@ from repro.nas.gumbel import (
     uniform_logits,
 )
 
+pytestmark = pytest.mark.usefixtures("float64_numerics")
+
 
 @pytest.fixture
 def rng():

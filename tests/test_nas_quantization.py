@@ -13,6 +13,8 @@ from repro.nas.quantization import (
     quantization_error,
 )
 
+pytestmark = pytest.mark.usefixtures("float64_numerics")
+
 
 @pytest.fixture
 def rng():

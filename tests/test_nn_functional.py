@@ -8,6 +8,9 @@ from repro.autograd.ops_nn import log_softmax
 from repro.autograd.tensor import Tensor, tensor
 from repro.nn.functional import accuracy, cross_entropy, nll_loss, topk_accuracy
 
+pytestmark = pytest.mark.usefixtures("float64_numerics")
+
+
 
 @pytest.fixture
 def rng():

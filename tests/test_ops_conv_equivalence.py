@@ -1,0 +1,152 @@
+"""Kernel-equivalence tests: im2col convolutions vs the shift-and-accumulate
+oracle (:func:`repro.autograd.ops_nn._reference_conv2d` — the pre-refactor
+implementation kept verbatim as an independent reference).
+
+Forward values and both backward gradients (input and weight) must match
+across strides, paddings, group counts (dense / grouped / depthwise), odd
+spatial shapes, and the batch-chunked large-column path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.autograd.ops_nn as ops_nn
+from repro.autograd.ops_nn import _reference_conv2d, conv2d, max_pool2d
+from repro.autograd.tensor import default_dtype, tensor
+
+
+@pytest.fixture(autouse=True)
+def _float64_numerics():
+    """Equivalence is asserted to 1e-10; run both paths at float64."""
+    with default_dtype(np.float64):
+        yield
+
+
+def _compare(n, c_in, h, w, c_out, k, stride, padding, groups, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, c_in, h, w))
+    weight = rng.normal(size=(c_out, c_in // groups, k, k))
+
+    x_new, w_new = tensor(x, requires_grad=True), tensor(weight, requires_grad=True)
+    out_new = conv2d(x_new, w_new, stride=stride, padding=padding, groups=groups)
+    seed_grad = rng.normal(size=out_new.shape)
+    out_new.backward(seed_grad)
+
+    x_ref, w_ref = tensor(x, requires_grad=True), tensor(weight, requires_grad=True)
+    out_ref = _reference_conv2d(x_ref, w_ref, stride=stride, padding=padding,
+                                groups=groups)
+    out_ref.backward(seed_grad)
+
+    np.testing.assert_allclose(out_new.data, out_ref.data, atol=1e-10)
+    np.testing.assert_allclose(x_new.grad, x_ref.grad, atol=1e-10)
+    np.testing.assert_allclose(w_new.grad, w_ref.grad, atol=1e-10)
+
+
+# Explicit grid: every conv flavour the supernet and the model zoo emit.
+@pytest.mark.parametrize("stride", [1, 2, 3])
+@pytest.mark.parametrize("case", [
+    ("dense", 2, 4, 9, 7, 6, 3, 1, 1),     # (n, c_in, h, w, c_out, k, pad, groups)
+    ("pointwise", 3, 8, 6, 6, 12, 1, 0, 1),
+    ("depthwise3", 2, 6, 8, 8, 6, 3, 1, 6),
+    ("depthwise5", 1, 4, 9, 9, 4, 5, 2, 4),
+    ("grouped", 2, 8, 7, 7, 12, 3, 1, 2),
+], ids=lambda c: c[0] if isinstance(c, tuple) else str(c))
+def test_conv_matches_reference(case, stride):
+    _, n, c_in, h, w, c_out, k, pad, groups = case
+    if (h + 2 * pad - k) < 0:
+        pytest.skip("kernel larger than padded input")
+    _compare(n, c_in, h, w, c_out, k, stride, pad, groups, seed=stride)
+
+
+def test_chunked_path_matches_reference():
+    """Force the batch-chunked backward (columns above _COL_CHUNK_BYTES)."""
+    original = ops_nn._COL_CHUNK_BYTES
+    ops_nn._COL_CHUNK_BYTES = 1 << 10  # 1 KiB: everything chunks
+    try:
+        _compare(5, 6, 8, 8, 6, 3, 1, 1, groups=6, seed=11)
+        _compare(5, 4, 9, 7, 8, 3, 2, 1, groups=1, seed=12)
+    finally:
+        ops_nn._COL_CHUNK_BYTES = original
+
+
+def test_input_grad_skipped_for_graph_external_input():
+    """Inputs outside the graph get no input gradient computed (stem conv)."""
+    rng = np.random.default_rng(3)
+    x = tensor(rng.normal(size=(2, 3, 6, 6)))  # requires_grad=False
+    w = tensor(rng.normal(size=(4, 3, 3, 3)), requires_grad=True)
+    out = conv2d(x, w, padding=1)
+    out.backward(np.ones(out.shape))
+    assert x.grad is None
+    assert w.grad is not None
+    # weight gradient is unaffected by the skip
+    x_ref = tensor(x.data, requires_grad=True)
+    w_ref = tensor(w.data, requires_grad=True)
+    out_ref = _reference_conv2d(x_ref, w_ref, padding=1)
+    out_ref.backward(np.ones(out_ref.shape))
+    np.testing.assert_allclose(w.grad, w_ref.grad, atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 3),
+    c_mult=st.integers(1, 3),
+    h=st.integers(5, 11),
+    w=st.integers(5, 11),
+    k=st.sampled_from([1, 3, 5]),
+    stride=st.integers(1, 3),
+    pad=st.integers(0, 2),
+    mode=st.sampled_from(["dense", "depthwise", "grouped"]),
+)
+def test_property_conv_equivalence(n, c_mult, h, w, k, stride, pad, mode):
+    """Random shapes: the vectorized kernels agree with the oracle."""
+    if mode == "dense":
+        c_in, c_out, groups = 2 * c_mult, 3, 1
+    elif mode == "depthwise":
+        c_in = c_out = groups = 2 * c_mult
+    else:
+        c_in, c_out, groups = 2 * c_mult, 4 * c_mult, 2
+    if (h + 2 * pad - k) < 0 or (w + 2 * pad - k) < 0:
+        return
+    _compare(n, c_in, h, w, c_out, k, stride, pad, groups,
+             seed=n * 1000 + h * 10 + w)
+
+
+class TestMaxPoolEquivalence:
+    """The im2col max pool matches the old shift-and-maximum semantics."""
+
+    def _reference_max_pool(self, x_data, kernel, stride, padding):
+        n, c, h, w = x_data.shape
+        ph, pw = h + 2 * padding, w + 2 * padding
+        out_h = (ph - kernel) // stride + 1
+        out_w = (pw - kernel) // stride + 1
+        padded = np.full((n, c, ph, pw), -np.inf)
+        padded[:, :, padding:padding + h, padding:padding + w] = x_data
+        out = np.full((n, c, out_h, out_w), -np.inf)
+        for i in range(kernel):
+            for j in range(kernel):
+                win = padded[:, :, i: i + out_h * stride: stride,
+                             j: j + out_w * stride: stride]
+                np.maximum(out, win, out=out)
+        return out
+
+    @pytest.mark.parametrize("kernel,stride,padding", [
+        (2, 2, 0), (3, 1, 1), (3, 2, 1), (2, 1, 0),
+    ])
+    def test_forward_matches(self, kernel, stride, padding):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(2, 3, 7, 7))
+        out = max_pool2d(tensor(x), kernel, stride=stride, padding=padding)
+        np.testing.assert_allclose(
+            out.data, self._reference_max_pool(x, kernel, stride, padding)
+        )
+
+    def test_overlapping_backward_accumulates(self):
+        rng = np.random.default_rng(6)
+        x = tensor(rng.permutation(49).reshape(1, 1, 7, 7).astype(float),
+                   requires_grad=True)
+        out = max_pool2d(x, 3, stride=1, padding=0)
+        out.backward(np.ones(out.shape))
+        # every unit of upstream gradient lands somewhere in the input
+        assert x.grad.sum() == out.data.size
