@@ -21,13 +21,26 @@ silently.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from repro.baselines.model_zoo import MODEL_ZOO, get_model
+from repro.core.checkpoint import (
+    CheckpointCallback,
+    find_latest_checkpoint,
+    restore_search_state,
+)
 from repro.core.config import EDDConfig
 from repro.core.cosearch import EDDSearcher
-from repro.core.results import SearchResult, TrainResult
+from repro.core.parallel import ParallelEvaluator
+from repro.core.results import (
+    MULTI_SEARCH_OBJECTIVES,
+    MultiSearchResult,
+    SearchResult,
+    TrainResult,
+)
 from repro.core.trainer import train_from_spec
 from repro.data.synthetic import SyntheticTaskConfig, make_synthetic_task
 from repro.eval.trajectory import summarize
@@ -41,12 +54,14 @@ __all__ = [
     "EstimateRecord",
     "EstimateReport",
     "EstimateRequest",
+    "MultiSearchResult",
     "SearchReport",
     "SearchRequest",
     "deploy_plan",
     "devices",
     "estimate",
     "search",
+    "search_many",
     "targets",
     "zoo",
 ]
@@ -130,6 +145,7 @@ class EstimateRequest:
             raise ValueError("EstimateRequest needs at least one model")
 
     def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form of the request."""
         return {
             "models": [
                 m.name if isinstance(m, ArchSpec) else m for m in self.models
@@ -159,6 +175,7 @@ class EstimateRecord:
     extras: dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form of this record."""
         return {
             "model": self.model,
             "target": self.target,
@@ -189,9 +206,11 @@ class EstimateReport:
         return iter(self.records)
 
     def for_model(self, model: str) -> list[EstimateRecord]:
+        """All records of one model (by resolved spec name)."""
         return [r for r in self.records if r.model == model]
 
     def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form: record count plus every record."""
         return {
             "count": len(self.records),
             "records": [r.to_dict() for r in self.records],
@@ -276,6 +295,11 @@ class SearchRequest:
     ``resource_fraction=None`` uses the target's registered default (tight
     DSP budgets for the FPGA flows, unbounded for GPU).  ``retrain_epochs>0``
     additionally retrains the derived network from scratch.
+
+    ``checkpoint_dir`` enables engine-level checkpointing: searcher state is
+    snapshotted every ``checkpoint_every`` epochs.  With ``resume=True`` the
+    search restarts from the newest checkpoint in that directory (if any) and
+    finishes bit-identically to an uninterrupted run with the same seed.
     """
 
     target: str = "gpu"
@@ -290,8 +314,12 @@ class SearchRequest:
     arch_start_epoch: int = 1
     retrain_epochs: int = 0
     name: str | None = None
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1
+    resume: bool = False
 
     def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form of the request (subset echoed into reports)."""
         return {
             "target": self.target,
             "device": self.device,
@@ -301,6 +329,9 @@ class SearchRequest:
             "batch_size": self.batch_size,
             "resource_fraction": self.resource_fraction,
             "retrain_epochs": self.retrain_epochs,
+            "checkpoint_dir": self.checkpoint_dir,
+            "checkpoint_every": self.checkpoint_every,
+            "resume": self.resume,
         }
 
 
@@ -316,15 +347,21 @@ class SearchReport:
     train_loss_drop: float
     final_theta_perplexity: float
     retrain: TrainResult | None = None
+    seed: int = 0
+    #: Path of the checkpoint the run restarted from, or ``None``.
+    resumed_from: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form (what ``repro search --format json`` prints)."""
         return {
             "target": self.target,
             "device": self.device,
+            "seed": self.seed,
             "spec_name": self.spec_name,
             "converged": self.converged,
             "train_loss_drop": self.train_loss_drop,
             "final_theta_perplexity": self.final_theta_perplexity,
+            "resumed_from": self.resumed_from,
             "search": self.result.to_dict(),
             "retrain": self.retrain.to_dict() if self.retrain else None,
         }
@@ -337,6 +374,24 @@ def search(request: SearchRequest | None = None, **kwargs: Any) -> SearchReport:
 
         report = search(target="fpga_pipelined", epochs=4, blocks=3)
         json.dumps(report.to_dict())
+
+    With ``checkpoint_dir`` set, searcher state is snapshotted every
+    ``checkpoint_every`` epochs; with ``resume=True`` the run restarts from
+    the newest checkpoint there (a resumed run reproduces the uninterrupted
+    run's result arrays bit-identically).
+
+    Args:
+        request: A fully built :class:`SearchRequest`, or ``None`` to build
+            one from ``kwargs``.
+        **kwargs: :class:`SearchRequest` field overrides (ignored when
+            ``request`` is given).
+
+    Returns:
+        A :class:`SearchReport`; ``report.to_dict()`` is JSON-serialisable.
+
+    Raises:
+        ValueError: For unknown targets/devices (from the registry) or
+            invalid request field combinations.
     """
     if request is None:
         request = SearchRequest(**kwargs)
@@ -366,7 +421,33 @@ def search(request: SearchRequest | None = None, **kwargs: Any) -> SearchReport:
     )
     hw_model = tspec.build_model(space, config, device=device)
     searcher = EDDSearcher(space, splits, config, hw_model=hw_model)
-    result = searcher.search(name=request.name or f"api-{tspec.name}")
+
+    callbacks: list[Any] = []
+    start_epoch = 0
+    initial_history: list[Any] = []
+    resumed_from = None
+    if request.checkpoint_dir is not None:
+        checkpoint_dir = Path(request.checkpoint_dir)
+        if request.resume:
+            latest = find_latest_checkpoint(checkpoint_dir)
+            if latest is not None:
+                state = restore_search_state(searcher, latest)
+                start_epoch = state.epoch
+                initial_history = state.history
+                resumed_from = str(latest)
+        callbacks.append(
+            CheckpointCallback(
+                searcher, checkpoint_dir,
+                every=request.checkpoint_every,
+                history=initial_history,
+            )
+        )
+    result = searcher.search(
+        name=request.name or f"api-{tspec.name}",
+        callbacks=callbacks,
+        start_epoch=start_epoch,
+        initial_history=initial_history,
+    )
     summary = summarize(result.history)
     retrain = None
     if request.retrain_epochs > 0:
@@ -383,6 +464,88 @@ def search(request: SearchRequest | None = None, **kwargs: Any) -> SearchReport:
         train_loss_drop=summary.train_loss_drop,
         final_theta_perplexity=summary.final_theta_perplexity,
         retrain=retrain,
+        seed=request.seed,
+        resumed_from=resumed_from,
+    )
+
+
+def _search_worker(request: SearchRequest) -> SearchReport:
+    """Worker for :func:`search_many` (module-level so it pickles)."""
+    return search(request)
+
+
+def search_many(
+    seeds: Any,
+    *,
+    workers: int = 1,
+    objective: str = "total_loss",
+    checkpoint_dir: str | None = None,
+    **kwargs: Any,
+) -> MultiSearchResult:
+    """Batched multi-seed co-search sharing one configuration.
+
+    Runs :func:`search` once per seed — fanned out over ``workers`` processes
+    via :class:`repro.core.parallel.ParallelEvaluator` — and aggregates the
+    per-seed reports into a :class:`MultiSearchResult` whose ``best`` run
+    minimises the final-epoch ``objective``.  Because every run is fully
+    determined by its seed, rankings are identical for any worker count.
+
+    With ``checkpoint_dir`` set, each seed checkpoints into its own
+    ``seed-<n>/`` subdirectory; pass ``resume=True`` (forwarded to each
+    :class:`SearchRequest`) to restart every seed from its newest checkpoint.
+
+    Args:
+        seeds: Iterable of integer seeds, one search per entry (duplicates
+            are rejected — they would collide on checkpoint directories).
+        workers: Process count for the batch (``1`` = serial in-process).
+        objective: Aggregation key, one of
+            :data:`repro.core.results.MULTI_SEARCH_OBJECTIVES`.
+        checkpoint_dir: Parent directory for per-seed checkpoint subdirs.
+        **kwargs: Shared :class:`SearchRequest` fields (``target``,
+            ``epochs``, ``blocks``, ``resume``, ...).  ``seed`` and
+            ``checkpoint_dir`` are managed per run and cannot be passed here.
+
+    Returns:
+        A :class:`MultiSearchResult` (``.to_dict()`` gives one record per
+        seed plus an ``aggregate`` block).
+
+    Raises:
+        ValueError: On empty/duplicate seeds, an unknown ``objective``, or
+            per-seed fields in ``kwargs``.
+    """
+    seeds = [int(s) for s in seeds]
+    if not seeds:
+        raise ValueError("search_many needs at least one seed")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError(f"duplicate seeds in {seeds}")
+    if objective not in MULTI_SEARCH_OBJECTIVES:
+        raise ValueError(
+            f"unknown objective {objective!r}, known: {MULTI_SEARCH_OBJECTIVES}"
+        )
+    for managed in ("seed", "checkpoint_dir"):
+        if managed in kwargs:
+            raise ValueError(
+                f"{managed!r} is managed per run by search_many; "
+                f"pass seeds=... / checkpoint_dir=... instead"
+            )
+    requests = []
+    for seed in seeds:
+        per_seed_dir = (
+            str(Path(checkpoint_dir) / f"seed-{seed}")
+            if checkpoint_dir is not None else None
+        )
+        requests.append(
+            SearchRequest(seed=seed, checkpoint_dir=per_seed_dir, **kwargs)
+        )
+    start = time.perf_counter()
+    runs = ParallelEvaluator(workers=workers).map(_search_worker, requests)
+    wall = time.perf_counter() - start
+    return MultiSearchResult.from_runs(
+        seeds=seeds,
+        runs=list(runs),
+        objective=objective,
+        workers=workers,
+        wall_seconds=wall,
     )
 
 
@@ -403,6 +566,7 @@ class DeployPlan:
     note: str = ""
 
     def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form of the plan (includes the rendered text)."""
         return {
             "model": self.model,
             "target": self.target,

@@ -419,8 +419,11 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None, padding: int =
     Forward: im2col window view, maximum over the kernel axis.  Backward: the
     gradient goes to the first window position attaining the maximum in
     row-major kernel order (ties are not split — matching common framework
-    semantics closely enough for training), scattered back with one
-    ``np.add.at`` so overlapping windows accumulate.
+    semantics closely enough for training).  For the common non-overlapping
+    case (``stride >= kernel``) every input position belongs to at most one
+    window, so the scatter is a plain flat-index assignment; only overlapping
+    windows (``stride < kernel``) need ``np.add.at``'s unbuffered accumulate,
+    which is an order of magnitude slower on large pools.
     """
     if stride is None:
         stride = kernel
@@ -451,10 +454,19 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None, padding: int =
     def backward(grad: np.ndarray):
         rows = winners // kernel + (stride * np.arange(out_h))[None, None, :, None]
         columns = winners % kernel + (stride * np.arange(out_w))[None, None, None, :]
-        batch = np.arange(n)[:, None, None, None]
-        channel = np.arange(c)[None, :, None, None]
         grad_padded = np.zeros((n, c, ph, pw), dtype=grad.dtype)
-        np.add.at(grad_padded, (batch, channel, rows, columns), grad)
+        if stride >= kernel:
+            # Non-overlapping windows: winner positions are unique, so a
+            # vectorised flat-index assignment replaces the slow unbuffered
+            # np.add.at scatter.
+            batch = np.arange(n)[:, None, None, None]
+            channel = np.arange(c)[None, :, None, None]
+            flat = ((batch * c + channel) * ph + rows) * pw + columns
+            grad_padded.ravel()[flat.ravel()] = grad.ravel()
+        else:
+            batch = np.arange(n)[:, None, None, None]
+            channel = np.arange(c)[None, :, None, None]
+            np.add.at(grad_padded, (batch, channel, rows, columns), grad)
         return (grad_padded[:, :, padding:padding + h, padding:padding + w],)
 
     return make_op(out, (x,), backward, "max_pool2d")

@@ -20,6 +20,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.config import EDDConfig
+from repro.core.parallel import (
+    ParallelEvaluator,
+    train_spec_payload,
+    train_spec_worker,
+)
 from repro.core.trainer import train_from_spec
 from repro.hw.registry import build_hardware_model, quantization_for_target
 from repro.data.synthetic import DatasetSplits
@@ -69,7 +74,26 @@ class RegularizedEvolution:
         tournament_size: int = 3,
         train_epochs: int = 2,
         seed: int = 0,
+        workers: int = 1,
     ) -> None:
+        """Set up the evolution.
+
+        Args:
+            space: Architecture search space (op menu per block).
+            splits: Proxy task for fitness training.
+            config: Search configuration; defaults to the pipelined-FPGA target.
+            population_size: Individuals kept alive (must be >= 2).
+            tournament_size: Contenders sampled per cycle.
+            train_epochs: Proxy-training epochs per evaluation.
+            seed: Seed for genome draws, mutation and tournaments.
+            workers: Process count for the initial population's proxy
+                trainings (the cycles themselves are inherently sequential —
+                each mutation depends on the previous tournament).  Results
+                are bit-identical for any worker count.
+
+        Raises:
+            ValueError: On invalid population/tournament sizes or workers < 1.
+        """
         if population_size < 2:
             raise ValueError(f"population_size must be >= 2, got {population_size}")
         if not 1 <= tournament_size <= population_size:
@@ -85,6 +109,7 @@ class RegularizedEvolution:
         self.rng = new_rng(seed)
         self.quant = quantization_for_target(self.config.target)
         self.hw_model = build_hardware_model(space, self.config)
+        self.evaluator = ParallelEvaluator(workers=workers)
         self._eval_count = 0
 
     # -- genetics ------------------------------------------------------------
@@ -123,10 +148,11 @@ class RegularizedEvolution:
             return idx
         return int(genome.bits[0])
 
-    def evaluate(self, genome: Genome, tag: str = "evo") -> Individual:
+    def _prepare(self, genome: Genome, tag: str, index: int):
+        """Parent-side candidate prep: spec build + analytic device eval."""
         menu = self.space.candidate_ops()
         ops = [menu[int(m)] for m in genome.ops]
-        spec = self.space.spec_for_choices(ops, name=f"{tag}-{self._eval_count}")
+        spec = self.space.spec_for_choices(ops, name=f"{tag}-{index}")
         spec.metadata["op_labels"] = [op.label for op in ops]
         spec.metadata["block_bits"] = [
             int(self.quant.bitwidths[int(q)]) for q in genome.bits
@@ -136,27 +162,67 @@ class RegularizedEvolution:
             self._bit_indices_for_sample(genome),
         )
         hw_eval = self.hw_model.evaluate(sample)
-        trained = train_from_spec(
-            spec, self.splits, epochs=self.train_epochs,
-            batch_size=self.config.batch_size, seed=self._eval_count,
-        )
-        perf = float(hw_eval.perf_loss.data)
-        res = float(hw_eval.resource.data)
+        return spec, float(hw_eval.perf_loss.data), float(hw_eval.resource.data)
+
+    def _assemble(self, genome: Genome, spec: ArchSpec, perf: float,
+                  res: float, trained) -> Individual:
+        """Combine proxy-training metrics and device eval into an Individual."""
         fitness = (trained.top1_error / 100.0) * perf
         bound = self.hw_model.resource_bound
         if bound is not None and res > bound:
             fitness *= float(np.exp(min((res - bound) / bound, 50.0)))
-        self._eval_count += 1
         return Individual(
             genome=genome, spec=spec, top1_error=trained.top1_error,
             perf_loss=perf, resource=res, fitness=float(fitness),
         )
 
+    def evaluate(self, genome: Genome, tag: str = "evo") -> Individual:
+        """Score one genome: proxy-train its spec and apply the Eq. 1 fitness.
+
+        Args:
+            genome: Op/bit indices per block.
+            tag: Spec-name prefix (the evaluation counter is appended).
+
+        Returns:
+            The scored :class:`Individual` (lower ``fitness`` is better).
+        """
+        index = self._eval_count
+        self._eval_count += 1
+        spec, perf, res = self._prepare(genome, tag, index)
+        trained = train_from_spec(
+            spec, self.splits, epochs=self.train_epochs,
+            batch_size=self.config.batch_size, seed=index,
+        )
+        return self._assemble(genome, spec, perf, res, trained)
+
     # -- main loop -----------------------------------------------------------
     def run(self, cycles: int = 6) -> EvolutionResult:
+        """Evolve for ``cycles`` generations; returns the best individual.
+
+        The initial population's proxy trainings run on the evaluator's
+        workers (deterministically seeded by evaluation index); the aging
+        cycles are sequential by construction.
+        """
+        # Draw genomes and device-evaluate them in the parent (RNG order
+        # matches the serial path), then fan the trainings out.
+        genomes = [self.random_genome() for _ in range(self.population_size)]
+        prepared = []
+        payloads = []
+        for genome in genomes:
+            index = self._eval_count
+            self._eval_count += 1
+            spec, perf, res = self._prepare(genome, "init", index)
+            prepared.append((genome, spec, perf, res))
+            payloads.append(
+                train_spec_payload(spec, self.train_epochs,
+                                   self.config.batch_size, index)
+            )
+        trained = self.evaluator.map(
+            train_spec_worker, payloads, shared=self.splits
+        )
         population: list[Individual] = [
-            self.evaluate(self.random_genome(), tag="init")
-            for _ in range(self.population_size)
+            self._assemble(genome, spec, perf, res, result)
+            for (genome, spec, perf, res), result in zip(prepared, trained)
         ]
         history = [min(ind.fitness for ind in population)]
         for _ in range(cycles):

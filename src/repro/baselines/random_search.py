@@ -9,7 +9,10 @@ checks it does.
 Each candidate's proxy training goes through
 :func:`repro.core.trainer.train_from_spec`, which drives the shared
 :class:`repro.core.engine.SearchEngine` — this module holds no epoch loop of
-its own.
+its own.  With ``workers > 1`` the candidate trainings fan out over a
+:class:`repro.core.parallel.ParallelEvaluator`; draws, device evaluation and
+ranking stay in the parent process, so the result is bit-identical to the
+serial run.
 """
 
 from __future__ import annotations
@@ -19,8 +22,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import EDDConfig
+from repro.core.parallel import (
+    ParallelEvaluator,
+    train_spec_payload,
+    train_spec_worker,
+)
 from repro.hw.registry import build_hardware_model, quantization_for_target
-from repro.core.trainer import train_from_spec
 from repro.data.synthetic import DatasetSplits
 from repro.nas.arch_spec import ArchSpec
 from repro.nas.space import SearchSpaceConfig
@@ -46,19 +53,40 @@ def random_search(
     num_candidates: int = 4,
     train_epochs: int = 3,
     seed: int = 0,
+    workers: int = 1,
 ) -> tuple[RandomCandidate, list[RandomCandidate]]:
     """Uniform random search; returns (best, all candidates).
 
     The objective mirrors Eq. 1's multiplicative form with the accuracy term
     replaced by measured proxy error (there is no differentiable path here,
     so the true error is usable directly).
+
+    Args:
+        space: Search space to draw architectures from.
+        splits: Proxy task used for candidate training and scoring.
+        config: Search configuration (target, batch size); defaults to
+            ``EDDConfig()``.
+        num_candidates: How many uniform draws to score.
+        train_epochs: Proxy-training epochs per candidate.
+        seed: Seed for the draws; candidate ``i`` trains with ``seed + i``.
+        workers: Process count for the candidate trainings.  Any value
+            returns identical candidates and ranking (each training is seeded
+            per candidate and results are collected in submission order).
+
+    Returns:
+        ``(best, candidates)`` — the argmin-objective candidate and the full
+        scored list in draw order.
     """
     config = config or EDDConfig()
     rng = new_rng(seed)
     quant = quantization_for_target(config.target)
     hw_model = build_hardware_model(space, config)
     ops = space.candidate_ops()
-    candidates: list[RandomCandidate] = []
+
+    # Draw + device-evaluate every candidate up front (cheap, RNG-sequential);
+    # only the proxy trainings — the hot part — fan out to workers.
+    drawn: list[tuple[ArchSpec, float, float]] = []
+    payloads: list[tuple] = []
     for index in range(num_candidates):
         op_idx = rng.integers(0, space.num_ops, size=space.num_blocks)
         bit_shape = quant.phi_shape(space.num_blocks, space.num_ops)[:-1]
@@ -80,12 +108,20 @@ def random_search(
         else:
             block_bits = [int(quant.bitwidths[int(bit_idx)])] * space.num_blocks
         spec.metadata["block_bits"] = block_bits
-        result = train_from_spec(
-            spec, splits, epochs=train_epochs, seed=seed + index,
-            batch_size=config.batch_size,
+        drawn.append(
+            (spec, float(evaluation.perf_loss.data), float(evaluation.resource.data))
         )
-        perf = float(evaluation.perf_loss.data)
-        res = float(evaluation.resource.data)
+        payloads.append(
+            train_spec_payload(spec, train_epochs, config.batch_size, seed + index)
+        )
+
+    # splits ship to each worker once (shared slot), not once per candidate.
+    results = ParallelEvaluator(workers=workers).map(
+        train_spec_worker, payloads, shared=splits
+    )
+
+    candidates: list[RandomCandidate] = []
+    for (spec, perf, res), result in zip(drawn, results):
         objective = (result.top1_error / 100.0) * perf
         if hw_model.resource_bound is not None and res > hw_model.resource_bound:
             objective *= np.exp((res - hw_model.resource_bound) / hw_model.resource_bound)

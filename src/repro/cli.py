@@ -9,7 +9,10 @@ Commands
 ``explore``  latency/throughput estimates for one zoo model across every
              registered hardware target.
 ``search``   run a reduced-scale co-search and print the derived network
-             plus its convergence trajectory.
+             plus its convergence trajectory.  ``--seeds``/``--workers``
+             batch several seeds in parallel (one record per seed plus an
+             aggregate); ``--checkpoint-dir``/``--resume`` snapshot the
+             search every N epochs and restart it bit-identically.
 ``bench``    run the numerics benchmark suite headlessly and write
              ``BENCH_numerics.json`` (conv fwd+bwd, supernet step,
              end-to-end search — each against the pre-refactor baseline).
@@ -27,6 +30,7 @@ import json
 import sys
 
 from repro.baselines.model_zoo import MODEL_ZOO
+from repro.core.results import MULTI_SEARCH_OBJECTIVES
 from repro.eval.experiments import EXPERIMENTS, experiment_dict, run_experiment
 from repro.hw.registry import TARGETS, device_names, target_names
 from repro.utils.serialization import ReproJSONEncoder
@@ -139,26 +143,66 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_seeds(args: argparse.Namespace) -> list[int]:
+    """``--seeds N`` -> N seeds starting at ``--seed``; ``--seeds a b c`` -> exact list."""
+    if len(args.seeds) == 1:
+        count = args.seeds[0]
+        if count < 1:
+            raise ValueError(f"--seeds count must be >= 1, got {count}")
+        return [args.seed + i for i in range(count)]
+    return list(args.seeds)
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     from repro import api
     from repro.eval.figures import render_architecture
     from repro.eval.trajectory import render_trajectory
 
-    request = api.SearchRequest(
+    shared = dict(
         target=args.target,
         device=args.device,
         epochs=args.epochs,
         blocks=args.blocks,
-        seed=args.seed,
         batch_size=12,
         resource_fraction=args.resource_fraction,
         retrain_epochs=10 if args.retrain else 0,
         name=f"cli-{args.target}",
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+    )
+
+    if args.seeds:
+        multi = api.search_many(
+            _resolve_seeds(args),
+            workers=args.workers,
+            objective=args.objective,
+            checkpoint_dir=args.checkpoint_dir,
+            **shared,
+        )
+        if args.format == "json":
+            _emit_json(multi.to_dict())
+            return 0
+        values = multi.objective_values()
+        print(f"{'seed':>6s} {'spec':24s} {'converged':>9s} "
+              f"{multi.objective:>14s}")
+        for seed, run, value in zip(multi.seeds, multi.runs, values):
+            marker = " <- best" if run is multi.best else ""
+            print(f"{seed:6d} {run.spec_name:24s} {str(run.converged):>9s} "
+                  f"{value:14.4f}{marker}")
+        print(f"\nbest seed {multi.best_seed} "
+              f"({multi.workers} worker(s), {multi.wall_seconds:.1f}s)\n")
+        print(render_architecture(multi.best.result.spec))
+        return 0
+
+    request = api.SearchRequest(
+        seed=args.seed, checkpoint_dir=args.checkpoint_dir, **shared,
     )
     report = api.search(request)
     if args.format == "json":
         _emit_json(report.to_dict())
         return 0
+    if report.resumed_from:
+        print(f"resumed from: {report.resumed_from}\n")
     print(render_architecture(report.result.spec))
     print()
     print(render_trajectory(report.result.history))
@@ -235,6 +279,27 @@ def build_parser() -> argparse.ArgumentParser:
                           help="fraction of device resources as RES_ub "
                                "(default: the target's registered default)")
     p_search.add_argument("--retrain", action="store_true")
+    p_search.add_argument("--seeds", type=int, nargs="+", default=None,
+                          metavar="N|SEED",
+                          help="batched multi-seed search: one value N runs "
+                               "N seeds starting at --seed; several values "
+                               "are used as the exact seed list")
+    p_search.add_argument("--workers", type=int, default=1,
+                          help="worker processes for --seeds (rankings are "
+                               "identical for any worker count)")
+    p_search.add_argument("--objective", default="total_loss",
+                          choices=MULTI_SEARCH_OBJECTIVES,
+                          help="final-epoch metric that picks the best seed")
+    p_search.add_argument("--checkpoint-dir", default=None,
+                          help="snapshot searcher state here every "
+                               "--checkpoint-every epochs (per-seed subdirs "
+                               "with --seeds)")
+    p_search.add_argument("--checkpoint-every", type=int, default=1,
+                          help="checkpoint period in epochs")
+    p_search.add_argument("--resume", action="store_true",
+                          help="restart from the newest checkpoint in "
+                               "--checkpoint-dir (bit-identical to an "
+                               "uninterrupted run)")
     _add_format(p_search)
     p_search.set_defaults(fn=_cmd_search)
 

@@ -1,38 +1,109 @@
 """Checkpoint / resume for long co-search runs.
 
 The paper's searches run 12 GPU-hours; a production release must survive
-interruption.  A checkpoint captures everything the bilevel loop needs to
-continue bit-exactly *except* the optimiser RNG streams (Gumbel noise
-resumes from the epoch seed, so trajectories after resume are equivalent in
-distribution; the test-suite verifies state round-trips exactly).
+interruption.  A checkpoint captures *everything* the bilevel loop needs to
+continue bit-exactly: supernet weights and buffers, Theta/Phi, the device
+model's implementation parameters, both optimisers' moment buffers, the
+Gumbel sampler's RNG stream, both data-loader shuffle streams, the epoch
+counter and the per-epoch history so far.  A search resumed from epoch ``k``
+therefore produces the same final :class:`~repro.core.results.SearchResult`
+arrays as the uninterrupted run (``tests/test_core_checkpoint.py`` asserts
+exact equality).
 
-Format: a single ``.npz`` holding the supernet weights, Theta/Phi, the
-device model's implementation parameters, both optimisers' moment buffers
-and the epoch counter.
+Format: a single ``.npz`` (version 2).  Version-1 files (pre-RNG/history)
+still load; they restore parameters and optimiser state only, so resumed
+trajectories from v1 files are equivalent in distribution rather than
+bit-identical.
+
+Typical use goes through :func:`repro.api.search` (``checkpoint_dir=...`` /
+``resume=True``) or the CLI's ``repro search --checkpoint-dir ... --resume``;
+the pieces here are the building blocks:
+
+* :class:`CheckpointCallback` — a :class:`~repro.core.engine.SearchEngine`
+  epoch callback that snapshots the searcher every N epochs;
+* :func:`restore_search_state` — rehydrate a searcher and get the epoch /
+  history needed to call ``search(start_epoch=..., initial_history=...)``;
+* :meth:`repro.core.cosearch.EDDSearcher.resume` — the one-call wrapper.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.cosearch import EDDSearcher
+from repro.core.results import EpochRecord
+from repro.utils.rng import capture_rng_state, restore_rng_state
+
+if TYPE_CHECKING:  # import cycle: cosearch drives the engine that calls us
+    from repro.core.cosearch import EDDSearcher
 
 _PREFIX_WEIGHTS = "w::"
+_PREFIX_BUFFERS = "buf::"
 _PREFIX_IMPL = "impl::"
 _PREFIX_VEL = "vel::"
 _PREFIX_ADAM_M = "adam_m::"
 _PREFIX_ADAM_V = "adam_v::"
 
+#: Column order of the ``hist::records`` array (one row per epoch).
+EPOCH_RECORD_FIELDS = (
+    "epoch",
+    "train_loss",
+    "val_acc_loss",
+    "perf_loss",
+    "resource",
+    "total_loss",
+    "temperature",
+    "theta_perplexity",
+)
 
-def save_checkpoint(searcher: EDDSearcher, path: str | Path, epoch: int = 0) -> Path:
-    """Serialise the searcher's mutable state to ``path`` (.npz)."""
+CHECKPOINT_FORMAT_VERSION = 2
+
+
+def _history_to_array(history: list[EpochRecord]) -> np.ndarray:
+    rows = [
+        [float(getattr(record, name)) for name in EPOCH_RECORD_FIELDS]
+        for record in history
+    ]
+    return np.asarray(rows, dtype=np.float64).reshape(len(history), len(EPOCH_RECORD_FIELDS))
+
+
+def _history_from_array(rows: np.ndarray) -> list[EpochRecord]:
+    records = []
+    for row in np.atleast_2d(rows):
+        values = dict(zip(EPOCH_RECORD_FIELDS, (float(v) for v in row)))
+        values["epoch"] = int(values["epoch"])
+        records.append(EpochRecord(**values))
+    return records
+
+
+def save_checkpoint(
+    searcher: EDDSearcher,
+    path: str | Path,
+    epoch: int = 0,
+    history: list[EpochRecord] | tuple[EpochRecord, ...] = (),
+) -> Path:
+    """Serialise the searcher's complete mutable state to ``path`` (.npz).
+
+    Args:
+        searcher: The :class:`~repro.core.cosearch.EDDSearcher` to snapshot.
+        epoch: Number of *completed* epochs — the epoch index a resumed run
+            starts from.
+        history: Epoch records of the completed epochs; stored so a resumed
+            run's final history covers the whole search.
+
+    Returns:
+        The written path (parent directories are created as needed).
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload: dict[str, np.ndarray] = {}
     for name, param in searcher.supernet.named_parameters():
         payload[_PREFIX_WEIGHTS + name] = param.data
+    for name, value in searcher.supernet.named_buffers():
+        payload[_PREFIX_BUFFERS + name] = np.asarray(value)
     for i, param in enumerate(searcher.hw_model.implementation_parameters()):
         payload[f"{_PREFIX_IMPL}{i}"] = param.data
     for i, velocity in enumerate(searcher.weight_optimizer._velocity):
@@ -44,6 +115,12 @@ def save_checkpoint(searcher: EDDSearcher, path: str | Path, epoch: int = 0) -> 
     payload["meta::epoch"] = np.asarray(epoch)
     payload["meta::adam_t"] = np.asarray(searcher.arch_optimizer._t)
     payload["meta::alpha"] = np.asarray(getattr(searcher.hw_model, "alpha", 1.0))
+    payload["meta::format"] = np.asarray(CHECKPOINT_FORMAT_VERSION)
+    payload["meta::temperature"] = np.asarray(searcher.sampler.temperature)
+    payload["rng::sampler"] = capture_rng_state(searcher.sampler.rng)
+    payload["rng::train_loader"] = searcher.train_loader.rng_state()
+    payload["rng::val_loader"] = searcher.val_loader.rng_state()
+    payload["hist::records"] = _history_to_array(list(history))
     np.savez(path, **payload)
     return path
 
@@ -52,7 +129,22 @@ def load_checkpoint(searcher: EDDSearcher, path: str | Path) -> int:
     """Restore state saved by :func:`save_checkpoint`; returns the epoch.
 
     The searcher must have been constructed with the same space/config
-    (shapes are validated parameter by parameter).
+    (shapes are validated parameter by parameter).  Version-2 checkpoints
+    additionally restore supernet buffers, the Gumbel sampler's RNG stream
+    and both loader shuffle streams, which is what makes a resumed search
+    bit-identical; version-1 files restore parameters and optimiser moments
+    only.
+
+    Args:
+        searcher: Freshly constructed searcher matching the checkpointed one.
+        path: ``.npz`` file written by :func:`save_checkpoint`.
+
+    Returns:
+        The number of completed epochs stored in the checkpoint.
+
+    Raises:
+        KeyError: If the checkpoint names a parameter the searcher lacks.
+        ValueError: If a stored array's shape does not match its parameter.
     """
     with np.load(Path(path)) as data:
         named = dict(searcher.supernet.named_parameters())
@@ -68,6 +160,13 @@ def load_checkpoint(searcher: EDDSearcher, path: str | Path) -> int:
                     f"{named[name].shape} vs {data[key].shape}"
                 )
             named[name].data = data[key].copy()
+        buffers = {
+            key[len(_PREFIX_BUFFERS):]: data[key]
+            for key in data.files
+            if key.startswith(_PREFIX_BUFFERS)
+        }
+        if buffers:
+            searcher.supernet.load_buffers_dict(buffers)
         impl = searcher.hw_model.implementation_parameters()
         for i, param in enumerate(impl):
             param.data = data[f"{_PREFIX_IMPL}{i}"].copy()
@@ -80,4 +179,134 @@ def load_checkpoint(searcher: EDDSearcher, path: str | Path) -> int:
         if hasattr(searcher.hw_model, "alpha"):
             searcher.hw_model.alpha = float(data["meta::alpha"])
             searcher._alpha_calibrated = True
+        if "meta::temperature" in data.files:
+            searcher.sampler.temperature = float(data["meta::temperature"])
+        if "rng::sampler" in data.files:
+            restore_rng_state(searcher.sampler.rng, data["rng::sampler"])
+        if "rng::train_loader" in data.files:
+            searcher.train_loader.set_rng_state(data["rng::train_loader"])
+        if "rng::val_loader" in data.files:
+            searcher.val_loader.set_rng_state(data["rng::val_loader"])
         return int(data["meta::epoch"])
+
+
+@dataclass
+class SearchCheckpoint:
+    """What :func:`restore_search_state` hands back for a resume.
+
+    Attributes:
+        path: The checkpoint file that was loaded.
+        epoch: Completed-epoch count — pass as ``start_epoch``.
+        history: The completed epochs' records — pass as ``initial_history``.
+    """
+
+    path: Path
+    epoch: int
+    history: list[EpochRecord] = field(default_factory=list)
+
+
+def restore_search_state(searcher: EDDSearcher, path: str | Path) -> SearchCheckpoint:
+    """Rehydrate ``searcher`` from ``path`` and return the resume position.
+
+    Args:
+        searcher: Freshly constructed searcher with the same space/config as
+            the checkpointed run.
+        path: Checkpoint written by :func:`save_checkpoint` (directly or via
+            :class:`CheckpointCallback`).
+
+    Returns:
+        A :class:`SearchCheckpoint`; feed its ``epoch``/``history`` into
+        :meth:`EDDSearcher.search <repro.core.cosearch.EDDSearcher.search>` —
+        or use :meth:`EDDSearcher.resume
+        <repro.core.cosearch.EDDSearcher.resume>`, which does both steps.
+    """
+    path = Path(path)
+    epoch = load_checkpoint(searcher, path)
+    with np.load(path) as data:
+        rows = data["hist::records"] if "hist::records" in data.files else None
+    history = _history_from_array(rows) if rows is not None and rows.size else []
+    return SearchCheckpoint(path=path, epoch=epoch, history=history)
+
+
+def checkpoint_path(directory: str | Path, epoch: int, prefix: str = "ckpt") -> Path:
+    """Canonical file name for the checkpoint written after ``epoch`` epochs."""
+    return Path(directory) / f"{prefix}-epoch-{epoch:04d}.npz"
+
+
+def find_latest_checkpoint(directory: str | Path, prefix: str = "ckpt") -> Path | None:
+    """Newest checkpoint in ``directory`` by completed-epoch count.
+
+    Args:
+        directory: Directory that :class:`CheckpointCallback` wrote into.
+        prefix: File-name prefix used when saving.
+
+    Returns:
+        The path with the highest epoch number, or ``None`` if the directory
+        holds no matching files (or does not exist).
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    best: tuple[int, Path] | None = None
+    for candidate in directory.glob(f"{prefix}-epoch-*.npz"):
+        stem = candidate.stem  # ckpt-epoch-0007
+        try:
+            epoch = int(stem.rsplit("-", 1)[1])
+        except (IndexError, ValueError):
+            continue
+        if best is None or epoch > best[0]:
+            best = (epoch, candidate)
+    return best[1] if best else None
+
+
+class CheckpointCallback:
+    """Engine callback that snapshots a searcher every ``every`` epochs.
+
+    Attach to :meth:`EDDSearcher.search
+    <repro.core.cosearch.EDDSearcher.search>` (``callbacks=[cb]``); after each
+    completed epoch it appends the epoch record to its running history and —
+    every ``every`` epochs — writes ``<prefix>-epoch-NNNN.npz`` into
+    ``directory`` via :func:`save_checkpoint`.  Because the snapshot is taken
+    *after* the epoch's weight/arch steps and RNG draws, resuming from it
+    reproduces the remaining epochs bit-identically.
+
+    Args:
+        searcher: The searcher whose state is snapshotted.
+        directory: Where checkpoint files are written (created on first save).
+        every: Snapshot period in epochs (``1`` = every epoch).
+        prefix: File-name prefix (see :func:`checkpoint_path`).
+        history: Pre-existing epoch records when the run itself is a resume,
+            so follow-up checkpoints carry the full history.
+
+    Raises:
+        ValueError: If ``every < 1``.
+    """
+
+    def __init__(
+        self,
+        searcher: EDDSearcher,
+        directory: str | Path,
+        every: int = 1,
+        prefix: str = "ckpt",
+        history: list[EpochRecord] | tuple[EpochRecord, ...] = (),
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.searcher = searcher
+        self.directory = Path(directory)
+        self.every = every
+        self.prefix = prefix
+        self.history: list[EpochRecord] = list(history)
+        #: Paths written so far, oldest first.
+        self.saved: list[Path] = []
+
+    def __call__(self, record: EpochRecord) -> None:
+        """Record ``record`` and checkpoint if its epoch completes a period."""
+        self.history.append(record)
+        completed = record.epoch + 1
+        if completed % self.every == 0:
+            path = checkpoint_path(self.directory, completed, self.prefix)
+            save_checkpoint(
+                self.searcher, path, epoch=completed, history=self.history
+            )
+            self.saved.append(path)

@@ -131,6 +131,16 @@ class EDDSearcher:
         )
         self.arch_optimizer = Adam(arch_params, lr=self.config.lr_arch)
         self._alpha_calibrated = False
+        # Loaders live on the searcher (not inside search()) so checkpoints
+        # can capture their shuffle streams and resume() can rewind them.
+        self.train_loader = DataLoader(
+            self.splits.train, self.config.batch_size, shuffle=True,
+            seed=self.config.seed + 2,
+        )
+        self.val_loader = DataLoader(
+            self.splits.val, self.config.batch_size, shuffle=True,
+            seed=self.config.seed + 3,
+        )
 
     # -- helpers -------------------------------------------------------------
     def _expected_sample(self) -> SampledArch:
@@ -345,8 +355,22 @@ class EDDSearcher:
                 record.perf_loss, record.resource, record.temperature,
             )
 
-    def build_engine(self, name: str = "EDD-searched") -> SearchEngine:
-        """The :class:`~repro.core.engine.SearchEngine` behind :meth:`search`."""
+    def build_engine(
+        self,
+        name: str = "EDD-searched",
+        extra_callbacks: tuple | list = (),
+    ) -> SearchEngine:
+        """The :class:`~repro.core.engine.SearchEngine` behind :meth:`search`.
+
+        Args:
+            name: Name given to the derived :class:`~repro.nas.arch_spec.ArchSpec`.
+            extra_callbacks: Additional per-epoch callbacks (e.g. a
+                :class:`~repro.core.checkpoint.CheckpointCallback`) appended
+                after the built-in logging callback.
+
+        Returns:
+            A configured engine; ``engine.run(...)`` executes the search.
+        """
         return SearchEngine(
             epochs=self.config.epochs,
             weight_step=self.weight_step,
@@ -360,22 +384,43 @@ class EDDSearcher:
             # Only the DARTS-style unrolled arch step reads the epoch's
             # training batches.
             buffer_train_batches=self.config.bilevel_order == 2,
-            callbacks=[self._log_epoch],
+            callbacks=[self._log_epoch, *extra_callbacks],
         )
 
     # -- main loop --------------------------------------------------------------
-    def search(self, name: str = "EDD-searched") -> SearchResult:
+    def search(
+        self,
+        name: str = "EDD-searched",
+        callbacks: tuple | list = (),
+        start_epoch: int = 0,
+        initial_history: tuple | list = (),
+    ) -> SearchResult:
+        """Run the bilevel co-search and derive the final architecture.
+
+        Args:
+            name: Name for the derived spec.
+            callbacks: Extra per-epoch callbacks (checkpointing, live plots).
+            start_epoch: First epoch to execute — non-zero only when resuming
+                from a checkpoint that restored all mutable state (use
+                :meth:`resume` rather than passing this by hand).
+            initial_history: Records of the already-completed epochs on a
+                resume; they are prepended to the result's history.
+
+        Returns:
+            The :class:`~repro.core.results.SearchResult`.  On a resumed run
+            ``search_seconds``/``phase_seconds`` cover only the resumed
+            portion, while ``history`` covers the whole search.
+        """
         config = self.config
         start = time.perf_counter()  # includes alpha calibration, as before
         if not self._alpha_calibrated:
             self.calibrate_alpha()
-        train_loader = DataLoader(
-            self.splits.train, config.batch_size, shuffle=True, seed=config.seed + 2
+        run = self.build_engine(name, extra_callbacks=callbacks).run(
+            self.train_loader,
+            self.val_loader,
+            start_epoch=start_epoch,
+            initial_history=tuple(initial_history),
         )
-        val_loader = DataLoader(
-            self.splits.val, config.batch_size, shuffle=True, seed=config.seed + 3
-        )
-        run = self.build_engine(name).run(train_loader, val_loader)
         spec, parallel_factors = run.derived
         return SearchResult(
             spec=spec,
@@ -386,4 +431,39 @@ class EDDSearcher:
             search_seconds=time.perf_counter() - start,
             config=config,
             phase_seconds=dict(run.phase_seconds),
+        )
+
+    def resume(
+        self,
+        path,
+        name: str = "EDD-searched",
+        callbacks: tuple | list = (),
+    ) -> SearchResult:
+        """Restore a checkpoint and finish the search from where it stopped.
+
+        The searcher must be freshly constructed with the same space, splits
+        and config as the checkpointed run.  With a version-2 checkpoint the
+        remaining epochs replay bit-identically, so the returned result's
+        arrays equal those of an uninterrupted run.
+
+        Args:
+            path: Checkpoint file written by
+                :class:`~repro.core.checkpoint.CheckpointCallback` or
+                :func:`~repro.core.checkpoint.save_checkpoint`.
+            name: Name for the derived spec.
+            callbacks: Extra per-epoch callbacks for the resumed portion; a
+                fresh :class:`~repro.core.checkpoint.CheckpointCallback`
+                passed here should be seeded with the restored history.
+
+        Returns:
+            The full-search :class:`~repro.core.results.SearchResult`.
+        """
+        from repro.core.checkpoint import restore_search_state
+
+        state = restore_search_state(self, path)
+        return self.search(
+            name=name,
+            callbacks=callbacks,
+            start_epoch=state.epoch,
+            initial_history=state.history,
         )

@@ -165,15 +165,48 @@ class SearchEngine:
         self,
         train_loader: Iterable[Batch],
         val_loader: Iterable[Batch] | None = None,
+        *,
+        start_epoch: int = 0,
+        initial_history: Sequence[EpochRecord] = (),
     ) -> EngineRun:
-        """Run all epochs and the derive phase; returns the full record."""
+        """Run epochs ``start_epoch .. epochs-1`` plus derive; returns the record.
+
+        Args:
+            train_loader: Batch iterable consumed once per epoch (weight phase).
+            val_loader: Optional batch iterable for the arch phase.
+            start_epoch: First epoch index to execute.  Non-zero values resume
+                a checkpointed run: the caller must have restored all mutable
+                state (weights, optimiser moments, RNG streams) to exactly what
+                it was after epoch ``start_epoch - 1`` completed — see
+                :class:`repro.core.checkpoint.CheckpointCallback`.
+            initial_history: Epoch records of the already-completed epochs, so
+                the returned :class:`EngineRun` covers the full search even
+                after a resume.  Callbacks fire only for newly run epochs.
+
+        Returns:
+            :class:`EngineRun` with the (prefixed) history, per-phase timing
+            for this call only, and the derive phase's return value.
+
+        Raises:
+            ValueError: If ``start_epoch`` is outside ``[0, epochs]`` or does
+                not line up with ``len(initial_history)``.
+        """
+        if not 0 <= start_epoch <= self.epochs:
+            raise ValueError(
+                f"start_epoch must be in [0, {self.epochs}], got {start_epoch}"
+            )
+        if initial_history and len(initial_history) != start_epoch:
+            raise ValueError(
+                f"initial_history has {len(initial_history)} records but "
+                f"start_epoch is {start_epoch}"
+            )
         start = time.perf_counter()
         # Fresh accounting per run: an engine may be re-run (e.g. resumed),
         # and the returned telemetry must cover this run only.
         self.phase_seconds = dict.fromkeys(PHASES, 0.0)
         self.phase_calls = dict.fromkeys(PHASES, 0)
-        history: list[EpochRecord] = []
-        for epoch in range(self.epochs):
+        history: list[EpochRecord] = list(initial_history)
+        for epoch in range(start_epoch, self.epochs):
             ctx = EpochContext(epoch=epoch)
             if self.anneal is not None and self.anneal_at == "start":
                 ctx.temperature = float(

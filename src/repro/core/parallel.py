@@ -1,0 +1,189 @@
+"""Deterministic parallel fan-out of candidate evaluations.
+
+The black-box baselines (random search, regularized evolution) and the
+multi-seed front door (:func:`repro.api.search_many`) all have the same
+shape: N independent, CPU-bound evaluations whose inputs are pure data and
+whose outputs must not depend on scheduling.  :class:`ParallelEvaluator`
+wraps ``concurrent.futures`` with the three properties that make that safe:
+
+* **submission-order results** — ``map`` returns results in the order the
+  payloads were given, never completion order, so rankings are stable;
+* **per-payload seeding** — every payload carries its own seed (the callers
+  construct payloads sequentially from one parent RNG), so ``workers=1`` and
+  ``workers=8`` produce bit-identical outputs;
+* **module-level workers** — evaluation functions must be importable
+  (picklable by qualified name), which keeps payloads plain data and the
+  workers free of shared mutable state.
+
+``workers <= 1`` short-circuits to a plain in-process loop — no executor, no
+pickling — so the serial path stays the reference semantics and the parallel
+path is a pure speed-up.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, TypeVar
+
+_P = TypeVar("_P")
+_R = TypeVar("_R")
+
+#: Executor kinds accepted by :class:`ParallelEvaluator`.
+EXECUTOR_KINDS = ("process", "thread")
+
+# Per-worker slot for bulk read-only context (e.g. the dataset splits every
+# candidate trains on).  Installed once per worker via the executor
+# initializer instead of being pickled into every payload.
+_SHARED: Any = None
+
+
+def _install_shared(value: Any) -> None:
+    global _SHARED
+    _SHARED = value
+
+
+def get_shared() -> Any:
+    """Worker-side accessor for the object passed as ``map(..., shared=...)``.
+
+    Returns:
+        Whatever the driving process handed to :meth:`ParallelEvaluator.map`
+        via ``shared`` (``None`` when nothing was shared).  Treat it as
+        read-only: process workers each hold their own copy, thread workers
+        and the serial path all see the caller's object.
+    """
+    return _SHARED
+
+
+class ParallelEvaluator:
+    """Orders-preserving parallel ``map`` over worker processes (or threads).
+
+    Args:
+        workers: Worker count.  ``<= 1`` evaluates serially in-process (the
+            reference path); ``> 1`` fans out over an executor.
+        kind: ``"process"`` (default; true CPU parallelism, payloads and
+            results must pickle) or ``"thread"`` (shared memory; useful when
+            the work releases the GIL or for tests that must not fork).
+
+    Raises:
+        ValueError: If ``workers < 1`` or ``kind`` is unknown.
+    """
+
+    def __init__(self, workers: int = 1, kind: str = "process") -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if kind not in EXECUTOR_KINDS:
+            raise ValueError(f"kind must be one of {EXECUTOR_KINDS}, got {kind!r}")
+        self.workers = workers
+        self.kind = kind
+
+    def _make_executor(self, tasks: int, shared: Any) -> Executor:
+        size = min(self.workers, tasks)
+        if self.kind == "thread":
+            return ThreadPoolExecutor(
+                max_workers=size, initializer=_install_shared, initargs=(shared,)
+            )
+        return ProcessPoolExecutor(
+            max_workers=size, initializer=_install_shared, initargs=(shared,)
+        )
+
+    def map(
+        self,
+        fn: Callable[[_P], _R],
+        payloads: Sequence[_P],
+        shared: Any = None,
+    ) -> list[_R]:
+        """Evaluate ``fn`` over ``payloads``; results in payload order.
+
+        Args:
+            fn: Module-level callable (must be picklable for process workers).
+            payloads: The inputs, each self-contained (carrying its own seed).
+            shared: Optional bulk read-only context, shipped to each worker
+                once (executor initializer) instead of once per payload;
+                ``fn`` reads it back through :func:`get_shared`.
+
+        Returns:
+            ``[fn(p) for p in payloads]`` — same values and order as the
+            serial loop, regardless of worker count or completion order.
+
+        Raises:
+            Exception: The first payload's exception (by submission order) is
+                re-raised; later results are discarded.
+        """
+        payloads = list(payloads)
+        previous = get_shared()
+        if self.workers <= 1 or len(payloads) <= 1:
+            _install_shared(shared)
+            try:
+                return [fn(p) for p in payloads]
+            finally:
+                _install_shared(previous)
+        try:
+            with self._make_executor(len(payloads), shared) as executor:
+                futures = [executor.submit(fn, p) for p in payloads]
+                return [future.result() for future in futures]
+        finally:
+            # Thread workers share this process's slot; restore it so one
+            # map() cannot leak its context into the next.
+            _install_shared(previous)
+
+
+def evaluate_parallel(
+    fn: Callable[[_P], _R],
+    payloads: Sequence[_P],
+    workers: int = 1,
+    kind: str = "process",
+    shared: Any = None,
+) -> list[_R]:
+    """One-shot convenience wrapper around :meth:`ParallelEvaluator.map`.
+
+    Args:
+        fn: Module-level callable applied to each payload.
+        payloads: Self-contained inputs.
+        workers: Worker count (``<= 1`` = serial reference path).
+        kind: ``"process"`` or ``"thread"``.
+        shared: Bulk read-only context for :func:`get_shared`.
+
+    Returns:
+        Results in payload order.
+    """
+    return ParallelEvaluator(workers=workers, kind=kind).map(
+        fn, payloads, shared=shared
+    )
+
+
+def train_spec_payload(spec: Any, epochs: int, batch_size: int, seed: int) -> tuple:
+    """Build the payload :func:`train_spec_worker` expects.
+
+    The dataset splits are deliberately *not* part of the payload — pass
+    them as ``map(..., shared=splits)`` so they cross the process boundary
+    once per worker rather than once per candidate.
+    """
+    return (spec, epochs, batch_size, seed)
+
+
+def train_spec_worker(payload: tuple) -> Any:
+    """Proxy-train one candidate spec (the shared worker of both baselines).
+
+    Args:
+        payload: ``(spec, epochs, batch_size, seed)`` from
+            :func:`train_spec_payload`; the dataset comes from
+            :func:`get_shared`.
+
+    Returns:
+        The :class:`repro.core.results.TrainResult`.
+
+    Raises:
+        RuntimeError: If no dataset splits were passed via ``shared``.
+    """
+    from repro.core.trainer import train_from_spec
+
+    spec, epochs, batch_size, seed = payload
+    splits = get_shared()
+    if splits is None:
+        raise RuntimeError(
+            "train_spec_worker needs the dataset splits via map(..., shared=splits)"
+        )
+    return train_from_spec(
+        spec, splits, epochs=epochs, batch_size=batch_size, seed=seed
+    )

@@ -7,7 +7,7 @@ from collections.abc import Iterator
 import numpy as np
 
 from repro.data.synthetic import Dataset
-from repro.utils.rng import new_rng
+from repro.utils.rng import capture_rng_state, new_rng, restore_rng_state
 
 
 class DataLoader:
@@ -33,6 +33,23 @@ class DataLoader:
         self.shuffle = shuffle
         self.drop_last = drop_last
         self._rng = new_rng(seed)
+
+    def rng_state(self) -> np.ndarray:
+        """Serialisable snapshot of the shuffle stream (see search checkpoints).
+
+        Returns:
+            ``uint8`` array accepted by :meth:`set_rng_state`.
+        """
+        return capture_rng_state(self._rng)
+
+    def set_rng_state(self, state: np.ndarray) -> None:
+        """Rewind the shuffle stream to a snapshot from :meth:`rng_state`.
+
+        After restoring, the next ``__iter__`` produces exactly the
+        permutation the snapshotted loader would have produced — the property
+        checkpoint/resume relies on for bit-identical searches.
+        """
+        restore_rng_state(self._rng, state)
 
     def __len__(self) -> int:
         n = len(self.dataset)

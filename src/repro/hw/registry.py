@@ -249,10 +249,12 @@ def get_device(name: str) -> Device:
 
 
 def target_names() -> list[str]:
+    """Sorted names of every registered hardware target."""
     return TARGETS.names()
 
 
 def device_names() -> list[str]:
+    """Sorted names of every registered device."""
     return DEVICES.names()
 
 

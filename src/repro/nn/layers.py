@@ -105,8 +105,12 @@ class BatchNorm2d(Module):
         self.momentum = momentum
         self.gamma = Parameter(np.ones(channels))
         self.beta = Parameter(np.zeros(channels))
-        self.running_mean = np.zeros(channels, dtype=self.gamma.data.dtype)
-        self.running_var = np.ones(channels, dtype=self.gamma.data.dtype)
+        self.register_buffer(
+            "running_mean", np.zeros(channels, dtype=self.gamma.data.dtype)
+        )
+        self.register_buffer(
+            "running_var", np.ones(channels, dtype=self.gamma.data.dtype)
+        )
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 4:

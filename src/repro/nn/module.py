@@ -32,6 +32,7 @@ class Module:
     def __init__(self) -> None:
         object.__setattr__(self, "_parameters", {})
         object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "_buffers", {})
         object.__setattr__(self, "training", True)
 
     def __setattr__(self, name: str, value: Any) -> None:
@@ -39,6 +40,26 @@ class Module:
             self._parameters[name] = value
         elif isinstance(value, Module):
             self._modules[name] = value
+        elif name in getattr(self, "_buffers", {}):
+            # Re-assignments to a registered buffer (BatchNorm rewrites its
+            # running stats every training forward) stay tracked.
+            self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Track ``value`` as non-trainable persistent state (e.g. BN stats).
+
+        Buffers travel with the module through :meth:`buffers_dict` /
+        :meth:`load_buffers_dict` and are captured by search checkpoints, but
+        they are not parameters: no gradients, not returned by
+        :meth:`parameters`.  Plain attribute assignment to ``name`` after
+        registration keeps the buffer registry in sync.
+
+        Args:
+            name: Attribute name to register.
+            value: Array stored under that name.
+        """
+        self._buffers[name] = value
         object.__setattr__(self, name, value)
 
     # -- forward ------------------------------------------------------------
@@ -57,6 +78,13 @@ class Module:
             yield (f"{prefix}{name}", param)
         for child_name, child in self._modules.items():
             yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        """Yield ``(dotted_name, array)`` for every registered buffer."""
+        for name, value in self._buffers.items():
+            yield (f"{prefix}{name}", value)
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers(prefix=f"{prefix}{child_name}.")
 
     def parameters(self) -> list[Parameter]:
         return [p for _, p in self.named_parameters()]
@@ -101,3 +129,29 @@ class Module:
                     f"parameter {param.shape} vs state {value.shape}"
                 )
             param.data = value.copy()
+
+    def buffers_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every registered buffer keyed by dotted path."""
+        return {name: np.array(value) for name, value in self.named_buffers()}
+
+    def load_buffers_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore buffers saved by :meth:`buffers_dict`.
+
+        Unknown names raise ``KeyError``; names absent from ``state`` are left
+        untouched (old checkpoints may predate a buffer).
+        """
+        index: dict[str, tuple[Module, str]] = {}
+
+        def _collect(module: Module, prefix: str) -> None:
+            for name in module._buffers:
+                index[f"{prefix}{name}"] = (module, name)
+            for child_name, child in module._modules.items():
+                _collect(child, f"{prefix}{child_name}.")
+
+        _collect(self, "")
+        unexpected = state.keys() - index.keys()
+        if unexpected:
+            raise KeyError(f"unknown buffers in state: {sorted(unexpected)}")
+        for name, value in state.items():
+            module, attr = index[name]
+            setattr(module, attr, np.array(value))

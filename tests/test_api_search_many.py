@@ -1,0 +1,132 @@
+"""Unit tests for batched multi-seed search (api.search_many + CLI --seeds)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.core.results import MULTI_SEARCH_OBJECTIVES, MultiSearchResult
+
+
+def _tiny_batch(seeds, **kwargs):
+    return api.search_many(seeds, epochs=2, blocks=2, batch_size=8, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def serial_batch():
+    """Shared workers=1 batch over seeds [0, 1] (read-only in tests)."""
+    return _tiny_batch([0, 1])
+
+
+class TestSearchMany:
+    def test_runs_align_with_seeds(self, serial_batch):
+        assert serial_batch.seeds == [0, 1]
+        assert [run.seed for run in serial_batch.runs] == [0, 1]
+
+    def test_aggregate_picks_min_objective(self, serial_batch):
+        values = serial_batch.objective_values()
+        assert serial_batch.best_index == int(np.argmin(values))
+        assert serial_batch.best_seed == serial_batch.seeds[serial_batch.best_index]
+        assert serial_batch.best is serial_batch.runs[serial_batch.best_index]
+
+    def test_workers_do_not_change_ranking(self, serial_batch):
+        parallel = _tiny_batch([0, 1], workers=2)
+        assert serial_batch.objective_values() == parallel.objective_values()
+        assert serial_batch.best_index == parallel.best_index
+        np.testing.assert_array_equal(
+            serial_batch.best.result.theta, parallel.best.result.theta
+        )
+
+    def test_to_dict_one_record_per_seed_plus_aggregate(self, serial_batch):
+        payload = serial_batch.to_dict()
+        assert len(payload["runs"]) == 2
+        assert payload["seeds"] == [0, 1]
+        aggregate = payload["aggregate"]
+        assert aggregate["objective"] == "total_loss"
+        assert aggregate["best_seed"] in payload["seeds"]
+        assert len(aggregate["objective_values"]) == 2
+        assert aggregate["best_spec_name"]
+
+    def test_alternate_objective(self):
+        multi = _tiny_batch([0, 1], objective="val_acc_loss")
+        values = [
+            run.result.history[-1].val_acc_loss for run in multi.runs
+        ]
+        assert multi.best_index == int(np.argmin(values))
+
+    def test_checkpoint_dirs_are_per_seed(self, tmp_path):
+        api.search_many([0, 1], epochs=1, blocks=2, batch_size=8,
+                        checkpoint_dir=str(tmp_path))
+        assert (tmp_path / "seed-0").is_dir()
+        assert (tmp_path / "seed-1").is_dir()
+        assert list((tmp_path / "seed-0").glob("ckpt-epoch-*.npz"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one seed"):
+            api.search_many([])
+        with pytest.raises(ValueError, match="duplicate"):
+            _tiny_batch([1, 1])
+        with pytest.raises(ValueError, match="objective"):
+            _tiny_batch([0], objective="vibes")
+        with pytest.raises(ValueError, match="managed per run"):
+            api.search_many([0, 1], seed=3)
+
+    def test_objective_menu_matches_results_module(self):
+        assert set(MULTI_SEARCH_OBJECTIVES) == {
+            "total_loss", "val_acc_loss", "perf_loss", "resource",
+        }
+
+
+class TestMultiSearchResultValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            MultiSearchResult(seeds=[0, 1], runs=[object()], objective="total_loss",
+                              best_index=0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiSearchResult(seeds=[], runs=[], objective="total_loss",
+                              best_index=0)
+
+    def test_best_index_bounds(self):
+        with pytest.raises(ValueError):
+            MultiSearchResult(seeds=[0], runs=[object()], objective="total_loss",
+                              best_index=5)
+
+
+class TestCliSeeds:
+    def test_seeds_count_expands_from_base_seed(self, capsys):
+        from repro.cli import main
+
+        code = main(["search", "--seeds", "2", "--seed", "5", "--epochs", "1",
+                     "--blocks", "2", "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["seeds"] == [5, 6]
+        assert len(payload["runs"]) == 2
+        assert payload["aggregate"]["best_seed"] in (5, 6)
+
+    def test_seeds_list_used_verbatim(self, capsys):
+        from repro.cli import main
+
+        code = main(["search", "--seeds", "3", "7", "--epochs", "1",
+                     "--blocks", "2", "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["seeds"] == [3, 7]
+
+    def test_seeds_text_output_marks_best(self, capsys):
+        from repro.cli import main
+
+        assert main(["search", "--seeds", "2", "--epochs", "1",
+                     "--blocks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "<- best" in out
+        assert "best seed" in out
+
+    def test_bad_seed_count_is_user_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["search", "--seeds", "0", "--epochs", "1"]) == 2
+        assert "error:" in capsys.readouterr().err

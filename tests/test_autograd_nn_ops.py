@@ -165,6 +165,46 @@ class TestMaxPooling:
         with pytest.raises(ValueError, match="too large"):
             max_pool2d(tensor(rng.normal(size=(1, 1, 2, 2))), 5)
 
+    @pytest.mark.parametrize("kernel,stride,padding,shape", [
+        (2, 2, 0, (3, 4, 8, 8)),     # flat-assign fast path
+        (3, 3, 1, (2, 3, 9, 9)),     # fast path with padding
+        (2, 3, 0, (2, 2, 10, 10)),   # stride > kernel (gaps, still fast path)
+        (3, 2, 1, (2, 3, 9, 9)),     # overlapping -> np.add.at fallback
+        (3, 1, 1, (2, 2, 6, 6)),     # heavy overlap fallback
+    ])
+    def test_backward_scatter_matches_bruteforce(self, rng, kernel, stride,
+                                                 padding, shape):
+        """The non-overlapping flat-scatter path and the add.at fallback both
+        match a per-window brute-force gradient."""
+        from repro.autograd.ops_nn import max_pool2d
+
+        x = t(rng.normal(size=shape))
+        out = max_pool2d(x, kernel, stride=stride, padding=padding)
+        grad = rng.normal(size=out.shape)
+        out.backward(grad)
+
+        n, c, h, w = shape
+        ph, pw = h + 2 * padding, w + 2 * padding
+        padded = np.full((n, c, ph, pw), -np.inf)
+        padded[:, :, padding:padding + h, padding:padding + w] = x.data
+        expected = np.zeros((n, c, ph, pw))
+        oh = (ph - kernel) // stride + 1
+        ow = (pw - kernel) // stride + 1
+        for ni in range(n):
+            for ci in range(c):
+                for i in range(oh):
+                    for j in range(ow):
+                        window = padded[ni, ci, i * stride:i * stride + kernel,
+                                        j * stride:j * stride + kernel]
+                        wi, wj = np.unravel_index(np.argmax(window), window.shape)
+                        expected[ni, ci, i * stride + wi, j * stride + wj] += (
+                            grad[ni, ci, i, j]
+                        )
+        np.testing.assert_allclose(
+            x.grad, expected[:, :, padding:padding + h, padding:padding + w],
+            rtol=1e-6,
+        )
+
 
 class TestPooling:
     def test_avg_pool_forward(self):

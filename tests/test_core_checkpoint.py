@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.checkpoint import (
+    CheckpointCallback,
+    checkpoint_path,
+    find_latest_checkpoint,
+    load_checkpoint,
+    restore_search_state,
+    save_checkpoint,
+)
 from repro.core.config import EDDConfig
 from repro.core.cosearch import EDDSearcher
 
@@ -73,6 +80,141 @@ class TestRoundTrip:
         loss_a = searcher.weight_step(x, y)
         loss_b = other.weight_step(x, y)
         assert loss_a == pytest.approx(loss_b)
+
+
+class _KillAfter(Exception):
+    pass
+
+
+def _kill_after(epoch):
+    def callback(record):
+        if record.epoch == epoch:
+            raise _KillAfter
+    return callback
+
+
+def _search_config(epochs=4):
+    return EDDConfig(target="fpga_pipelined", epochs=epochs, batch_size=8,
+                     arch_start_epoch=0, seed=0, resource_fraction=0.5)
+
+
+class TestResumeEquivalence:
+    """A search killed after epoch k and resumed must equal the straight run."""
+
+    @pytest.fixture(scope="class")
+    def full_result(self):
+        # Built from scratch (not the function-scoped fixtures) so the
+        # uninterrupted reference run is computed once per class; the task
+        # construction is deterministic, so fixture-built splits are equal.
+        from repro.data.synthetic import SyntheticTaskConfig, make_synthetic_task
+        from repro.nas.space import SearchSpaceConfig
+
+        space = SearchSpaceConfig.tiny()
+        splits = make_synthetic_task(SyntheticTaskConfig(
+            num_classes=4, image_size=8, train_per_class=8,
+            val_per_class=4, test_per_class=4, seed=11,
+        ))
+        return EDDSearcher(space, splits, _search_config()).search(name="ref")
+
+    def _killed_checkpoint(self, tiny_space, tiny_splits, tmp_path, kill_epoch):
+        searcher = EDDSearcher(tiny_space, tiny_splits, _search_config())
+        callback = CheckpointCallback(searcher, tmp_path / "ck", every=1)
+        with pytest.raises(_KillAfter):
+            searcher.search(name="ref",
+                            callbacks=[callback, _kill_after(kill_epoch)])
+        return find_latest_checkpoint(tmp_path / "ck")
+
+    @pytest.mark.parametrize("kill_epoch", [0, 2])
+    def test_resume_bit_identical(self, tiny_space, tiny_splits, tmp_path,
+                                  full_result, kill_epoch):
+        latest = self._killed_checkpoint(
+            tiny_space, tiny_splits, tmp_path, kill_epoch
+        )
+        assert latest is not None
+        resumed = EDDSearcher(tiny_space, tiny_splits, _search_config()).resume(
+            latest, name="ref"
+        )
+        np.testing.assert_array_equal(resumed.theta, full_result.theta)
+        np.testing.assert_array_equal(resumed.phi, full_result.phi)
+        np.testing.assert_equal(  # NaN-aware exact equality
+            [r.to_dict() for r in resumed.history],
+            [r.to_dict() for r in full_result.history],
+        )
+        assert resumed.spec.summary() == full_result.spec.summary()
+        assert resumed.parallel_factors == full_result.parallel_factors
+
+    def test_resume_history_covers_whole_search(self, tiny_space, tiny_splits,
+                                                tmp_path, full_result):
+        latest = self._killed_checkpoint(tiny_space, tiny_splits, tmp_path, 1)
+        resumed = EDDSearcher(tiny_space, tiny_splits, _search_config()).resume(
+            latest, name="ref"
+        )
+        assert [r.epoch for r in resumed.history] == [
+            r.epoch for r in full_result.history
+        ]
+
+    def test_api_level_resume(self, tmp_path):
+        from repro import api
+
+        ck = str(tmp_path / "api-ck")
+        full = api.search(epochs=3, blocks=2, batch_size=8, seed=1)
+        # Emulate an interruption by running only the first epoch.
+        api.search(api.SearchRequest(epochs=1, blocks=2, batch_size=8, seed=1,
+                                     checkpoint_dir=ck))
+        resumed = api.search(
+            api.SearchRequest(epochs=3, blocks=2, batch_size=8, seed=1,
+                              checkpoint_dir=ck, resume=True)
+        )
+        assert resumed.resumed_from is not None
+        np.testing.assert_array_equal(resumed.result.theta, full.result.theta)
+        np.testing.assert_equal(
+            [r.to_dict() for r in resumed.result.history],
+            [r.to_dict() for r in full.result.history],
+        )
+
+
+class TestCheckpointCallback:
+    def test_every_controls_cadence(self, searcher, tmp_path):
+        config = _search_config(epochs=4)
+        searcher = EDDSearcher(searcher.space, searcher.splits, config)
+        callback = CheckpointCallback(searcher, tmp_path, every=2)
+        searcher.search(name="cb", callbacks=[callback])
+        names = sorted(p.name for p in callback.saved)
+        assert names == ["ckpt-epoch-0002.npz", "ckpt-epoch-0004.npz"]
+
+    def test_rejects_bad_every(self, searcher, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointCallback(searcher, tmp_path, every=0)
+
+    def test_find_latest(self, tmp_path):
+        assert find_latest_checkpoint(tmp_path / "missing") is None
+        (tmp_path / "ckpt-epoch-0002.npz").touch()
+        (tmp_path / "ckpt-epoch-0010.npz").touch()
+        (tmp_path / "unrelated.npz").touch()
+        assert find_latest_checkpoint(tmp_path).name == "ckpt-epoch-0010.npz"
+
+    def test_checkpoint_path_format(self, tmp_path):
+        assert checkpoint_path(tmp_path, 7).name == "ckpt-epoch-0007.npz"
+
+
+class TestRestoreSearchState:
+    def test_round_trips_epoch_and_history(self, searcher, tiny_space,
+                                           tiny_splits, tmp_path):
+        searcher.calibrate_alpha()
+        x, y = tiny_splits.train.images[:8], tiny_splits.train.labels[:8]
+        searcher.weight_step(x, y)
+        from repro.core.results import EpochRecord
+
+        record = EpochRecord(epoch=0, train_loss=1.0, val_acc_loss=2.0,
+                             perf_loss=0.5, resource=10.0, total_loss=2.5,
+                             temperature=5.0, theta_perplexity=2.0)
+        path = save_checkpoint(searcher, tmp_path / "ck.npz", epoch=1,
+                               history=[record])
+        other = fresh_like(searcher, tiny_space, tiny_splits)
+        state = restore_search_state(other, path)
+        assert state.epoch == 1
+        assert len(state.history) == 1
+        assert state.history[0].to_dict() == record.to_dict()
 
 
 class TestValidation:

@@ -89,6 +89,52 @@ class TestStateDict:
             net.load_state_dict(state)
 
 
+class WithBuffer(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc = Linear(2, 2)
+        self.register_buffer("count", np.zeros(3))
+
+
+class TestBuffers:
+    def test_named_buffers_recursive(self):
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = WithBuffer()
+
+        names = [name for name, _ in Outer().named_buffers()]
+        assert names == ["inner.count"]
+
+    def test_reassignment_stays_tracked(self):
+        module = WithBuffer()
+        module.count = np.ones(3)
+        assert dict(module.named_buffers())["count"].tolist() == [1.0, 1.0, 1.0]
+
+    def test_buffers_not_parameters(self):
+        module = WithBuffer()
+        assert all(name != "count" for name, _ in module.named_parameters())
+
+    def test_buffers_dict_roundtrip(self):
+        module = WithBuffer()
+        module.count = np.arange(3.0)
+        state = module.buffers_dict()
+        other = WithBuffer()
+        other.load_buffers_dict(state)
+        np.testing.assert_array_equal(other.count, np.arange(3.0))
+
+    def test_load_unknown_buffer_raises(self):
+        with pytest.raises(KeyError, match="unknown buffers"):
+            WithBuffer().load_buffers_dict({"nope": np.zeros(1)})
+
+    def test_batchnorm_running_stats_registered(self):
+        from repro.nn import BatchNorm2d
+
+        bn = BatchNorm2d(4)
+        names = {name for name, _ in bn.named_buffers()}
+        assert names == {"running_mean", "running_var"}
+
+
 class TestContainers:
     def test_sequential_applies_in_order(self):
         seq = Sequential(Linear(4, 8), ReLU(), Linear(8, 3))
