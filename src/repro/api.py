@@ -1,14 +1,18 @@
 """Stable public facade of the EDD reproduction.
 
 This module is the supported programmatic entry point: typed request /
-response dataclasses plus three functions —
+response dataclasses plus the entry functions —
 
-* :func:`search`   — run one reduced-scale co-search for any registered
-  target and get a machine-readable report;
+* :func:`search` / :func:`search_many` — run reduced-scale co-searches for
+  any registered target and get machine-readable reports (``search_many``
+  batches seeds, optionally with a cross-run result cache);
 * :func:`estimate` — batch-evaluate many models x targets x bit-widths with
   the analytic device models in a single call;
 * :func:`deploy_plan` — render the per-layer implementation plan a hardware
-  engineer would take from a network.
+  engineer would take from a network;
+* :func:`compile_model` / :func:`serve_plan` — lower a model into the
+  compiled inference runtime (:mod:`repro.runtime`) and optionally stand up
+  the micro-batching inference server.
 
 Every response object has a ``to_dict()`` returning plain JSON-serialisable
 types (see :mod:`repro.utils.serialization`), which is what the CLI's
@@ -21,6 +25,11 @@ silently.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -46,7 +55,7 @@ from repro.data.synthetic import SyntheticTaskConfig, make_synthetic_task
 from repro.eval.trajectory import summarize
 from repro.hw import registry
 from repro.hw.report import deployment_plan as _render_plan
-from repro.nas.arch_spec import ArchSpec
+from repro.nas.arch_spec import ArchSpec, scale_spec
 from repro.nas.space import SearchSpaceConfig
 
 __all__ = [
@@ -57,11 +66,13 @@ __all__ = [
     "MultiSearchResult",
     "SearchReport",
     "SearchRequest",
+    "compile_model",
     "deploy_plan",
     "devices",
     "estimate",
     "search",
     "search_many",
+    "serve_plan",
     "targets",
     "zoo",
 ]
@@ -474,12 +485,55 @@ def _search_worker(request: SearchRequest) -> SearchReport:
     return search(request)
 
 
+def _request_digest(kwargs: dict[str, Any]) -> str:
+    """Stable digest of the *shared* search configuration.
+
+    Built from every :class:`SearchRequest` field except the per-run managed
+    ones (``seed``, ``checkpoint_dir``) — two ``search_many`` calls whose
+    shared configuration matches therefore hash identically, which is what
+    keys the cross-run result cache.
+    """
+    template = dataclasses.asdict(SearchRequest(**kwargs))
+    template.pop("seed")
+    template.pop("checkpoint_dir")
+    payload = json.dumps(template, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _cache_path(cache_dir: Path, digest: str, seed: int) -> Path:
+    return cache_dir / f"search-{digest}-seed-{seed}.pkl"
+
+
+def _load_cached_report(path: Path) -> SearchReport | None:
+    """Read one cache entry; unreadable/truncated files are cache misses.
+
+    A run killed mid-write (or an old incompatible pickle) must not poison
+    every later ``search_many`` with the same configuration — the seed is
+    simply searched again and the entry rewritten.
+    """
+    try:
+        with path.open("rb") as fh:
+            return pickle.load(fh)
+    except (OSError, EOFError, pickle.UnpicklingError, AttributeError,
+            ImportError, IndexError):
+        return None
+
+
+def _store_cached_report(path: Path, report: SearchReport) -> None:
+    """Atomically persist one cache entry (write temp file, then rename)."""
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    with tmp.open("wb") as fh:
+        pickle.dump(report, fh)
+    os.replace(tmp, path)
+
+
 def search_many(
     seeds: Any,
     *,
     workers: int = 1,
     objective: str = "total_loss",
     checkpoint_dir: str | None = None,
+    cache_dir: str | None = None,
     **kwargs: Any,
 ) -> MultiSearchResult:
     """Batched multi-seed co-search sharing one configuration.
@@ -494,6 +548,12 @@ def search_many(
     ``seed-<n>/`` subdirectory; pass ``resume=True`` (forwarded to each
     :class:`SearchRequest`) to restart every seed from its newest checkpoint.
 
+    With ``cache_dir`` set, every finished per-seed report is persisted
+    keyed on (shared-request digest, seed); a re-run with the same shared
+    configuration loads those seeds from the cache instead of searching them
+    again, so only new seeds cost compute.  Cached seeds are listed in the
+    result's ``cached_seeds``.
+
     Args:
         seeds: Iterable of integer seeds, one search per entry (duplicates
             are rejected — they would collide on checkpoint directories).
@@ -501,6 +561,8 @@ def search_many(
         objective: Aggregation key, one of
             :data:`repro.core.results.MULTI_SEARCH_OBJECTIVES`.
         checkpoint_dir: Parent directory for per-seed checkpoint subdirs.
+        cache_dir: Cross-run result cache directory; completed seeds are
+            skipped on re-run when the shared configuration is unchanged.
         **kwargs: Shared :class:`SearchRequest` fields (``target``,
             ``epochs``, ``blocks``, ``resume``, ...).  ``seed`` and
             ``checkpoint_dir`` are managed per run and cannot be passed here.
@@ -528,8 +590,21 @@ def search_many(
                 f"{managed!r} is managed per run by search_many; "
                 f"pass seeds=... / checkpoint_dir=... instead"
             )
+    start = time.perf_counter()
+    cached: dict[int, SearchReport] = {}
+    digest = ""
+    if cache_dir is not None:
+        digest = _request_digest(kwargs)
+        cache_root = Path(cache_dir)
+        for seed in seeds:
+            path = _cache_path(cache_root, digest, seed)
+            if path.exists():
+                report = _load_cached_report(path)
+                if report is not None:
+                    cached[seed] = report
+    pending = [seed for seed in seeds if seed not in cached]
     requests = []
-    for seed in seeds:
+    for seed in pending:
         per_seed_dir = (
             str(Path(checkpoint_dir) / f"seed-{seed}")
             if checkpoint_dir is not None else None
@@ -537,15 +612,25 @@ def search_many(
         requests.append(
             SearchRequest(seed=seed, checkpoint_dir=per_seed_dir, **kwargs)
         )
-    start = time.perf_counter()
-    runs = ParallelEvaluator(workers=workers).map(_search_worker, requests)
+    fresh = (
+        list(ParallelEvaluator(workers=workers).map(_search_worker, requests))
+        if requests else []
+    )
+    by_seed = dict(cached)
+    by_seed.update(zip(pending, fresh))
+    if cache_dir is not None:
+        cache_root = Path(cache_dir)
+        cache_root.mkdir(parents=True, exist_ok=True)
+        for seed, report in zip(pending, fresh):
+            _store_cached_report(_cache_path(cache_root, digest, seed), report)
     wall = time.perf_counter() - start
     return MultiSearchResult.from_runs(
         seeds=seeds,
-        runs=list(runs),
+        runs=[by_seed[seed] for seed in seeds],
         objective=objective,
         workers=workers,
         wall_seconds=wall,
+        cached_seeds=sorted(cached),
     )
 
 
@@ -619,3 +704,81 @@ def deploy_plan(
         text=_render_plan(arch, tspec.plan_flow, dev, effective),
         note=note,
     )
+
+
+# -------------------------------------------------------------------- runtime
+def _runtime_spec(
+    model: str | ArchSpec,
+    width_mult: float | None,
+    input_size: int | None,
+    num_classes: int | None,
+) -> ArchSpec:
+    """Resolve and optionally rescale a model for the compiled runtime."""
+    arch = _resolve_spec(model)
+    if width_mult is not None or input_size is not None or num_classes is not None:
+        arch = scale_spec(
+            arch,
+            width_mult=width_mult if width_mult is not None else 1.0,
+            input_size=input_size,
+            num_classes=num_classes,
+        )
+    return arch
+
+
+def compile_model(
+    model: str | ArchSpec,
+    *,
+    bits: int | None = None,
+    seed: int | None = 0,
+    width_mult: float | None = None,
+    input_size: int | None = None,
+    num_classes: int | None = None,
+):
+    """Compile a model into a ready-to-run inference :class:`Engine`.
+
+    ``model`` is a zoo name or :class:`ArchSpec`; ``width_mult`` /
+    ``input_size`` / ``num_classes`` optionally rescale it first (the same
+    reduced-scale knobs the proxy task uses).  The spec is instantiated with
+    ``seed`` weights, lowered into a static plan (BatchNorm folded,
+    ``bits``-bit fake-quantisation baked) and wrapped in an arena-backed
+    executor — see :mod:`repro.runtime`.
+
+    Returns:
+        A :class:`repro.runtime.engine.Engine`; ``engine.run(batch)``
+        numerically matches ``BuiltNetwork.forward`` in eval mode.
+    """
+    from repro.runtime import Engine, compile_spec
+
+    arch = _runtime_spec(model, width_mult, input_size, num_classes)
+    return Engine(compile_spec(arch, bits=bits, seed=seed))
+
+
+def serve_plan(
+    model: str | ArchSpec,
+    *,
+    bits: int | None = None,
+    seed: int | None = 0,
+    width_mult: float | None = None,
+    input_size: int | None = None,
+    num_classes: int | None = None,
+    max_batch: int = 8,
+    max_wait_ms: float = 2.0,
+):
+    """Compile ``model`` and stand up a micro-batching inference server.
+
+    The returned :class:`repro.runtime.serve.InferenceServer` coalesces
+    concurrent requests up to ``max_batch`` samples (waiting at most
+    ``max_wait_ms`` for stragglers) and records per-request latency; use it
+    as a context manager so the worker thread is torn down::
+
+        with api.serve_plan("MobileNet-V2", width_mult=0.1, input_size=16) as srv:
+            logits = srv.infer(x)
+            print(srv.stats())
+    """
+    from repro.runtime import InferenceServer
+
+    engine = compile_model(
+        model, bits=bits, seed=seed, width_mult=width_mult,
+        input_size=input_size, num_classes=num_classes,
+    )
+    return InferenceServer(engine, max_batch=max_batch, max_wait_ms=max_wait_ms)

@@ -571,6 +571,163 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     return make_op(out, (x,), backward, "log_softmax")
 
 
+# -- inference kernels (out-buffer entry points) ------------------------------
+#
+# Autograd-free ndarray kernels used by the compiled runtime
+# (repro.runtime.engine).  Each accepts preallocated output/scratch buffers so
+# a static execution plan can run without any per-op allocation: `out` is the
+# destination (arena slice), `pad_buf` holds the padded input and `cols` the
+# materialised im2col columns.  Passing None for any buffer falls back to a
+# fresh allocation, which keeps the kernels usable standalone.
+
+def conv2d_into(
+    x: np.ndarray,
+    weight: np.ndarray,
+    *,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+    bias: np.ndarray | None = None,
+    act: str | None = None,
+    out: np.ndarray | None = None,
+    pad_buf: np.ndarray | None = None,
+    cols: np.ndarray | None = None,
+) -> np.ndarray:
+    """Inference convolution writing into ``out`` (bias + activation fused).
+
+    Same im2col + one-batched-matmul formulation as :func:`conv2d`, but on
+    plain arrays with no graph: the columns land in ``cols`` (zero-copy view
+    for 1x1/stride-1), the GEMM writes straight into ``out`` via
+    ``np.matmul(..., out=...)``, and bias add plus ``relu``/``relu6`` happen
+    in place.  Returns ``out``.
+    """
+    n, c_in, h, w = x.shape
+    c_out, c_in_g, k_h, k_w = weight.shape
+    if padding:
+        if pad_buf is None:
+            pad_buf = np.zeros(
+                (n, c_in, h + 2 * padding, w + 2 * padding), dtype=x.dtype
+            )
+        else:
+            pad_buf.fill(0.0)
+        pad_buf[:, :, padding:padding + h, padding:padding + w] = x
+        src = pad_buf
+    else:
+        src = x
+    out_h = _conv_output_size(src.shape[2], k_h, stride)
+    out_w = _conv_output_size(src.shape[3], k_w, stride)
+    if out is None:
+        out = np.empty((n, c_out, out_h, out_w), dtype=x.dtype)
+    w_mat = weight.reshape(groups, c_out // groups, c_in_g * k_h * k_w)
+    if k_h == 1 and k_w == 1 and stride == 1:
+        # Contiguous input: the column matrix is a free reshape.
+        col_view = src.reshape(n, groups, c_in_g, out_h * out_w)
+    else:
+        view = _window_view(src, k_h, k_w, stride)
+        if cols is None:
+            cols = np.empty(
+                (n, c_in, k_h, k_w, out_h, out_w), dtype=x.dtype
+            )
+        col6 = cols.reshape(n, c_in, k_h, k_w, out_h, out_w)
+        np.copyto(col6, view)
+        col_view = col6.reshape(n, groups, c_in_g * k_h * k_w, out_h * out_w)
+    np.matmul(
+        w_mat[None], col_view,
+        out=out.reshape(n, groups, c_out // groups, out_h * out_w),
+    )
+    if bias is not None:
+        out += bias.reshape(1, -1, 1, 1)
+    _apply_activation(out, act)
+    return out
+
+
+def linear_into(
+    x: np.ndarray,
+    weight: np.ndarray,
+    *,
+    bias: np.ndarray | None = None,
+    act: str | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Inference affine map ``x @ weight.T + bias`` written into ``out``."""
+    if out is None:
+        out = np.empty((x.shape[0], weight.shape[0]), dtype=x.dtype)
+    np.matmul(x, weight.T, out=out)
+    if bias is not None:
+        out += bias
+    _apply_activation(out, act)
+    return out
+
+
+def max_pool2d_into(
+    x: np.ndarray,
+    kernel: int,
+    *,
+    stride: int | None = None,
+    padding: int = 0,
+    out: np.ndarray | None = None,
+    pad_buf: np.ndarray | None = None,
+) -> np.ndarray:
+    """Inference max pooling (overlap supported) written into ``out``."""
+    if stride is None:
+        stride = kernel
+    n, c, h, w = x.shape
+    if padding:
+        if pad_buf is None:
+            pad_buf = np.empty(
+                (n, c, h + 2 * padding, w + 2 * padding), dtype=x.dtype
+            )
+        pad_buf.fill(-np.inf)
+        pad_buf[:, :, padding:padding + h, padding:padding + w] = x
+        src = pad_buf
+    else:
+        src = x
+    out_h = _conv_output_size(src.shape[2], kernel, stride)
+    out_w = _conv_output_size(src.shape[3], kernel, stride)
+    if out is None:
+        out = np.empty((n, c, out_h, out_w), dtype=x.dtype)
+    windows = _window_view(src, kernel, kernel, stride)
+    np.max(windows, axis=(2, 3), out=out)
+    return out
+
+
+def avg_pool2d_into(
+    x: np.ndarray, kernel: int, *, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Inference non-overlapping average pooling written into ``out``."""
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"spatial dims ({h},{w}) not divisible by kernel {kernel}")
+    out_h, out_w = h // kernel, w // kernel
+    if out is None:
+        out = np.empty((n, c, out_h, out_w), dtype=x.dtype)
+    reshaped = x.reshape(n, c, out_h, kernel, out_w, kernel)
+    np.mean(reshaped, axis=(3, 5), out=out)
+    return out
+
+
+def global_avg_pool2d_into(
+    x: np.ndarray, *, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Inference global average pooling (N, C, H, W) -> (N, C) into ``out``."""
+    if out is None:
+        out = np.empty(x.shape[:2], dtype=x.dtype)
+    np.mean(x, axis=(2, 3), out=out)
+    return out
+
+
+def _apply_activation(out: np.ndarray, act: str | None) -> None:
+    """In-place fused activation for the inference kernels."""
+    if act is None:
+        return
+    if act == "relu6":
+        np.clip(out, 0.0, 6.0, out=out)
+    elif act == "relu":
+        np.maximum(out, 0.0, out=out)
+    else:
+        raise ValueError(f"unknown activation {act!r}")
+
+
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     shift = x.data.max(axis=axis, keepdims=True)
     exp = np.exp(x.data - shift)

@@ -355,3 +355,9 @@ def get_model(name: str, num_classes: int = 1000) -> ArchSpec:
     if name not in MODEL_ZOO:
         raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}")
     return MODEL_ZOO[name](num_classes=num_classes)
+
+
+def buildable_models() -> list[str]:
+    """Zoo names the network builder (and the compiled runtime) can
+    instantiate — everything except the channel-shuffle specs."""
+    return [name for name in sorted(MODEL_ZOO) if get_model(name).buildable()]

@@ -13,14 +13,21 @@ Commands
              batch several seeds in parallel (one record per seed plus an
              aggregate); ``--checkpoint-dir``/``--resume`` snapshot the
              search every N epochs and restart it bit-identically.
-``bench``    run the numerics benchmark suite headlessly and write
+``bench``    run a benchmark suite headlessly: ``--suite numerics`` writes
              ``BENCH_numerics.json`` (conv fwd+bwd, supernet step,
-             end-to-end search — each against the pre-refactor baseline).
+             end-to-end search vs the pre-refactor baseline);
+             ``--suite runtime`` writes ``BENCH_runtime.json``
+             (``Engine.run`` vs ``BuiltNetwork.forward`` across the zoo).
+``infer``    compile a model into the inference runtime and time
+             ``Engine.run`` (``--compare`` adds the module-forward baseline).
+``serve``    round-trip requests through the micro-batching inference
+             server and report per-request latency next to the analytic
+             device-model prediction (``--once`` for CI smoke).
 
-``tables``, ``zoo``, ``explore`` and ``search`` accept ``--format json`` for
-machine-readable output (the ``to_dict()`` forms from :mod:`repro.api`).
-Target and device names come from :mod:`repro.hw.registry`; the CLI holds no
-hardware dispatch of its own.
+``tables``, ``zoo``, ``explore``, ``search``, ``bench``, ``infer`` and
+``serve`` accept ``--format json`` for machine-readable output (the
+``to_dict()`` forms from :mod:`repro.api`).  Target and device names come
+from :mod:`repro.hw.registry`; the CLI holds no hardware dispatch of its own.
 """
 
 from __future__ import annotations
@@ -177,6 +184,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
             workers=args.workers,
             objective=args.objective,
             checkpoint_dir=args.checkpoint_dir,
+            cache_dir=args.cache_dir,
             **shared,
         )
         if args.format == "json":
@@ -187,13 +195,18 @@ def _cmd_search(args: argparse.Namespace) -> int:
               f"{multi.objective:>14s}")
         for seed, run, value in zip(multi.seeds, multi.runs, values):
             marker = " <- best" if run is multi.best else ""
+            cached = " (cached)" if seed in multi.cached_seeds else ""
             print(f"{seed:6d} {run.spec_name:24s} {str(run.converged):>9s} "
-                  f"{value:14.4f}{marker}")
+                  f"{value:14.4f}{marker}{cached}")
         print(f"\nbest seed {multi.best_seed} "
               f"({multi.workers} worker(s), {multi.wall_seconds:.1f}s)\n")
         print(render_architecture(multi.best.result.spec))
         return 0
 
+    if args.cache_dir:
+        # Cached reports are keyed per batch configuration; a silent no-op
+        # here would look like caching works when it does not.
+        raise ValueError("--cache-dir requires --seeds (multi-seed search)")
     request = api.SearchRequest(
         seed=args.seed, checkpoint_dir=args.checkpoint_dir, **shared,
     )
@@ -217,13 +230,157 @@ def _cmd_search(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro import bench
 
-    report = bench.run_benchmarks(quick=args.quick)
-    path = bench.write_report(report, args.output)
+    if args.suite == "runtime":
+        report = bench.run_runtime_benchmarks(quick=args.quick)
+        rendered = bench.render_runtime_report(report)
+        default_output = "BENCH_runtime.json"
+    else:
+        report = bench.run_benchmarks(quick=args.quick)
+        rendered = bench.render_report(report)
+        default_output = "BENCH_numerics.json"
+    path = bench.write_report(report, args.output or default_output)
     if args.format == "json":
         _emit_json(report)
     else:
-        print(bench.render_report(report))
+        print(rendered)
         print(f"\nwrote {path}")
+    return 0
+
+
+def _runtime_engine(args: argparse.Namespace):
+    """Shared ``infer``/``serve`` path: compile the requested (scaled) model."""
+    from repro import api
+
+    return api.compile_model(
+        args.model,
+        bits=args.bits,
+        seed=args.seed,
+        width_mult=args.width,
+        input_size=args.input_size,
+        num_classes=args.classes,
+    )
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.runtime.serve import latency_summary
+
+    if args.runs < 1 or args.batch < 1:
+        raise ValueError(
+            f"--runs and --batch must be >= 1, got {args.runs}/{args.batch}"
+        )
+    engine = _runtime_engine(args)
+    plan = engine.plan
+    rng = np.random.default_rng(args.seed or 0)
+    x = rng.normal(size=(args.batch,) + plan.input_shape)
+    engine.run(x)  # warm the arena for this batch size
+    samples = []
+    for _ in range(args.runs):
+        out = engine.run(x)
+        samples.append(engine.last_ms)
+    payload = {
+        "plan": plan.to_dict(),
+        "arena_kib": engine.arena_bytes(args.batch) / 1024.0,
+        "arena_reuse": engine.layout.reuse_factor,
+        "batch": args.batch,
+        "runs": args.runs,
+        "latency_ms": latency_summary(samples),
+        "output_shape": list(out.shape),
+    }
+    if args.compare:
+        from repro.autograd.tensor import Tensor
+        from repro.nas.network import build_network
+
+        from repro import api
+
+        spec = api._runtime_spec(args.model, args.width, args.input_size,
+                                 args.classes)
+        net = build_network(spec, seed=args.seed)
+        net.eval()
+        xt = Tensor(x)
+        # Same effective precision as the compiled plan (None falls back to
+        # the spec annotation in both paths), so the comparison is
+        # apples-to-apples.
+        net(xt, bits=args.bits)
+        import time as _time
+
+        fwd = []
+        for _ in range(args.runs):
+            start = _time.perf_counter()
+            net(xt, bits=args.bits)
+            fwd.append((_time.perf_counter() - start) * 1e3)
+        forward_summary = latency_summary(fwd)
+        payload["compare"] = {
+            "forward_latency_ms": forward_summary,
+            "speedup": forward_summary["p50"] / payload["latency_ms"]["p50"],
+        }
+    if args.format == "json":
+        _emit_json(payload)
+        return 0
+    print(f"{plan.name}: {plan.num_ops()} ops, {len(plan.buffers)} buffers, "
+          f"arena {payload['arena_kib']:.0f} KiB "
+          f"(reuse {payload['arena_reuse']:.1f}x)")
+    lat = payload["latency_ms"]
+    print(f"batch {args.batch}: p50 {lat['p50']:.2f} ms, "
+          f"mean {lat['mean']:.2f} ms over {args.runs} runs")
+    if args.compare:
+        cmp = payload["compare"]
+        print(f"BuiltNetwork.forward p50 "
+              f"{cmp['forward_latency_ms']['p50']:.2f} ms "
+              f"-> {cmp['speedup']:.1f}x speedup")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro import api
+    from repro.hw.report import predicted_vs_measured
+    from repro.runtime import InferenceServer
+
+    requests = 1 if args.once else args.requests
+    if requests < 1:
+        raise ValueError(f"--requests must be >= 1, got {requests}")
+    engine = _runtime_engine(args)
+    rng = np.random.default_rng(args.seed or 0)
+    with InferenceServer(
+        engine, max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+    ) as server:
+        handles = [
+            server.submit(rng.normal(size=engine.plan.input_shape))
+            for _ in range(requests)
+        ]
+        outputs = [h.result(timeout=60.0) for h in handles]
+        stats = server.stats()
+    spec = api._runtime_spec(args.model, args.width, args.input_size,
+                             args.classes)
+    comparison = predicted_vs_measured(
+        spec, args.target, stats["latency_ms"]["p50"],
+        device=args.device, bits=args.bits,
+    )
+    payload = {
+        "plan": engine.plan.to_dict(),
+        "requests": requests,
+        "max_batch": args.max_batch,
+        "max_wait_ms": args.max_wait_ms,
+        "stats": stats,
+        "predicted_vs_measured": comparison,
+        "output_shape": list(outputs[0].shape),
+    }
+    if args.format == "json":
+        _emit_json(payload)
+        return 0
+    print(f"served {stats['requests']} request(s) in {stats['batches']} "
+          f"batch(es) (mean batch {stats['mean_batch']:.1f})")
+    lat = stats["latency_ms"]
+    print(f"latency p50 {lat['p50']:.2f} ms, p95 {lat['p95']:.2f} ms, "
+          f"max {lat['max']:.2f} ms")
+    predicted = comparison["predicted_ms"]
+    if predicted:
+        print(f"{comparison['target']}/{comparison['device']} predicts "
+              f"{predicted:.2f} ms/frame -> measured/predicted "
+              f"{comparison['measured_over_predicted']:.1f}x")
     return 0
 
 
@@ -296,6 +453,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "with --seeds)")
     p_search.add_argument("--checkpoint-every", type=int, default=1,
                           help="checkpoint period in epochs")
+    p_search.add_argument("--cache-dir", default=None,
+                          help="cross-run result cache for --seeds: finished "
+                               "seeds are skipped when the shared "
+                               "configuration is unchanged")
     p_search.add_argument("--resume", action="store_true",
                           help="restart from the newest checkpoint in "
                                "--checkpoint-dir (bit-identical to an "
@@ -304,15 +465,77 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.set_defaults(fn=_cmd_search)
 
     p_bench = sub.add_parser(
-        "bench", help="run the numerics benchmark suite headlessly"
+        "bench", help="run a benchmark suite headlessly"
     )
     p_bench.add_argument("--quick", action="store_true",
                          help="fewer repeats and a smaller search "
                               "(CI smoke mode)")
-    p_bench.add_argument("--output", default="BENCH_numerics.json",
-                         help="where to write the JSON report")
+    p_bench.add_argument("--suite", choices=("numerics", "runtime"),
+                         default="numerics",
+                         help="numerics: conv/supernet/search vs the "
+                              "pre-refactor baseline; runtime: Engine.run vs "
+                              "BuiltNetwork.forward across the zoo")
+    p_bench.add_argument("--output", default=None,
+                         help="where to write the JSON report (default "
+                              "BENCH_<suite>.json)")
     _add_format(p_bench)
     p_bench.set_defaults(fn=_cmd_bench)
+
+    from repro.baselines.model_zoo import buildable_models
+
+    # Only specs the network builder can instantiate are compilable — the
+    # shuffle-containing zoo entries stay analytic-model-only.
+    runtime_models = buildable_models()
+
+    def add_runtime_model_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--model", required=True, choices=runtime_models)
+        p.add_argument("--bits", type=int, default=None,
+                       help="bake this weight precision into the plan "
+                            "(default: the spec's annotation, if any)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="weight-initialisation seed")
+        p.add_argument("--width", type=float, default=None,
+                       help="channel width multiplier (scale the model down "
+                            "for CPU-scale runs)")
+        p.add_argument("--input-size", type=int, default=None,
+                       help="override the input resolution")
+        p.add_argument("--classes", type=int, default=None,
+                       help="override the classifier width")
+
+    p_infer = sub.add_parser(
+        "infer", help="compile a model and time Engine.run on random input"
+    )
+    add_runtime_model_args(p_infer)
+    p_infer.add_argument("--batch", type=int, default=1)
+    p_infer.add_argument("--runs", type=int, default=10,
+                         help="timed repetitions after one warm-up run")
+    p_infer.add_argument("--compare", action="store_true",
+                         help="also time BuiltNetwork.forward and report the "
+                              "speedup")
+    _add_format(p_infer)
+    p_infer.set_defaults(fn=_cmd_infer)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve a compiled model through the micro-batching queue"
+    )
+    add_runtime_model_args(p_serve)
+    p_serve.add_argument("--requests", type=int, default=8,
+                         help="number of random requests to round-trip")
+    p_serve.add_argument("--once", action="store_true",
+                         help="round-trip a single request and exit "
+                              "(CI smoke mode)")
+    p_serve.add_argument("--max-batch", type=int, default=8,
+                         help="micro-batch coalescing limit")
+    p_serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                         help="max time to wait for stragglers after the "
+                              "first request of a batch")
+    p_serve.add_argument("--target", default="gpu", choices=target_names(),
+                         help="hardware target for the predicted-vs-measured "
+                              "comparison")
+    p_serve.add_argument("--device", choices=device_names(),
+                         help="override the target's default device")
+    _add_format(p_serve)
+    p_serve.set_defaults(fn=_cmd_serve)
     return parser
 
 

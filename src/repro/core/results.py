@@ -91,6 +91,9 @@ class MultiSearchResult:
         best_index: Index into ``runs``/``seeds`` of the winning run.
         workers: Worker-process count the batch ran with (1 = serial).
         wall_seconds: End-to-end wall clock for the whole batch.
+        cached_seeds: Seeds whose reports were loaded from a cross-run
+            result cache instead of being searched (see
+            :func:`repro.api.search_many`'s ``cache_dir``).
     """
 
     seeds: list[int]
@@ -99,6 +102,7 @@ class MultiSearchResult:
     best_index: int
     workers: int = 1
     wall_seconds: float = 0.0
+    cached_seeds: list[int] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if len(self.seeds) != len(self.runs):
@@ -118,6 +122,7 @@ class MultiSearchResult:
         objective: str,
         workers: int = 1,
         wall_seconds: float = 0.0,
+        cached_seeds: list[int] | tuple[int, ...] = (),
     ) -> "MultiSearchResult":
         """Build the result with the canonical NaN-aware best selection.
 
@@ -145,6 +150,7 @@ class MultiSearchResult:
         return cls(
             seeds=seeds, runs=runs, objective=objective,
             best_index=best_index, workers=workers, wall_seconds=wall_seconds,
+            cached_seeds=list(cached_seeds),
         )
 
     @property
@@ -175,6 +181,7 @@ class MultiSearchResult:
             "seeds": list(self.seeds),
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
+            "cached_seeds": list(self.cached_seeds),
             "runs": [run.to_dict() for run in self.runs],
             "aggregate": {
                 "objective": self.objective,

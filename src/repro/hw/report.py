@@ -115,6 +115,50 @@ def gpu_plan(spec: ArchSpec, device: GPUDevice, weight_bits: int = 32) -> str:
     return "\n".join(lines)
 
 
+def predicted_vs_measured(
+    spec: ArchSpec,
+    target: str,
+    measured_ms: float,
+    device: str | None = None,
+    bits: int | None = None,
+) -> dict:
+    """Analytic latency prediction next to a measured runtime latency.
+
+    Resolves ``target``/``device`` through :mod:`repro.hw.registry`, converts
+    throughput metrics to per-frame milliseconds, and returns a
+    JSON-serialisable record with the measured/predicted ratio.  Used by the
+    serving frontend (``repro serve``) to report how the compiled engine's
+    per-request latency compares with the device models' estimate for the
+    same spec — the paper's predicted-vs-implemented gap, live.
+    """
+    from repro.hw import registry
+
+    tspec = registry.get_target(target)
+    dev = tspec.resolve_device(device)
+    requested = tspec.default_deploy_bits if bits is None else bits
+    effective, clamped = tspec.clamp_bits(requested)
+    outcome = tspec.estimate(spec, dev, effective)
+    predicted_ms: float | None = None
+    if outcome.supported and outcome.value:
+        if outcome.metric == "latency_ms":
+            predicted_ms = float(outcome.value)
+        elif outcome.metric == "throughput_fps":
+            predicted_ms = 1e3 / float(outcome.value)
+    return {
+        "model": spec.name,
+        "target": tspec.name,
+        "device": dev.name,
+        "bits": effective,
+        "clamped": clamped,
+        "metric": outcome.metric,
+        "predicted_ms": predicted_ms,
+        "measured_ms": float(measured_ms),
+        "measured_over_predicted": (
+            float(measured_ms) / predicted_ms if predicted_ms else None
+        ),
+    }
+
+
 def deployment_plan(
     spec: ArchSpec,
     flow: str,

@@ -348,6 +348,16 @@ class ArchSpec:
     def has_kind(self, kind: str) -> bool:
         return any(layer.kind == kind for layer in self.layers())
 
+    def buildable(self) -> bool:
+        """Whether :func:`repro.nas.network.build_network` (and therefore the
+        compiled runtime) can instantiate every block.
+
+        Channel-shuffle marker layers have no builder unit — mirroring the
+        recursive FPGA flow's lack of ShuffleNet support — so specs containing
+        them are analytic-model-only.
+        """
+        return not self.has_kind("shuffle")
+
     def describe(self) -> str:
         """Human-readable block listing (used by the Figure 4 renderer)."""
         lines = [f"{self.name} (input {self.input_channels}x{self.input_size}x{self.input_size})"]

@@ -215,6 +215,15 @@ class BuiltNetwork(Module):
         # Keep a handle on the final linear layer (useful for inspection).
         self.classifier = self._units[-1].linear
 
+    @property
+    def units(self) -> tuple[Module, ...]:
+        """The per-block modules in execution order (read-only view).
+
+        This is the traversal surface :func:`repro.runtime.compile_spec`
+        lowers from — one unit per spec block, same order as ``forward``.
+        """
+        return tuple(self._units)
+
     def forward(self, x: Tensor, bits: int | None = None) -> Tensor:
         if bits is None:
             bits = self.spec.weight_bits

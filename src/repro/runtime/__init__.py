@@ -1,0 +1,37 @@
+"""Compiled inference runtime: plan, arena planner, executor, serving.
+
+The deployment half of the co-search: once a network (searched or from the
+zoo) is derived into an :class:`~repro.nas.arch_spec.ArchSpec`, this package
+turns it into something that *runs fast* —
+
+* :func:`compile_spec` lowers the network into a static
+  :class:`ExecutionPlan` (BatchNorm folded, quantisation baked);
+* :func:`plan_arena` assigns every intermediate an offset in one
+  preallocated arena with buffer reuse (:class:`ArenaLayout`);
+* :class:`Engine` executes the plan autograd-free with out-buffer kernels;
+* :class:`InferenceServer` / :class:`BatchingQueue` serve it with
+  micro-batching and per-request latency stats.
+
+See ``docs/runtime.md`` for the full walkthrough.
+"""
+
+from repro.runtime.arena import ArenaLayout, LiveRange, live_ranges, plan_arena
+from repro.runtime.compile import compile_spec
+from repro.runtime.engine import Engine
+from repro.runtime.plan import BufferSpec, ExecutionPlan, PlanOp
+from repro.runtime.serve import BatchingQueue, InferenceHandle, InferenceServer
+
+__all__ = [
+    "ArenaLayout",
+    "BatchingQueue",
+    "BufferSpec",
+    "Engine",
+    "ExecutionPlan",
+    "InferenceHandle",
+    "InferenceServer",
+    "LiveRange",
+    "PlanOp",
+    "compile_spec",
+    "live_ranges",
+    "plan_arena",
+]

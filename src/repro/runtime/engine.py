@@ -1,0 +1,175 @@
+"""Autograd-free plan executor over a preallocated arena.
+
+:class:`Engine` runs an :class:`~repro.runtime.plan.ExecutionPlan` with the
+out-buffer inference kernels of :mod:`repro.autograd.ops_nn`: every op reads
+and writes slices of one arena array, so a steady-state ``run`` call performs
+no per-op allocation — the headroom ROADMAP attributes to
+``BuiltNetwork.forward`` (graph construction + fresh arrays per op) is gone.
+
+Because every buffer scales linearly with the batch, the per-sample arena
+layout is valid for any batch size: offsets are just multiplied by ``N``.
+Arenas are cached per batch size, so a serving loop alternating between
+coalesced batch sizes pays each allocation once.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.autograd import ops_nn
+from repro.runtime.arena import ArenaLayout, plan_arena
+from repro.runtime.plan import ExecutionPlan, PlanOp
+
+
+class Engine:
+    """Executes a compiled plan; numerically matches the source network.
+
+    Construction plans the arena (unless a prebuilt
+    :class:`~repro.runtime.arena.ArenaLayout` is supplied) and validates its
+    invariants.  ``run`` accepts one sample ``(C, H, W)`` or a batch
+    ``(N, C, H, W)`` and returns the logits as a fresh array (the arena is
+    reused by the next call).
+    """
+
+    def __init__(self, plan: ExecutionPlan, layout: ArenaLayout | None = None) -> None:
+        self.plan = plan
+        self.layout = layout if layout is not None else plan_arena(plan)
+        self.layout.validate(plan)
+        self._arenas: dict[int, np.ndarray] = {}
+        self._views: dict[int, dict[int, np.ndarray]] = {}
+        self.run_count = 0
+        self.total_ms = 0.0
+        self.last_ms = 0.0
+
+    # -- memory -------------------------------------------------------------
+    def arena_bytes(self, batch: int = 1) -> int:
+        """Arena footprint in bytes for a given batch size."""
+        return self.layout.arena_elems * batch * self.plan.dtype.itemsize
+
+    def _views_for(self, batch: int) -> dict[int, np.ndarray]:
+        views = self._views.get(batch)
+        if views is None:
+            arena = np.empty(
+                self.layout.arena_elems * batch, dtype=self.plan.dtype
+            )
+            self._arenas[batch] = arena
+            views = {}
+            for buf in self.plan.buffers:
+                offset = self.layout.offsets[buf.id] * batch
+                views[buf.id] = arena[offset:offset + buf.elems * batch].reshape(
+                    (batch,) + buf.shape
+                )
+            self._views[batch] = views
+        return views
+
+    # -- execution ----------------------------------------------------------
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Execute the plan on ``x``; returns the logits.
+
+        ``x`` may be one sample (no batch axis) or a batch; the output keeps
+        the same convention.  Input is cast to the plan dtype.
+        """
+        x = np.asarray(x, dtype=self.plan.dtype)
+        single = x.ndim == len(self.plan.input_shape)
+        if single:
+            x = x[None]
+        if x.shape[1:] != self.plan.input_shape:
+            raise ValueError(
+                f"input shape {x.shape[1:]} does not match plan input "
+                f"{self.plan.input_shape}"
+            )
+        start = time.perf_counter()
+        views = self._views_for(x.shape[0])
+        np.copyto(views[self.plan.input_buffer], x)
+        for op in self.plan.ops:
+            _OP_TABLE[op.kind](op, views)
+        out = views[self.plan.output_buffer].copy()
+        self.last_ms = (time.perf_counter() - start) * 1e3
+        self.total_ms += self.last_ms
+        self.run_count += 1
+        return out[0] if single else out
+
+    def stats(self) -> dict[str, float]:
+        """Run counters: calls, total/mean/last wall-clock milliseconds."""
+        return {
+            "runs": self.run_count,
+            "total_ms": self.total_ms,
+            "mean_ms": self.total_ms / self.run_count if self.run_count else 0.0,
+            "last_ms": self.last_ms,
+        }
+
+
+# -- op implementations -----------------------------------------------------
+def _exec_conv(op: PlanOp, views: dict[int, np.ndarray]) -> None:
+    attrs = op.attrs
+    pad_buf = attrs["pad_buf"]
+    col_buf = attrs["col_buf"]
+    ops_nn.conv2d_into(
+        views[op.inputs[0]], op.weight,
+        stride=attrs["stride"], padding=attrs["padding"],
+        groups=attrs["groups"], bias=op.bias, act=op.act,
+        out=views[op.output],
+        pad_buf=views[pad_buf] if pad_buf is not None else None,
+        cols=views[col_buf] if col_buf is not None else None,
+    )
+
+
+def _exec_linear(op: PlanOp, views: dict[int, np.ndarray]) -> None:
+    ops_nn.linear_into(
+        views[op.inputs[0]], op.weight, bias=op.bias, act=op.act,
+        out=views[op.output],
+    )
+
+
+def _exec_maxpool(op: PlanOp, views: dict[int, np.ndarray]) -> None:
+    attrs = op.attrs
+    pad_buf = attrs["pad_buf"]
+    ops_nn.max_pool2d_into(
+        views[op.inputs[0]], attrs["kernel"], stride=attrs["stride"],
+        padding=attrs["padding"], out=views[op.output],
+        pad_buf=views[pad_buf] if pad_buf is not None else None,
+    )
+
+
+def _exec_avgpool(op: PlanOp, views: dict[int, np.ndarray]) -> None:
+    ops_nn.avg_pool2d_into(
+        views[op.inputs[0]], op.attrs["kernel"], out=views[op.output]
+    )
+
+
+def _exec_gap(op: PlanOp, views: dict[int, np.ndarray]) -> None:
+    ops_nn.global_avg_pool2d_into(views[op.inputs[0]], out=views[op.output])
+
+
+def _exec_flatten(op: PlanOp, views: dict[int, np.ndarray]) -> None:
+    src = views[op.inputs[0]]
+    np.copyto(views[op.output], src.reshape(src.shape[0], -1))
+
+
+def _exec_add(op: PlanOp, views: dict[int, np.ndarray]) -> None:
+    out = views[op.output]
+    np.add(views[op.inputs[0]], views[op.inputs[1]], out=out)
+    for extra in op.inputs[2:]:
+        out += views[extra]
+
+
+def _exec_concat(op: PlanOp, views: dict[int, np.ndarray]) -> None:
+    out = views[op.output]
+    offset = 0
+    for buf, channels in zip(op.inputs, op.attrs["channels"]):
+        out[:, offset:offset + channels] = views[buf]
+        offset += channels
+
+
+_OP_TABLE = {
+    "conv": _exec_conv,
+    "linear": _exec_linear,
+    "maxpool": _exec_maxpool,
+    "avgpool": _exec_avgpool,
+    "gap": _exec_gap,
+    "flatten": _exec_flatten,
+    "add": _exec_add,
+    "concat": _exec_concat,
+}

@@ -1,0 +1,147 @@
+"""Static execution plans — the compiled IR of the inference runtime.
+
+An :class:`ExecutionPlan` is what :func:`repro.runtime.compile_spec` lowers a
+network into: a topologically-ordered list of :class:`PlanOp` records over a
+flat table of :class:`BufferSpec` slots.  Every tensor the plan touches —
+activations, padded-input scratch, im2col column scratch — is a buffer with a
+*per-sample* shape; the arena planner (:mod:`repro.runtime.arena`) later
+assigns each buffer an offset in one preallocated arena, and the executor
+(:mod:`repro.runtime.engine`) scales offsets linearly with the batch size.
+
+Weights are baked into the ops at compile time: BatchNorm is folded into the
+convolution weights/bias and fake-quantisation is applied once, so the plan
+executes conv -> activation only (no normalisation, no quantisation, no
+autograd at inference time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+#: Op kinds an :class:`ExecutionPlan` may contain, in the vocabulary the
+#: executor dispatches on.
+OP_KINDS = (
+    "conv", "linear", "maxpool", "avgpool", "gap", "flatten", "add", "concat",
+)
+
+#: Fused activation tags (``None`` means linear output).
+ACTIVATIONS = (None, "relu", "relu6")
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """One arena slot: a tensor with a fixed *per-sample* shape.
+
+    ``role`` distinguishes the network input/output from ordinary
+    activations and from op-local scratch (padded inputs, im2col columns) —
+    scratch buffers are live only during the op that uses them, which is what
+    lets the arena planner fold them into reused space.
+    """
+
+    id: int
+    shape: tuple[int, ...]
+    role: str = "activation"
+
+    @property
+    def elems(self) -> int:
+        """Per-sample element count (batch axis excluded)."""
+        return int(np.prod(self.shape)) if self.shape else 1
+
+
+@dataclass
+class PlanOp:
+    """One executable step: read ``inputs``, write ``output``.
+
+    ``weight``/``bias`` hold the baked (BN-folded, fake-quantised) arrays for
+    conv/linear ops; ``attrs`` carries geometry (stride, padding, groups,
+    kernel); ``scratch`` names the pad/column buffers this op may clobber.
+    """
+
+    kind: str
+    inputs: tuple[int, ...]
+    output: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+    weight: np.ndarray | None = None
+    bias: np.ndarray | None = None
+    act: str | None = None
+    scratch: tuple[int, ...] = ()
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise ValueError(f"unknown op kind {self.kind!r}; known: {OP_KINDS}")
+        if self.act not in ACTIVATIONS:
+            raise ValueError(f"unknown activation {self.act!r}")
+
+
+@dataclass
+class ExecutionPlan:
+    """A compiled network: ordered ops over a flat buffer table.
+
+    Produced by :func:`repro.runtime.compile_spec`; executed by
+    :class:`repro.runtime.engine.Engine`.  Buffer shapes are per-sample — the
+    executor prepends the batch axis at run time.
+    """
+
+    name: str
+    ops: list[PlanOp]
+    buffers: list[BufferSpec]
+    input_buffer: int
+    output_buffer: int
+    dtype: np.dtype
+    bits: int | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def buffer(self, buffer_id: int) -> BufferSpec:
+        """Look up a buffer by id (ids are dense indices into the table)."""
+        return self.buffers[buffer_id]
+
+    @property
+    def input_shape(self) -> tuple[int, ...]:
+        """Per-sample input shape (C, H, W)."""
+        return self.buffers[self.input_buffer].shape
+
+    @property
+    def output_shape(self) -> tuple[int, ...]:
+        """Per-sample output shape (num_classes,)."""
+        return self.buffers[self.output_buffer].shape
+
+    def num_ops(self, kind: str | None = None) -> int:
+        """Op count, optionally restricted to one kind."""
+        if kind is None:
+            return len(self.ops)
+        return sum(1 for op in self.ops if op.kind == kind)
+
+    def weight_bytes(self) -> int:
+        """Total bytes of baked weight/bias arrays."""
+        total = 0
+        for op in self.ops:
+            for arr in (op.weight, op.bias):
+                if arr is not None:
+                    total += arr.nbytes
+        return total
+
+    def buffer_elems(self) -> int:
+        """Sum of per-sample elements over every buffer (no arena reuse)."""
+        return sum(b.elems for b in self.buffers)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON summary of the plan (weights elided)."""
+        kinds: dict[str, int] = {}
+        for op in self.ops:
+            kinds[op.kind] = kinds.get(op.kind, 0) + 1
+        return {
+            "name": self.name,
+            "bits": self.bits,
+            "dtype": np.dtype(self.dtype).name,
+            "ops": len(self.ops),
+            "op_kinds": kinds,
+            "buffers": len(self.buffers),
+            "buffer_elems": self.buffer_elems(),
+            "weight_bytes": self.weight_bytes(),
+            "input_shape": list(self.input_shape),
+            "output_shape": list(self.output_shape),
+        }

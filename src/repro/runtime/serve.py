@@ -1,0 +1,248 @@
+"""Micro-batching serving frontend for compiled engines.
+
+Requests are single samples; a :class:`BatchingQueue` coalesces whatever is
+pending into one batch (up to ``max_batch`` samples, waiting at most
+``max_wait_ms`` for stragglers after the first arrival), and a worker thread
+runs the whole batch through one :class:`~repro.runtime.engine.Engine` call.
+This is the standard throughput/latency trade of inference serving: batch-1
+latency for a lone request, amortised GEMMs under load.
+
+Per-request latency (enqueue -> result) is recorded so the server can report
+measured latency next to the analytic device-model prediction
+(:func:`repro.hw.report.predicted_vs_measured`).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+import numpy as np
+
+from repro.runtime.engine import Engine
+
+#: Sentinel object that tells the worker loop to drain and stop.
+_SHUTDOWN = object()
+
+
+def latency_summary(samples_ms) -> dict[str, float]:
+    """Mean/p50/p95/max summary of a latency sample list (milliseconds).
+
+    The one latency-summary shape used by :meth:`InferenceServer.stats` and
+    the ``repro infer``/``repro serve`` CLI payloads.
+    """
+    arr = np.asarray(list(samples_ms), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("latency_summary needs at least one sample")
+    return {
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "max": float(arr.max()),
+    }
+
+
+class _PendingRequest:
+    """One in-flight sample plus its completion event."""
+
+    __slots__ = (
+        "x", "event", "output", "error", "enqueued_at", "batch_size",
+        "latency_ms_",
+    )
+
+    def __init__(self, x: np.ndarray) -> None:
+        self.x = x
+        self.event = threading.Event()
+        self.output: np.ndarray | None = None
+        self.error: BaseException | None = None
+        self.enqueued_at = time.perf_counter()
+        self.batch_size = 0
+        self.latency_ms_ = 0.0
+
+
+class InferenceHandle:
+    """Caller-side future for a submitted request."""
+
+    def __init__(self, request: _PendingRequest) -> None:
+        self._request = request
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """Block until the request completes; returns the logits.
+
+        Raises ``TimeoutError`` if the server does not answer in time and
+        re-raises any engine-side exception.
+        """
+        if not self._request.event.wait(timeout):
+            raise TimeoutError("inference request timed out")
+        if self._request.error is not None:
+            raise self._request.error
+        assert self._request.output is not None
+        return self._request.output
+
+    @property
+    def latency_ms(self) -> float:
+        """Enqueue-to-completion latency (valid once the result is set)."""
+        return getattr(self._request, "latency_ms_", 0.0)
+
+    @property
+    def batch_size(self) -> int:
+        """Size of the coalesced batch this request rode in."""
+        return self._request.batch_size
+
+
+class BatchingQueue:
+    """Coalesces pending items into micro-batches.
+
+    ``get_batch`` blocks for the first item, then keeps pulling until either
+    ``max_batch`` items are collected or ``max_wait_ms`` elapses — so a lone
+    request pays at most ``max_wait_ms`` extra latency while a burst is served
+    in one batch.  An empty list signals shutdown.
+    """
+
+    def __init__(self, max_batch: int = 8, max_wait_ms: float = 2.0) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self._queue: queue.Queue = queue.Queue()
+        self._closed = False
+        self._closing = False
+
+    def put(self, item) -> None:
+        """Enqueue one item for the next batch.
+
+        Raises ``RuntimeError`` once :meth:`close` has been called — a late
+        item would sit behind the shutdown sentinel and never be served.
+        """
+        if self._closing:
+            raise RuntimeError("BatchingQueue is closed")
+        self._queue.put(item)
+
+    def close(self) -> None:
+        """Signal shutdown; ``get_batch`` returns ``[]`` once drained."""
+        self._closing = True
+        self._queue.put(_SHUTDOWN)
+
+    def get_batch(self) -> list:
+        """Block for the next micro-batch (``[]`` means shut down)."""
+        if self._closed:
+            return []
+        first = self._queue.get()
+        if first is _SHUTDOWN:
+            self._closed = True
+            return []
+        batch = [first]
+        deadline = time.perf_counter() + self.max_wait_ms / 1e3
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                self._closed = True
+                break
+            batch.append(item)
+        return batch
+
+
+class InferenceServer:
+    """Threaded micro-batching server over one compiled engine.
+
+    Usable as a context manager::
+
+        with InferenceServer(engine, max_batch=8) as server:
+            logits = server.infer(x)
+
+    ``submit`` returns an :class:`InferenceHandle` immediately;
+    ``stats()`` summarises per-request latency and batch coalescing.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+    ) -> None:
+        self.engine = engine
+        self.queue = BatchingQueue(max_batch=max_batch, max_wait_ms=max_wait_ms)
+        self._lock = threading.Lock()
+        self._latencies_ms: list[float] = []
+        self._batch_sizes: list[int] = []
+        self._worker = threading.Thread(
+            target=self._loop, name="repro-infer", daemon=True
+        )
+        self._worker.start()
+
+    # -- request path -------------------------------------------------------
+    def submit(self, x: np.ndarray) -> InferenceHandle:
+        """Enqueue one sample ``(C, H, W)``; returns a handle immediately."""
+        x = np.asarray(x, dtype=self.engine.plan.dtype)
+        if x.shape != self.engine.plan.input_shape:
+            raise ValueError(
+                f"request shape {x.shape} does not match plan input "
+                f"{self.engine.plan.input_shape}"
+            )
+        request = _PendingRequest(x)
+        self.queue.put(request)
+        return InferenceHandle(request)
+
+    def infer(self, x: np.ndarray, timeout: float | None = 30.0) -> np.ndarray:
+        """Submit one sample and block for its logits."""
+        return self.submit(x).result(timeout)
+
+    # -- worker -------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            batch = self.queue.get_batch()
+            if not batch:
+                return
+            xs = np.stack([request.x for request in batch])
+            try:
+                outputs = self.engine.run(xs)
+            except BaseException as err:  # propagate to every waiter
+                for request in batch:
+                    request.error = err
+                    request.event.set()
+                continue
+            done = time.perf_counter()
+            with self._lock:
+                self._batch_sizes.append(len(batch))
+                for request, output in zip(batch, outputs):
+                    latency = (done - request.enqueued_at) * 1e3
+                    self._latencies_ms.append(latency)
+                    request.output = np.array(output)
+                    request.batch_size = len(batch)
+                    request.latency_ms_ = latency
+                    request.event.set()
+
+    # -- reporting / lifecycle ----------------------------------------------
+    def stats(self) -> dict:
+        """Per-request latency and coalescing summary (JSON-serialisable)."""
+        with self._lock:
+            latencies = np.asarray(self._latencies_ms, dtype=np.float64)
+            batches = list(self._batch_sizes)
+        if latencies.size == 0:
+            return {"requests": 0, "batches": 0}
+        return {
+            "requests": int(latencies.size),
+            "batches": len(batches),
+            "mean_batch": float(np.mean(batches)),
+            "max_batch": int(np.max(batches)),
+            "latency_ms": latency_summary(latencies),
+            "engine": self.engine.stats(),
+        }
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Drain the queue and stop the worker thread."""
+        self.queue.close()
+        self._worker.join(timeout)
+
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,121 @@
+"""Cross-run search result cache (api.search_many cache_dir=...)."""
+
+import numpy as np
+import pytest
+
+from repro import api
+
+
+def _batch(seeds, cache_dir, **kwargs):
+    # epochs=2 so the arch phase has run and total_loss is a real number.
+    return api.search_many(
+        seeds, epochs=2, blocks=2, batch_size=8, cache_dir=str(cache_dir),
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("search-cache")
+
+
+@pytest.fixture(scope="module")
+def first_batch(cache_dir):
+    """Cold-cache batch over seeds [0, 1] (read-only in tests)."""
+    return _batch([0, 1], cache_dir)
+
+
+class TestSearchCache:
+    def test_cold_run_has_no_hits(self, first_batch, cache_dir):
+        assert first_batch.cached_seeds == []
+        assert len(list(cache_dir.glob("search-*.pkl"))) == 2
+
+    def test_rerun_skips_finished_seeds(self, first_batch, cache_dir):
+        rerun = _batch([0, 1], cache_dir)
+        assert rerun.cached_seeds == [0, 1]
+        assert rerun.objective_values() == first_batch.objective_values()
+        assert [r.spec_name for r in rerun.runs] == [
+            r.spec_name for r in first_batch.runs
+        ]
+        np.testing.assert_array_equal(
+            rerun.best.result.theta, first_batch.best.result.theta
+        )
+
+    def test_new_seed_runs_fresh_next_to_hits(self, first_batch, cache_dir):
+        extended = _batch([0, 1, 2], cache_dir)
+        assert extended.cached_seeds == [0, 1]
+        assert extended.seeds == [0, 1, 2]
+        assert extended.objective_values()[:2] == first_batch.objective_values()
+        # Seed 2 is now cached too.
+        assert _batch([2], cache_dir).cached_seeds == [2]
+
+    def test_changed_config_misses(self, first_batch, cache_dir):
+        different = api.search_many(
+            [0], epochs=1, blocks=2, batch_size=8, cache_dir=str(cache_dir),
+        )
+        assert different.cached_seeds == []
+
+    def test_to_dict_reports_cached_seeds(self, first_batch, cache_dir):
+        payload = _batch([0, 1], cache_dir).to_dict()
+        assert payload["cached_seeds"] == [0, 1]
+        assert len(payload["runs"]) == 2
+
+    def test_without_cache_dir_nothing_is_cached(self):
+        multi = api.search_many([0], epochs=1, blocks=2, batch_size=8)
+        assert multi.cached_seeds == []
+
+    def test_corrupt_entry_is_a_miss_and_gets_rewritten(
+        self, first_batch, cache_dir
+    ):
+        """A truncated pickle (run killed mid-write) must not poison reruns."""
+        digest = api._request_digest(
+            {"epochs": 2, "blocks": 2, "batch_size": 8}
+        )
+        path = api._cache_path(cache_dir, digest, 0)
+        assert path.exists()
+        original = path.read_bytes()
+        try:
+            path.write_bytes(original[: len(original) // 2])
+            rerun = _batch([0, 1], cache_dir)
+            assert rerun.cached_seeds == [1]  # seed 0 re-searched
+            assert rerun.objective_values() == first_batch.objective_values()
+            # The entry was rewritten and is a hit again.
+            assert _batch([0], cache_dir).cached_seeds == [0]
+        finally:
+            if path.read_bytes() != original:
+                path.write_bytes(original)
+
+
+class TestRequestDigest:
+    def test_stable_for_identical_config(self):
+        a = api._request_digest({"target": "gpu", "epochs": 2})
+        b = api._request_digest({"epochs": 2, "target": "gpu"})
+        assert a == b
+
+    def test_differs_across_configs(self):
+        a = api._request_digest({"target": "gpu", "epochs": 2})
+        b = api._request_digest({"target": "gpu", "epochs": 3})
+        c = api._request_digest({"target": "fpga_pipelined", "epochs": 2})
+        assert len({a, b, c}) == 3
+
+    def test_ignores_per_run_managed_fields(self):
+        # seed/checkpoint_dir are managed per run, so they never reach the
+        # digest; the kwargs validation in search_many rejects them anyway.
+        assert api._request_digest({}) == api._request_digest({})
+
+
+class TestCliCacheFlag:
+    def test_search_seeds_cache_dir(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        args = ["search", "--seeds", "2", "--epochs", "1", "--blocks", "2",
+                "--cache-dir", str(tmp_path), "--format", "json"]
+        assert main(args) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["cached_seeds"] == []
+        assert main(args) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["cached_seeds"] == [0, 1]
+        assert warm["aggregate"] == cold["aggregate"]

@@ -1,0 +1,113 @@
+"""CLI coverage for the runtime commands (infer / serve / bench --suite)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SCALE = ["--width", "0.1", "--input-size", "16", "--classes", "4"]
+
+
+class TestParser:
+    def test_infer_defaults(self):
+        args = build_parser().parse_args(["infer", "--model", "MobileNet-V2"])
+        assert args.batch == 1
+        assert args.runs == 10
+        assert args.format == "text"
+        assert args.bits is None
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--model", "EDD-Net-1"])
+        assert args.max_batch == 8
+        assert args.max_wait_ms == 2.0
+        assert args.target == "gpu"
+        assert not args.once
+
+    def test_bench_suite_choice(self):
+        args = build_parser().parse_args(["bench", "--suite", "runtime"])
+        assert args.suite == "runtime"
+        assert args.output is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--suite", "nope"])
+
+    def test_infer_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["infer", "--model", "NotANet"])
+
+    def test_runtime_commands_exclude_unbuildable_models(self):
+        # ShuffleNet has no builder unit, so it never reaches compile_spec.
+        for command in ("infer", "serve"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--model", "ShuffleNet-V2"])
+
+    def test_invalid_counts_exit_as_user_error(self, capsys):
+        assert main(["infer", "--model", "MobileNet-V2", *SCALE,
+                     "--runs", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["serve", "--model", "MobileNet-V2", *SCALE,
+                     "--requests", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_single_seed_cache_dir_is_rejected(self, capsys, tmp_path):
+        # The cache is keyed per multi-seed batch; silently ignoring the
+        # flag on the single-seed path would fake a working cache.
+        assert main(["search", "--epochs", "1", "--blocks", "2",
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "requires --seeds" in capsys.readouterr().err
+
+
+class TestInferCommand:
+    def test_json_output(self, capsys):
+        code = main(["infer", "--model", "MobileNet-V2", *SCALE,
+                     "--runs", "2", "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan"]["name"] == "MobileNet-V2-w0.1"
+        assert payload["batch"] == 1
+        assert payload["latency_ms"]["p50"] > 0
+        assert payload["output_shape"] == [1, 4]
+
+    def test_compare_reports_speedup(self, capsys):
+        code = main(["infer", "--model", "MobileNet-V2", *SCALE,
+                     "--runs", "2", "--compare", "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["compare"]["speedup"] > 0
+        assert payload["compare"]["forward_latency_ms"]["p50"] > 0
+
+    def test_text_output(self, capsys):
+        code = main(["infer", "--model", "MobileNet-V2", *SCALE, "--runs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "arena" in out
+        assert "p50" in out
+
+    def test_quantised_plan(self, capsys):
+        code = main(["infer", "--model", "MobileNet-V2", *SCALE,
+                     "--bits", "8", "--runs", "1", "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan"]["bits"] == 8
+
+
+class TestServeCommand:
+    def test_once_round_trips_one_request(self, capsys):
+        code = main(["serve", "--model", "MobileNet-V2", *SCALE,
+                     "--once", "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["requests"] == 1
+        assert payload["stats"]["requests"] == 1
+        assert payload["stats"]["latency_ms"]["p50"] > 0
+        pvm = payload["predicted_vs_measured"]
+        assert pvm["target"] == "gpu"
+        assert pvm["measured_ms"] > 0
+
+    def test_multiple_requests_text(self, capsys):
+        code = main(["serve", "--model", "MobileNet-V2", *SCALE,
+                     "--requests", "3", "--max-wait-ms", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 3 request(s)" in out
+        assert "latency p50" in out

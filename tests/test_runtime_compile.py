@@ -1,0 +1,146 @@
+"""Unit tests for graph capture (repro.runtime.compile_spec)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.baselines.model_zoo import MODEL_ZOO, get_model
+from repro.nas.arch_spec import (
+    ArchSpec,
+    ConvBlock,
+    FCBlock,
+    MBConvBlock,
+    PoolBlock,
+    StemBlock,
+    scale_spec,
+)
+from repro.nas.network import build_network
+from repro.runtime import compile_spec
+from repro.runtime.plan import ExecutionPlan
+
+
+def _tiny_spec() -> ArchSpec:
+    return ArchSpec(
+        "tiny",
+        [
+            StemBlock(out_ch=8, kernel=3, stride=2),
+            MBConvBlock(expansion=2, kernel=3, out_ch=8),
+            PoolBlock(kernel=2, stride=2, mode="max"),
+            FCBlock(out_features=4),
+        ],
+        input_size=12,
+        input_channels=3,
+    )
+
+
+class TestCompile:
+    def test_plan_structure(self):
+        plan = compile_spec(_tiny_spec(), seed=0)
+        assert isinstance(plan, ExecutionPlan)
+        # stem conv + 3 MBConv convs + residual add + pool + gap + linear
+        assert plan.num_ops("conv") == 4
+        assert plan.num_ops("add") == 1
+        assert plan.num_ops("maxpool") == 1
+        assert plan.num_ops("gap") == 1
+        assert plan.num_ops("linear") == 1
+        assert plan.input_shape == (3, 12, 12)
+        assert plan.output_shape == (4,)
+
+    def test_accepts_built_network(self):
+        net = build_network(_tiny_spec(), seed=3)
+        plan = compile_spec(net)
+        assert plan.name == "tiny"
+
+    def test_bn_folding_matches_eval_forward(self):
+        """Folded conv+bias reproduces conv -> eval BN on non-trivial stats."""
+        rng = np.random.default_rng(0)
+        net = build_network(_tiny_spec(), seed=0)
+        for _ in range(3):  # give the running stats real values
+            net(Tensor(rng.normal(size=(4, 3, 12, 12))))
+        net.eval()
+        plan = compile_spec(net)
+        stem = plan.ops[0]
+        unit = net.units[0]
+        scale = unit.bn.gamma.data / np.sqrt(
+            np.asarray(unit.bn.running_var) + unit.bn.eps
+        )
+        np.testing.assert_allclose(
+            stem.weight,
+            unit.conv.weight.data * scale.reshape(-1, 1, 1, 1),
+            rtol=1e-5,
+        )
+        np.testing.assert_allclose(
+            stem.bias,
+            unit.bn.beta.data - np.asarray(unit.bn.running_mean) * scale,
+            rtol=1e-5, atol=1e-7,
+        )
+
+    def test_quantisation_is_baked(self):
+        net = build_network(_tiny_spec(), seed=0)
+        full = compile_spec(net)
+        quant = compile_spec(net, bits=4)
+        assert quant.bits == 4
+        assert full.bits is None
+        stem_full, stem_q = full.ops[0].weight, quant.ops[0].weight
+        assert not np.allclose(stem_full, stem_q)
+        # 4-bit symmetric grid: at most 2^4 - 1 distinct *unfolded* levels,
+        # so per-output-channel the folded weight has few distinct values.
+        per_channel = stem_q.reshape(stem_q.shape[0], -1)
+        assert all(len(np.unique(row)) <= 15 for row in per_channel)
+
+    def test_spec_weight_bits_annotation_used(self):
+        spec = _tiny_spec()
+        spec.weight_bits = 8
+        plan = compile_spec(spec, seed=0)
+        assert plan.bits == 8
+        explicit = compile_spec(spec, bits=32, seed=0)
+        assert explicit.bits is None  # 32-bit is the float path
+
+    def test_scratch_buffers_registered(self):
+        plan = compile_spec(_tiny_spec(), seed=0)
+        roles = {b.role for b in plan.buffers}
+        assert roles == {"input", "activation", "scratch"}
+        for op in plan.ops:
+            if op.kind == "conv" and op.attrs["padding"]:
+                assert op.attrs["pad_buf"] in op.scratch
+
+    def test_shuffle_spec_rejected(self):
+        spec = get_model("ShuffleNet-V2")
+        assert not spec.buildable()
+        with pytest.raises(TypeError, match="cannot"):
+            compile_spec(spec)
+
+    def test_unknown_model_type_rejected(self):
+        with pytest.raises(TypeError, match="ArchSpec or BuiltNetwork"):
+            compile_spec("MobileNet-V2")  # names resolve in api, not here
+
+    def test_every_buildable_zoo_spec_compiles(self):
+        for name in sorted(MODEL_ZOO):
+            spec = get_model(name, num_classes=4)
+            if not spec.buildable():
+                continue
+            scaled = scale_spec(spec, width_mult=0.05, input_size=32,
+                                num_classes=4)
+            plan = compile_spec(scaled, seed=0)
+            assert plan.num_ops() > 0
+            assert plan.output_shape == (4,)
+
+    def test_to_dict_round_trips(self):
+        import json
+
+        plan = compile_spec(_tiny_spec(), seed=0)
+        payload = json.loads(json.dumps(plan.to_dict()))
+        assert payload["name"] == "tiny"
+        assert payload["ops"] == len(plan.ops)
+        assert payload["op_kinds"]["conv"] == 4
+
+    def test_flatten_head(self):
+        spec = ArchSpec(
+            "flat",
+            [ConvBlock(out_ch=4, kernel=3), FCBlock(out_features=3, flatten=True)],
+            input_size=6,
+        )
+        plan = compile_spec(spec, seed=0)
+        assert plan.num_ops("flatten") == 1
+        flat_op = next(op for op in plan.ops if op.kind == "flatten")
+        assert plan.buffer(flat_op.output).shape == (4 * 6 * 6,)

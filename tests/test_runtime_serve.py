@@ -1,0 +1,166 @@
+"""Serving frontend: BatchingQueue coalescing and InferenceServer round-trips."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.baselines.model_zoo import get_model
+from repro.nas.arch_spec import scale_spec
+from repro.runtime import BatchingQueue, Engine, InferenceServer, compile_spec
+
+
+def _tiny_engine() -> Engine:
+    spec = scale_spec(
+        get_model("MobileNet-V2", num_classes=4), width_mult=0.1,
+        input_size=16, num_classes=4,
+    )
+    return Engine(compile_spec(spec, seed=0))
+
+
+class TestBatchingQueue:
+    def test_coalesces_pending_items(self):
+        q = BatchingQueue(max_batch=8, max_wait_ms=50.0)
+        for i in range(3):
+            q.put(i)
+        assert q.get_batch() == [0, 1, 2]
+
+    def test_respects_max_batch(self):
+        q = BatchingQueue(max_batch=2, max_wait_ms=50.0)
+        for i in range(5):
+            q.put(i)
+        assert q.get_batch() == [0, 1]
+        assert q.get_batch() == [2, 3]
+        assert q.get_batch() == [4]
+
+    def test_close_unblocks(self):
+        q = BatchingQueue(max_batch=4, max_wait_ms=10.0)
+        q.close()
+        assert q.get_batch() == []
+        assert q.get_batch() == []  # stays closed
+
+    def test_wait_window_bounds_latency(self):
+        q = BatchingQueue(max_batch=16, max_wait_ms=20.0)
+        q.put("only")
+        start = time.perf_counter()
+        batch = q.get_batch()
+        elapsed = time.perf_counter() - start
+        assert batch == ["only"]
+        assert elapsed < 1.0  # did not wait for a full batch
+
+    def test_rejects_bad_max_batch(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            BatchingQueue(max_batch=0)
+
+    def test_put_after_close_fails_fast(self):
+        q = BatchingQueue()
+        q.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            q.put("late")
+
+
+class TestInferenceServer:
+    def test_round_trip_matches_engine(self):
+        engine = _tiny_engine()
+        reference_engine = _tiny_engine()
+        rng = np.random.default_rng(0)
+        xs = [rng.normal(size=(3, 16, 16)) for _ in range(4)]
+        expected = [reference_engine.run(x) for x in xs]
+        with InferenceServer(engine, max_batch=4, max_wait_ms=20.0) as server:
+            handles = [server.submit(x) for x in xs]
+            results = [h.result(timeout=30.0) for h in handles]
+        for got, want in zip(results, expected):
+            np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-6)
+
+    def test_requests_coalesce_into_batches(self):
+        engine = _tiny_engine()
+        with InferenceServer(engine, max_batch=8, max_wait_ms=100.0) as server:
+            barrier = threading.Barrier(5)
+
+            def fire(x):
+                barrier.wait()
+                return server.infer(x, timeout=30.0)
+
+            rng = np.random.default_rng(1)
+            threads = [
+                threading.Thread(target=fire, args=(rng.normal(size=(3, 16, 16)),))
+                for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+            barrier.wait()
+            for t in threads:
+                t.join(timeout=30.0)
+            stats = server.stats()
+        assert stats["requests"] == 4
+        assert stats["batches"] <= 4
+        assert stats["max_batch"] <= 8
+        assert stats["latency_ms"]["p95"] >= stats["latency_ms"]["p50"]
+
+    def test_handles_expose_latency_and_batch(self):
+        with InferenceServer(_tiny_engine(), max_batch=2) as server:
+            handle = server.submit(np.zeros((3, 16, 16)))
+            handle.result(timeout=30.0)
+            assert handle.latency_ms > 0
+            assert 1 <= handle.batch_size <= 2
+
+    def test_rejects_wrong_request_shape(self):
+        with InferenceServer(_tiny_engine()) as server:
+            with pytest.raises(ValueError, match="does not match plan input"):
+                server.submit(np.zeros((3, 8, 8)))
+
+    def test_engine_error_propagates_to_waiters(self):
+        engine = _tiny_engine()
+
+        def boom(x):
+            raise RuntimeError("kaboom")
+
+        engine.run = boom
+        with InferenceServer(engine, max_wait_ms=5.0) as server:
+            handle = server.submit(np.zeros((3, 16, 16)))
+            with pytest.raises(RuntimeError, match="kaboom"):
+                handle.result(timeout=30.0)
+
+    def test_empty_stats(self):
+        with InferenceServer(_tiny_engine()) as server:
+            assert server.stats() == {"requests": 0, "batches": 0}
+
+    def test_submit_after_close_fails_fast(self):
+        server = InferenceServer(_tiny_engine())
+        server.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            server.submit(np.zeros((3, 16, 16)))
+
+
+class TestServePlanFacade:
+    def test_serve_plan_builds_working_server(self):
+        with api.serve_plan(
+            "MobileNet-V2", width_mult=0.1, input_size=16, num_classes=4,
+            max_batch=4, max_wait_ms=5.0,
+        ) as server:
+            out = server.infer(np.zeros((3, 16, 16)), timeout=30.0)
+            stats = server.stats()
+        assert out.shape == (4,)
+        assert stats["requests"] == 1
+        assert stats["engine"]["runs"] >= 1
+
+    def test_compile_model_facade(self):
+        engine = api.compile_model(
+            "MobileNet-V2", width_mult=0.1, input_size=16, num_classes=4,
+        )
+        out = engine.run(np.zeros((2, 3, 16, 16)))
+        assert out.shape == (2, 4)
+
+    def test_predicted_vs_measured_record(self):
+        from repro.hw.report import predicted_vs_measured
+
+        spec = get_model("MobileNet-V2")
+        record = predicted_vs_measured(spec, "gpu", measured_ms=5.0)
+        assert record["target"] == "gpu"
+        assert record["measured_ms"] == 5.0
+        assert record["predicted_ms"] is not None
+        assert record["measured_over_predicted"] == pytest.approx(
+            5.0 / record["predicted_ms"]
+        )

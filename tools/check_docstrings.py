@@ -11,7 +11,10 @@ docstring:
   ``CheckpointCallback``, ``ParallelEvaluator``, ``MultiSearchResult``);
 * the registry surface (``TargetSpec``, ``register_target``,
   ``register_device``, ``get_target``, ``get_device``, ``target_names``,
-  ``device_names``, ``build_hardware_model``, ``quantization_for_target``).
+  ``device_names``, ``build_hardware_model``, ``quantization_for_target``);
+* the compiled-runtime surface (everything in ``repro.runtime.__all__``:
+  ``compile_spec``, ``ExecutionPlan``, ``plan_arena``, ``Engine``,
+  ``InferenceServer``, ``BatchingQueue``, ...).
 
 Run directly::
 
@@ -85,6 +88,16 @@ def collect_missing() -> list[str]:
     for name in registry_names:
         obj = getattr(registry, name)
         label = f"repro.hw.registry.{name}"
+        if not _has_doc(obj):
+            missing.append(label)
+        if inspect.isclass(obj):
+            missing.extend(_missing_in_class(obj, label))
+
+    import repro.runtime as runtime
+
+    for name in runtime.__all__:
+        obj = getattr(runtime, name)
+        label = f"repro.runtime.{name}"
         if not _has_doc(obj):
             missing.append(label)
         if inspect.isclass(obj):
