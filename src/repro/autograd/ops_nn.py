@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor, make_op
+from repro.autograd.pool import get_pool
+from repro.autograd.tensor import Tensor, make_op, pool_for_op
 from repro.autograd.ops_shape import pad2d
 
 
@@ -76,18 +77,199 @@ def _window_view(x: np.ndarray, k_h: int, k_w: int, stride: int) -> np.ndarray:
 
 
 def _im2col(
-    x: np.ndarray, k_h: int, k_w: int, stride: int, groups: int
+    x: np.ndarray, k_h: int, k_w: int, stride: int, groups: int,
+    out: np.ndarray | None = None,
 ) -> tuple[np.ndarray, int, int]:
     """Column matrix (N, G, C_g*kH*kW, oH*oW) of ``x`` plus output dims.
 
     For 1x1 kernels at stride 1 (the MBConv expand/project hot path) the
-    reshape is a zero-copy view of a contiguous input.
+    reshape is a zero-copy view of a contiguous input.  ``out`` optionally
+    receives the materialised columns (shape ``(N, C, kH, kW, oH, oW)``,
+    typically a pooled scratch buffer) instead of a fresh allocation.
     """
     n, c, _, _ = x.shape
     view = _window_view(x, k_h, k_w, stride)
     out_h, out_w = view.shape[4], view.shape[5]
+    if out is not None:
+        np.copyto(out, view)
+        view = out
     cols = view.reshape(n, groups, (c // groups) * k_h * k_w, out_h * out_w)
     return cols, out_h, out_w
+
+
+def _flipped_weight_t(
+    w_data: np.ndarray, groups: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Spatially-flipped, channel-transposed kernel views for input grads.
+
+    Returns the flipped 5-D view ``(G, C_out_g, C_in_g, kH, kW)`` and its
+    contiguous transpose reshaped to ``(G, C_in_g, C_out_g*kH*kW)`` — the
+    left operand of the transposed-convolution GEMM.
+    """
+    c_out, c_in_g, k_h, k_w = w_data.shape
+    c_out_g = c_out // groups
+    flipped = w_data.reshape(groups, c_out_g, c_in_g, k_h, k_w)[:, :, :, ::-1, ::-1]
+    w_t = np.ascontiguousarray(flipped.transpose(0, 2, 1, 3, 4)).reshape(
+        groups, c_in_g, c_out_g * k_h * k_w
+    )
+    return flipped, w_t
+
+
+def _conv_input_grad_dilated(
+    grad: np.ndarray,
+    w_data: np.ndarray,
+    x_shape: tuple[int, ...],
+    stride: int,
+    groups: int,
+) -> np.ndarray:
+    """Input gradient as one full correlation of the stride-dilated output
+    gradient with the flipped kernel (im2col + one batched matmul).
+
+    This is the pre-phase-decomposition formulation, kept as the oracle for
+    the equivalence tests and the training bench: for ``stride > 1`` the
+    dilated canvas is mostly zeros, so the single big GEMM does ``stride²``
+    more multiplies than the non-zero structure requires.
+    :func:`_conv_input_grad` dispatches to it only for ``stride == 1``.
+    """
+    n, c_in, h, w = x_shape
+    c_out, c_in_g, k_h, k_w = w_data.shape
+    out_h, out_w = grad.shape[2], grad.shape[3]
+    pool = get_pool()
+
+    if k_h == 1 and k_w == 1 and stride == 1:
+        padded = grad  # 1x1/s1: the dilate+pad stage is the identity
+        pad_scratch = None
+    else:
+        # One canvas fuses stride-dilation, full padding and the trailing
+        # slack for input pixels the kernel never reached (zero gradient
+        # there when (H - kH) % stride != 0): the dilated gradient lands at
+        # positions (kH-1) + i*stride of an (H + kH - 1)-tall canvas.
+        zero_all = stride > 1  # dilation leaves zero gaps between rows
+        pad_scratch = pool.acquire(
+            (n, c_out, h + k_h - 1, w + k_w - 1), grad.dtype, zero=zero_all
+        )
+        if not zero_all:
+            # Stride 1: the interior is fully overwritten below, so only
+            # the full-padding border of a recycled buffer needs zeroing.
+            if k_h > 1:
+                pad_scratch[:, :, : k_h - 1, :] = 0.0
+                pad_scratch[:, :, k_h - 1 + out_h :, :] = 0.0
+            if k_w > 1:
+                rows = slice(k_h - 1, k_h - 1 + out_h)
+                pad_scratch[:, :, rows, : k_w - 1] = 0.0
+                pad_scratch[:, :, rows, k_w - 1 + out_w :] = 0.0
+        pad_scratch[
+            :,
+            :,
+            k_h - 1 : k_h - 1 + (out_h - 1) * stride + 1 : stride,
+            k_w - 1 : k_w - 1 + (out_w - 1) * stride + 1 : stride,
+        ] = grad
+        padded = pad_scratch
+
+    _, w_t = _flipped_weight_t(w_data, groups)
+    col_scratch = None
+    if not (k_h == 1 and k_w == 1):
+        col_scratch = pool.acquire((n, c_out, k_h, k_w, h, w), grad.dtype)
+    cols, gh, gw = _im2col(padded, k_h, k_w, 1, groups, out=col_scratch)
+    assert (gh, gw) == (h, w)
+    grad_x = np.matmul(w_t[None], cols).reshape(n, c_in, h, w)
+    if col_scratch is not None:
+        pool.release(col_scratch)
+    if pad_scratch is not None:
+        pool.release(pad_scratch)
+    return grad_x
+
+
+def _conv_input_grad_phased(
+    grad: np.ndarray,
+    w_data: np.ndarray,
+    x_shape: tuple[int, ...],
+    stride: int,
+    groups: int,
+) -> np.ndarray:
+    """Phase-decomposed transposed-convolution input gradient (stride > 1).
+
+    The stride-dilated full correlation touches a canvas in which only one
+    position in ``stride²`` is non-zero.  Input row ``y`` only ever reads
+    kernel taps ``d`` with ``d ≡ (kH-1-y) (mod s)``, so the correlation
+    splits exactly into ``s²`` *dense* sub-correlations — one per input
+    phase ``(y mod s, x mod s)`` — each contracting the **undilated** output
+    gradient against the sub-kernel ``flipped[d0::s, d0'::s]``.  Total
+    multiply count drops by ``s²`` versus the dilated oracle
+    (:func:`_conv_input_grad_dilated`); results are bit-identical in exact
+    arithmetic and gradcheck-identical in float64 (see
+    ``tests/test_ops_conv_equivalence.py``).
+
+    Phases whose sub-kernel is empty (``stride > kH`` cases) or that index
+    past the input (``h < stride``) stay zero, which also covers the
+    ``(H - kH) % stride != 0`` trailing rows the kernel never reached.
+    """
+    n, c_in, h, w = x_shape
+    c_out, c_in_g, k_h, k_w = w_data.shape
+    c_out_g = c_out // groups
+    out_h, out_w = grad.shape[2], grad.shape[3]
+    pool = get_pool()
+    grad_x = np.zeros((n, c_in, h, w), dtype=grad.dtype)
+    # Only the flipped *view* is needed here — each phase builds its own
+    # contiguous sub-kernel below, so the full transposed copy the dilated
+    # path uses (_flipped_weight_t's second return) would be wasted work.
+    flipped = w_data.reshape(groups, c_out_g, c_in_g, k_h, k_w)[:, :, :, ::-1, ::-1]
+
+    for ph in range(stride):
+        t_h = len(range(ph, h, stride))
+        d0_h = (k_h - 1 - ph) % stride
+        ks_h = len(range(d0_h, k_h, stride))
+        # Canvas row v maps to output row v + delta (delta <= 0): the
+        # sub-correlation reads grad rows t+delta .. t+delta+ksH-1.
+        delta_h = (ph + d0_h - (k_h - 1)) // stride
+        if t_h == 0 or ks_h == 0:
+            continue
+        for pw in range(stride):
+            t_w = len(range(pw, w, stride))
+            d0_w = (k_w - 1 - pw) % stride
+            ks_w = len(range(d0_w, k_w, stride))
+            delta_w = (pw + d0_w - (k_w - 1)) // stride
+            if t_w == 0 or ks_w == 0:
+                continue
+            canvas_h = t_h + ks_h - 1
+            canvas_w = t_w + ks_w - 1
+            canvas = pool.acquire(
+                (n, c_out, canvas_h, canvas_w), grad.dtype, zero=True
+            )
+            # Copy the grad window the sub-correlation can actually read
+            # (canvas row v holds grad row v + delta); the rest of the
+            # canvas stays zero padding.
+            dst_h_lo, dst_h_hi = -delta_h, min(canvas_h, out_h - delta_h)
+            dst_w_lo, dst_w_hi = -delta_w, min(canvas_w, out_w - delta_w)
+            if dst_h_hi > dst_h_lo and dst_w_hi > dst_w_lo:
+                canvas[:, :, dst_h_lo:dst_h_hi, dst_w_lo:dst_w_hi] = grad[
+                    :, :, : dst_h_hi + delta_h, : dst_w_hi + delta_w
+                ]
+            w_sub = np.ascontiguousarray(
+                flipped[:, :, :, d0_h::stride, d0_w::stride].transpose(0, 2, 1, 3, 4)
+            ).reshape(groups, c_in_g, c_out_g * ks_h * ks_w)
+            col_scratch = (
+                None
+                if ks_h == 1 and ks_w == 1
+                else pool.acquire(
+                    (n, c_out, ks_h, ks_w, t_h, t_w), grad.dtype
+                )
+            )
+            cols, gh, gw = _im2col(canvas, ks_h, ks_w, 1, groups, out=col_scratch)
+            assert (gh, gw) == (t_h, t_w)
+            grad_x[:, :, ph::stride, pw::stride] = np.matmul(
+                w_sub[None], cols
+            ).reshape(n, c_in, t_h, t_w)
+            if col_scratch is not None:
+                pool.release(col_scratch)
+            pool.release(canvas)
+    return grad_x
+
+
+#: Below this many dilated-canvas column elements (``N*C_out*kH*kW*H*W``)
+#: the stride²-redundant single GEMM is still cheaper than the phase
+#: decomposition's s² python-level sub-correlations — dispatch accordingly.
+_PHASED_MIN_ELEMS = 256_000
 
 
 def _conv_input_grad(
@@ -97,36 +279,21 @@ def _conv_input_grad(
     stride: int,
     groups: int,
 ) -> np.ndarray:
-    """Input gradient as a transposed convolution (full correlation with the
-    spatially-flipped, channel-transposed kernel of the stride-dilated output
-    gradient) — im2col + one batched matmul, no offset loops."""
-    n, c_in, h, w = x_shape
-    c_out, c_in_g, k_h, k_w = w_data.shape
-    c_out_g = c_out // groups
-    out_h, out_w = grad.shape[2], grad.shape[3]
+    """Input gradient of a convolution (transposed convolution).
 
-    if k_h == 1 and k_w == 1 and stride == 1:
-        padded = grad  # 1x1/s1: the dilate+pad stage is the identity
-    else:
-        # One allocation fuses stride-dilation, full padding and the trailing
-        # slack for input pixels the kernel never reached (zero gradient
-        # there when (H - kH) % stride != 0): the dilated gradient lands at
-        # positions (kH-1) + i*stride of an (H + kH - 1)-tall canvas.
-        padded = np.zeros((n, c_out, h + k_h - 1, w + k_w - 1), dtype=grad.dtype)
-        padded[
-            :,
-            :,
-            k_h - 1 : k_h - 1 + (out_h - 1) * stride + 1 : stride,
-            k_w - 1 : k_w - 1 + (out_w - 1) * stride + 1 : stride,
-        ] = grad
-
-    flipped = w_data.reshape(groups, c_out_g, c_in_g, k_h, k_w)[:, :, :, ::-1, ::-1]
-    w_t = np.ascontiguousarray(flipped.transpose(0, 2, 1, 3, 4)).reshape(
-        groups, c_in_g, c_out_g * k_h * k_w
-    )
-    cols, gh, gw = _im2col(padded, k_h, k_w, 1, groups)
-    assert (gh, gw) == (h, w)
-    return np.matmul(w_t[None], cols).reshape(n, c_in, h, w)
+    ``stride == 1`` runs the dense full correlation directly.  ``stride > 1``
+    uses the phase decomposition — the same arithmetic without the
+    ``stride²`` multiply-by-zero overhead of a dilated canvas — unless the
+    problem is so small that the s² python-level sub-correlations cost more
+    than the redundant flops they avoid (:data:`_PHASED_MIN_ELEMS`).
+    """
+    if stride == 1:
+        return _conv_input_grad_dilated(grad, w_data, x_shape, stride, groups)
+    n, _, h, w = x_shape
+    c_out, _, k_h, k_w = w_data.shape
+    if n * c_out * k_h * k_w * h * w < _PHASED_MIN_ELEMS:
+        return _conv_input_grad_dilated(grad, w_data, x_shape, stride, groups)
+    return _conv_input_grad_phased(grad, w_data, x_shape, stride, groups)
 
 
 # Materialized column matrices above this size are processed in batch chunks:
@@ -163,17 +330,47 @@ def _im2col_conv(xp: Tensor, weight: Tensor, stride: int, groups: int,
     # consuming the data batch) — that's the priciest half of the backward.
     need_input_grad = xp.requires_grad or xp.backward_fn is not None
 
+    pool = pool_for_op(xp, weight)
     if view_only or n * per_sample_bytes <= _COL_CHUNK_BYTES:
-        cols, out_h, out_w = _im2col(x_data, k_h, k_w, stride, groups)
-        out = np.matmul(w_mat[None], cols).reshape(n, c_out, out_h, out_w)
+        if pool is not None:
+            # Pooled hot path: route the forward through the out-buffer
+            # inference kernel (conv2d_into) so the output and the
+            # materialised columns are checked out of the BufferPool;
+            # backward retires them via the tape.
+            out_h = _conv_output_size(x_data.shape[2], k_h, stride)
+            out_w = _conv_output_size(x_data.shape[3], k_w, stride)
+            out = pool.acquire((n, c_out, out_h, out_w), x_data.dtype)
+            retire: tuple[np.ndarray, ...] = ()
+            if view_only:
+                cols = x_data.reshape(n, groups, col_len, out_h * out_w)
+                conv2d_into(
+                    x_data, w_data, stride=stride, groups=groups, out=out
+                )
+            else:
+                col6 = pool.acquire(
+                    (n, x_data.shape[1], k_h, k_w, out_h, out_w), x_data.dtype
+                )
+                conv2d_into(
+                    x_data, w_data, stride=stride, groups=groups, out=out,
+                    cols=col6,
+                )
+                cols = col6.reshape(n, groups, col_len, out_h * out_w)
+                retire = (col6,)
+        else:
+            cols, out_h, out_w = _im2col(x_data, k_h, k_w, stride, groups)
+            out = np.matmul(w_mat[None], cols).reshape(n, c_out, out_h, out_w)
+            retire = ()
 
         def backward(grad: np.ndarray):
             g = grad.reshape(n, groups, c_out_g, out_h * out_w)
             # dW: per-sample batched GEMM against the transposed-view columns
-            # (BLAS consumes the transpose directly), reduced over the batch.
-            grad_w = np.matmul(g, cols.transpose(0, 1, 3, 2)).sum(axis=0).reshape(
-                w_data.shape
-            )
+            # (BLAS consumes the transpose directly), reduced over the batch,
+            # with the per-sample product in call-scoped pooled scratch.
+            bpool = get_pool()
+            gw_scratch = bpool.acquire((n, groups, c_out_g, col_len), grad.dtype)
+            np.matmul(g, cols.transpose(0, 1, 3, 2), out=gw_scratch)
+            grad_w = gw_scratch.sum(axis=0).reshape(w_data.shape)
+            bpool.release(gw_scratch)
             grad_x = (
                 _conv_input_grad(grad, w_data, x_data.shape, stride, groups)
                 if need_input_grad
@@ -181,20 +378,36 @@ def _im2col_conv(xp: Tensor, weight: Tensor, stride: int, groups: int,
             )
             return grad_x, grad_w
 
-        return make_op(out, (xp, weight), backward, op_name)
+        return make_op(
+            out, (xp, weight), backward, op_name,
+            retire=retire, pooled_out=pool is not None and pool.owns(out),
+        )
 
     step = max(1, int(_COL_CHUNK_BYTES // per_sample_bytes))
     out_h = _conv_output_size(x_data.shape[2], k_h, stride)
     out_w = _conv_output_size(x_data.shape[3], k_w, stride)
-    out = np.empty((n, c_out, out_h, out_w), dtype=x_data.dtype)
+    out = (
+        pool.acquire((n, c_out, out_h, out_w), x_data.dtype)
+        if pool is not None
+        else np.empty((n, c_out, out_h, out_w), dtype=x_data.dtype)
+    )
     for start in range(0, n, step):
         chunk = x_data[start : start + step]
-        cols, _, _ = _im2col(chunk, k_h, k_w, stride, groups)
-        out[start : start + step] = np.matmul(w_mat[None], cols).reshape(
-            chunk.shape[0], c_out, out_h, out_w
+        col6 = get_pool().acquire(
+            (chunk.shape[0], chunk.shape[1], k_h, k_w, out_h, out_w),
+            x_data.dtype,
         )
+        cols, _, _ = _im2col(chunk, k_h, k_w, stride, groups, out=col6)
+        np.matmul(
+            w_mat[None], cols,
+            out=out[start : start + step].reshape(
+                chunk.shape[0], groups, c_out_g, out_h * out_w
+            ),
+        )
+        get_pool().release(col6)
 
     def backward_chunked(grad: np.ndarray):
+        bpool = get_pool()
         grad_w = np.zeros((groups, c_out_g, col_len), dtype=w_data.dtype)
         grad_x = (
             np.empty(x_data.shape, dtype=x_data.dtype) if need_input_grad else None
@@ -203,16 +416,26 @@ def _im2col_conv(xp: Tensor, weight: Tensor, stride: int, groups: int,
             sl = slice(start, start + step)
             chunk = x_data[sl]
             m = chunk.shape[0]
-            cols, _, _ = _im2col(chunk, k_h, k_w, stride, groups)
+            col6 = bpool.acquire(
+                (m, chunk.shape[1], k_h, k_w, out_h, out_w), x_data.dtype
+            )
+            cols, _, _ = _im2col(chunk, k_h, k_w, stride, groups, out=col6)
             g = grad[sl].reshape(m, groups, c_out_g, out_h * out_w)
-            grad_w += np.matmul(g, cols.transpose(0, 1, 3, 2)).sum(axis=0)
+            gw_scratch = bpool.acquire((m, groups, c_out_g, col_len), grad.dtype)
+            np.matmul(g, cols.transpose(0, 1, 3, 2), out=gw_scratch)
+            grad_w += gw_scratch.sum(axis=0)
+            bpool.release(gw_scratch)
+            bpool.release(col6)
             if grad_x is not None:
                 grad_x[sl] = _conv_input_grad(
                     grad[sl], w_data, chunk.shape, stride, groups
                 )
         return grad_x, grad_w.reshape(w_data.shape)
 
-    return make_op(out, (xp, weight), backward_chunked, op_name)
+    return make_op(
+        out, (xp, weight), backward_chunked, op_name,
+        pooled_out=pool is not None and pool.owns(out),
+    )
 
 
 def conv2d(
@@ -521,8 +744,20 @@ def batch_norm2d(
     mean = x_data.mean(axis=(0, 2, 3))
     var = x_data.var(axis=(0, 2, 3))
     inv_std = 1.0 / np.sqrt(var + eps)
-    xhat = (x_data - mean[None, :, None, None]) * inv_std[None, :, None, None]
-    out = gamma.data[None, :, None, None] * xhat + beta.data[None, :, None, None]
+    pool = pool_for_op(x, gamma, beta)
+    if pool is not None:
+        # Pooled path: the normalised temporary (kept for the backward) and
+        # the output both come from the BufferPool; same arithmetic order as
+        # the allocating expressions below, so results are bit-identical.
+        xhat = pool.acquire(x_data.shape, x_data.dtype)
+        np.subtract(x_data, mean[None, :, None, None], out=xhat)
+        xhat *= inv_std[None, :, None, None]
+        out = pool.acquire(x_data.shape, x_data.dtype)
+        np.multiply(gamma.data[None, :, None, None], xhat, out=out)
+        out += beta.data[None, :, None, None]
+    else:
+        xhat = (x_data - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        out = gamma.data[None, :, None, None] * xhat + beta.data[None, :, None, None]
 
     def backward(grad: np.ndarray):
         m = grad.shape[0] * grad.shape[2] * grad.shape[3]
@@ -536,26 +771,47 @@ def batch_norm2d(
         )
         return grad_x, grad_gamma, grad_beta
 
-    return make_op(out, (x, gamma, beta), backward, "batch_norm2d"), mean, var
+    node = make_op(
+        out, (x, gamma, beta), backward, "batch_norm2d",
+        retire=(xhat,) if pool is not None and pool.owns(xhat) else (),
+        pooled_out=pool is not None and pool.owns(out),
+    )
+    return node, mean, var
 
 
 def relu(x: Tensor) -> Tensor:
-    out = np.maximum(x.data, 0.0)
+    pool = pool_for_op(x)
+    if pool is not None:
+        out = pool.acquire(x.shape, x.data.dtype)
+        np.maximum(x.data, 0.0, out=out)
+    else:
+        out = np.maximum(x.data, 0.0)
 
     def backward(grad: np.ndarray):
         return (grad * (x.data > 0),)
 
-    return make_op(out, (x,), backward, "relu")
+    return make_op(
+        out, (x,), backward, "relu",
+        pooled_out=pool is not None and pool.owns(out),
+    )
 
 
 def relu6(x: Tensor) -> Tensor:
     """The MobileNet activation: ``min(max(x, 0), 6)``."""
-    out = np.clip(x.data, 0.0, 6.0)
+    pool = pool_for_op(x)
+    if pool is not None:
+        out = pool.acquire(x.shape, x.data.dtype)
+        np.clip(x.data, 0.0, 6.0, out=out)
+    else:
+        out = np.clip(x.data, 0.0, 6.0)
 
     def backward(grad: np.ndarray):
         return (grad * ((x.data > 0) & (x.data < 6)),)
 
-    return make_op(out, (x,), backward, "relu6")
+    return make_op(
+        out, (x,), backward, "relu6",
+        pooled_out=pool is not None and pool.owns(out),
+    )
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -592,6 +848,7 @@ def conv2d_into(
     out: np.ndarray | None = None,
     pad_buf: np.ndarray | None = None,
     cols: np.ndarray | None = None,
+    residual: np.ndarray | None = None,
 ) -> np.ndarray:
     """Inference convolution writing into ``out`` (bias + activation fused).
 
@@ -599,7 +856,10 @@ def conv2d_into(
     plain arrays with no graph: the columns land in ``cols`` (zero-copy view
     for 1x1/stride-1), the GEMM writes straight into ``out`` via
     ``np.matmul(..., out=...)``, and bias add plus ``relu``/``relu6`` happen
-    in place.  Returns ``out``.
+    in place.  ``residual`` is accumulated into ``out`` after the bias and
+    before the activation — the conv+add fusion the runtime engine uses for
+    residual blocks (one pass over the output instead of a separate add op
+    and buffer).  Returns ``out``.
     """
     n, c_in, h, w = x.shape
     c_out, c_in_g, k_h, k_w = weight.shape
@@ -637,6 +897,8 @@ def conv2d_into(
     )
     if bias is not None:
         out += bias.reshape(1, -1, 1, 1)
+    if residual is not None:
+        out += residual
     _apply_activation(out, act)
     return out
 

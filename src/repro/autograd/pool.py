@@ -1,0 +1,229 @@
+"""Scratch-buffer pool for the training hot path.
+
+ROADMAP flags the search loop's remaining headroom as *allocation-bound*:
+every conv forward materialises an im2col column matrix and a padded-input
+canvas, every BatchNorm a normalised temporary, and every backward two more
+canvases — all freed one step later and re-allocated the next.  The compiled
+inference runtime solved this with a statically planned arena
+(:mod:`repro.runtime.arena`); training graphs change shape with every Gumbel
+sample, so a static plan is impossible.  :class:`BufferPool` is the dynamic
+equivalent: a size-bucketed, dtype-aware free list that ops check scratch
+buffers out of and return when the tape node that owns them retires during
+``Tensor.backward`` — so epoch ``k+1`` runs in the arrays epoch ``k``
+allocated.
+
+Lifecycle contract
+------------------
+* Ops acquire buffers only while the pool is *enabled* (scoped via
+  :func:`buffer_pool` — :class:`repro.core.engine.SearchEngine` enables it
+  around its epoch loop) **and** the result will join a backward-reachable
+  graph.  ``release`` works regardless of the enabled flag, so a graph built
+  inside the scope can retire outside it.
+* Two kinds of checkout: *retire-scoped* buffers (im2col columns, padded
+  inputs, op outputs) are registered on their tape node and released by
+  ``Tensor.backward`` right after the node's backward closure runs;
+  *call-scoped* buffers (backward canvases) are acquired and released inside
+  one kernel invocation.
+* While the pool is enabled, the ``data`` of **non-leaf, non-root** tensors
+  becomes invalid once ``backward()`` returns — the arrays are back in the
+  free lists.  Leaves (parameters, inputs), the backward root (the loss) and
+  anything below :data:`MIN_POOL_ELEMS` are never pooled, which keeps the
+  ubiquitous post-backward reads (``loss.item()``, scalar telemetry) valid.
+* Aliasing safety is structural: a checked-out buffer lives in the pool's
+  out-table (and nowhere else reachable by ``acquire``), so it cannot be
+  handed out twice; releasing an array the pool does not own is a no-op.
+
+Pools are per-thread (:func:`get_pool`), so parallel evaluators running
+training loops in threads cannot hand one thread's scratch to another.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from collections.abc import Iterator
+from typing import Any
+
+import numpy as np
+
+#: Arrays smaller than this (in elements) are never pooled: the bookkeeping
+#: costs more than the allocation, and keeping scalars/logits unpooled is
+#: what makes post-backward reads of small tensors (losses, telemetry) safe.
+MIN_POOL_ELEMS = 512
+
+#: Environment kill-switch: ``REPRO_BUFFER_POOL=0`` keeps the pool disabled
+#: even where the engine would enable it (debugging aid).
+_ENV_SWITCH = "REPRO_BUFFER_POOL"
+
+
+def _bucket_elems(elems: int) -> int:
+    """Round ``elems`` up to the pool's bucket size (next power of two).
+
+    Power-of-two buckets let differently-shaped ops of similar size share
+    buffers (the supernet's candidate branches produce a small set of
+    distinct sizes per resolution), at a bounded <2x memory overhead.
+    """
+    return 1 << (elems - 1).bit_length()
+
+
+class BufferPool:
+    """Size-bucketed, dtype-aware free list of scratch ndarrays.
+
+    ``acquire`` returns an ndarray view of the requested shape backed by a
+    bucketed 1-D base array; ``release`` returns the base to its free list.
+    The pool tracks every checked-out base in ``_out`` keyed by ``id`` —
+    holding the reference keeps the id stable and makes double-handout
+    impossible (a base is either in exactly one free list or in ``_out``).
+    """
+
+    def __init__(self) -> None:
+        self._free: dict[tuple[int, str], list[np.ndarray]] = {}
+        self._out: dict[int, tuple[np.ndarray, tuple[int, str]]] = {}
+        self.enabled = False
+        # Telemetry: acquires split into free-list hits and fresh mallocs.
+        self.hits = 0
+        self.misses = 0
+        self.releases = 0
+
+    # -- checkout -----------------------------------------------------------
+    def acquire(self, shape: tuple[int, ...], dtype: Any, zero: bool = False) -> np.ndarray:
+        """Check out an array of ``shape``/``dtype`` (zero-filled on request).
+
+        Falls back to a plain ``np.zeros``/``np.empty`` when the pool is
+        disabled or the request is below :data:`MIN_POOL_ELEMS`, so callers
+        can route through the pool unconditionally.
+        """
+        elems = 1
+        for dim in shape:
+            elems *= dim
+        if not self.enabled or elems < MIN_POOL_ELEMS:
+            return np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
+        # Hot path: callers pass ndarray.dtype (an np.dtype instance), so
+        # the .char lookup usually avoids an np.dtype() round-trip; the
+        # bucket computation is _bucket_elems inlined.
+        char = dtype.char if isinstance(dtype, np.dtype) else np.dtype(dtype).char
+        key = (1 << (elems - 1).bit_length(), char)
+        stack = self._free.get(key)
+        if stack:
+            base = stack.pop()
+            self.hits += 1
+        else:
+            base = np.empty(key[0], dtype)
+            self.misses += 1
+        self._out[id(base)] = (base, key)
+        view = base[:elems].reshape(shape)
+        if zero:
+            view.fill(0.0)
+        return view
+
+    def owns(self, array: np.ndarray) -> bool:
+        """Whether ``array`` is (a view of) a currently checked-out buffer."""
+        base = array if array.base is None else array.base
+        return id(base) in self._out
+
+    def release(self, array: np.ndarray) -> bool:
+        """Return a checked-out buffer to its free list.
+
+        Accepts the view ``acquire`` returned (or any view of its base).
+        Arrays the pool does not own — including already-released ones — are
+        ignored, so callers may release unconditionally.  Returns whether the
+        array was actually pooled.
+        """
+        base = array if array.base is None else array.base
+        entry = self._out.pop(id(base), None)
+        if entry is None:
+            return False
+        base, key = entry
+        self._free.setdefault(key, []).append(base)
+        self.releases += 1
+        return True
+
+    def sweep(self) -> int:
+        """Reclaim checked-out buffers whose graphs are gone; returns count.
+
+        Retirement during ``backward`` is the normal release path, but a
+        graph that is never backwarded (an exception between forward and
+        backward, an eval forward missing ``no_grad``) strands its buffers:
+        the out-table's strong reference keeps them alive forever.  Once
+        such a graph is garbage-collected, the only remaining reference to
+        the base is the out-table itself — detectable via the refcount —
+        and the buffer can safely rejoin its free list.  The engine calls
+        this between epochs as a safety valve.
+        """
+        import sys
+
+        stranded = [
+            key_id
+            for key_id, entry in self._out.items()
+            # 2 == the out-table tuple + getrefcount's own argument (no
+            # extra name is bound to the base here); any live view or
+            # external reference pushes this higher.
+            if sys.getrefcount(entry[0]) == 2
+        ]
+        for key_id in stranded:
+            base, key = self._out.pop(key_id)
+            self._free.setdefault(key, []).append(base)
+        return len(stranded)
+
+    # -- lifecycle ----------------------------------------------------------
+    def reset(self) -> None:
+        """Drop every free list and forget checked-out buffers.
+
+        Forgotten checkouts become ordinary garbage-collectable arrays; use
+        this to reclaim memory between workloads of very different shapes.
+        """
+        self._free.clear()
+        self._out.clear()
+
+    @property
+    def outstanding(self) -> int:
+        """Number of buffers currently checked out (0 after a clean step)."""
+        return len(self._out)
+
+    @property
+    def pooled_bytes(self) -> int:
+        """Total bytes parked in the free lists."""
+        return sum(b.nbytes for stack in self._free.values() for b in stack)
+
+    def stats(self) -> dict[str, int]:
+        """Telemetry counters (JSON-serialisable)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "releases": self.releases,
+            "outstanding": self.outstanding,
+            "pooled_bytes": self.pooled_bytes,
+            "free_buffers": sum(len(s) for s in self._free.values()),
+        }
+
+
+_local = threading.local()
+
+
+def get_pool() -> BufferPool:
+    """This thread's :class:`BufferPool` (created on first use)."""
+    pool = getattr(_local, "pool", None)
+    if pool is None:
+        pool = _local.pool = BufferPool()
+    return pool
+
+
+@contextlib.contextmanager
+def buffer_pool(enabled: bool = True) -> Iterator[BufferPool]:
+    """Scope the pool's enabled flag (free lists persist across scopes).
+
+    The ``REPRO_BUFFER_POOL=0`` environment kill-switch wins over
+    ``enabled=True``.  Nesting restores the previous flag on exit, so an
+    inner ``buffer_pool(False)`` (e.g. a bench measuring the unpooled
+    baseline) composes with an enclosing enabled scope.
+    """
+    pool = get_pool()
+    if os.environ.get(_ENV_SWITCH, "1") == "0":
+        enabled = False
+    previous = pool.enabled
+    pool.enabled = enabled
+    try:
+        yield pool
+    finally:
+        pool.enabled = previous

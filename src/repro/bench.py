@@ -23,9 +23,12 @@ make them.
 from __future__ import annotations
 
 import contextlib
+import gc
 import json
+import os
 import platform
 import time
+import tracemalloc
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
@@ -33,6 +36,7 @@ import numpy as np
 
 from repro.autograd import ops_nn
 from repro.autograd.ops_basic import clip_ste, round_ste
+from repro.autograd.pool import buffer_pool, get_pool
 from repro.autograd.tensor import Tensor, default_dtype, get_default_dtype, tensor
 
 # (batch, c_in, h, w, c_out, kernel, stride, padding, groups) — the conv
@@ -394,6 +398,440 @@ def render_runtime_report(report: dict[str, Any]) -> str:
     lines.append(
         f"\ngeomean batch-1 speedup: "
         f"{section['geomean_batch1_speedup']:.1f}x"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------- training bench suite
+#
+# ``repro bench --suite training`` -> BENCH_training.json.  The *pre-PR
+# baseline* for every section is the hot path exactly as PR 2/3 left it:
+# buffer pool disabled and stride>1 transposed-conv input gradients through
+# the dilate-then-correlate oracle.  The *current* path enables the pool and
+# the phase-decomposed gradients, i.e. the two training-side optimisations
+# this suite exists to track.
+
+#: (batch, c_in, h/w, c_out, kernel, stride, padding, groups, small) — the
+#: supernet's training conv population: search scale ("r_"), paper MBConv
+#: widths ("p_"), and retrain-scale batch-32 cases ("t_").  ``small`` marks
+#: the allocation-bound small-shape set the headline geomean covers.
+TRAINING_CONV_CASES: dict[str, tuple[int, int, int, int, int, int, int, int, bool]] = {
+    "r_expand1x1": (12, 16, 6, 64, 1, 1, 0, 1, True),
+    "r_dw3x3": (12, 64, 6, 64, 3, 1, 1, 64, True),
+    "r_dw5x5_s2": (12, 64, 6, 64, 5, 2, 2, 64, True),
+    "r_stem3x3_s2": (12, 3, 12, 8, 3, 2, 1, 1, True),
+    "p_expand1x1": (12, 16, 12, 96, 1, 1, 0, 1, True),
+    "p_dw3x3": (12, 96, 12, 96, 3, 1, 1, 96, True),
+    "p_dw5x5": (12, 96, 12, 96, 5, 1, 2, 96, True),
+    "p_dw3x3_s2": (12, 96, 12, 96, 3, 2, 1, 96, True),
+    "p_dw5x5_s2": (12, 96, 12, 96, 5, 2, 2, 96, True),
+    "p_project1x1": (12, 96, 12, 32, 1, 1, 0, 1, True),
+    "t_dw5x5_s2_b32": (32, 96, 14, 96, 5, 2, 2, 96, False),
+    "t_dense3x3_s2_b32": (32, 32, 14, 64, 3, 2, 1, 1, False),
+}
+
+#: (batch, c_in, c_out, h, kernel, stride, groups) — stride>1 input-gradient
+#: kernels timed head-to-head: phase decomposition vs the dilated oracle.
+TCONV_GRAD_CASES: dict[str, tuple[int, int, int, int, int, int, int]] = {
+    "dw3x3_s2": (12, 64, 64, 12, 3, 2, 64),
+    "dw5x5_s2": (12, 64, 64, 12, 5, 2, 64),
+    "dense3x3_s2": (16, 32, 64, 14, 3, 2, 1),
+    "dense3x3_s3": (16, 32, 64, 15, 3, 3, 1),
+    "dw5x5_s2_b32": (32, 96, 96, 14, 5, 2, 96),
+}
+
+
+@contextlib.contextmanager
+def _dilated_input_grads() -> Iterator[None]:
+    """Force stride>1 input gradients through the pre-PR dilated oracle."""
+    original = ops_nn._conv_input_grad
+
+    def dilated(grad, w_data, x_shape, stride, groups):
+        return ops_nn._conv_input_grad_dilated(grad, w_data, x_shape, stride, groups)
+
+    ops_nn._conv_input_grad = dilated
+    try:
+        yield
+    finally:
+        ops_nn._conv_input_grad = original
+
+
+def bench_training_conv(quick: bool = False) -> dict[str, Any]:
+    """Conv fwd+bwd per training case: pooled+phased vs the pre-PR baseline.
+
+    Each case runs a leaf-to-scalar step (persistent parameter-style leaves,
+    ``zero_grad`` per iteration, scalar root) so the measurement matches the
+    training loop's buffer lifecycle.  The headline is the geometric-mean
+    speedup over the small-shape (``small=True``) set ROADMAP calls
+    allocation-bound, with the full-set geomean reported alongside.
+    """
+    repeats = 6 if quick else 15
+    rng = np.random.default_rng(2026)
+    cases = []
+    for name, (n, c_in, h, c_out, k, s, p, g, small) in TRAINING_CONV_CASES.items():
+        if quick and not small:
+            continue
+        xt = tensor(rng.normal(size=(n, c_in, h, h)), requires_grad=True)
+        wt = tensor(rng.normal(size=(c_out, c_in // g, k, k)), requires_grad=True)
+
+        def fwd_bwd():
+            xt.zero_grad()
+            wt.zero_grad()
+            out = ops_nn.conv2d(xt, wt, stride=s, padding=p, groups=g)
+            out.sum().backward()
+
+        reps = max(3, repeats // 2) if n >= 32 else repeats
+        # Interleave baseline/current samples so allocator drift and box
+        # noise hit both sides equally.
+        with _dilated_input_grads(), buffer_pool(False):
+            fwd_bwd()
+        with buffer_pool(True):
+            fwd_bwd()
+        base_samples, cur_samples = [], []
+        for _ in range(reps):
+            with _dilated_input_grads(), buffer_pool(False):
+                start = time.perf_counter()
+                fwd_bwd()
+                base_samples.append(time.perf_counter() - start)
+            with buffer_pool(True):
+                start = time.perf_counter()
+                fwd_bwd()
+                cur_samples.append(time.perf_counter() - start)
+        baseline = float(np.median(base_samples))
+        current = float(np.median(cur_samples))
+        xt.zero_grad()
+        wt.zero_grad()
+        cases.append({
+            "name": name,
+            "small": small,
+            "shape": {"batch": n, "c_in": c_in, "hw": h, "c_out": c_out,
+                      "kernel": k, "stride": s, "groups": g},
+            "current_ms": current * 1e3,
+            "baseline_ms": baseline * 1e3,
+            "speedup": baseline / current,
+        })
+    small_speedups = [c["speedup"] for c in cases if c["small"]]
+    all_speedups = [c["speedup"] for c in cases]
+    return {
+        "cases": cases,
+        "geomean_speedup_small": float(np.exp(np.mean(np.log(small_speedups)))),
+        "geomean_speedup": float(np.exp(np.mean(np.log(all_speedups)))),
+    }
+
+
+def bench_tconv_grad(quick: bool = False) -> dict[str, Any]:
+    """Stride>1 transposed-conv input-grad kernels: phased vs dilated oracle.
+
+    This is the kernel-level view of the phase decomposition — the same
+    gradient computed both ways on identical inputs, plus the parity error
+    (summation-order tolerance only).
+    """
+    repeats = 8 if quick else 20
+    rng = np.random.default_rng(7)
+    cases = []
+    for name, (n, c_in, c_out, h, k, s, g) in TCONV_GRAD_CASES.items():
+        if quick and n >= 32:
+            continue
+        out_h = (h - k) // s + 1
+        grad = rng.normal(size=(n, c_out, out_h, out_h)).astype(get_default_dtype())
+        weight = rng.normal(size=(c_out, c_in // g, k, k)).astype(get_default_dtype())
+        x_shape = (n, c_in, h, h)
+        reps = max(3, repeats // 2) if n >= 32 else repeats
+        dilated = _median_seconds(
+            lambda: ops_nn._conv_input_grad_dilated(grad, weight, x_shape, s, g),
+            reps,
+        )
+        phased = _median_seconds(
+            lambda: ops_nn._conv_input_grad_phased(grad, weight, x_shape, s, g),
+            reps,
+        )
+        diff = float(np.max(np.abs(
+            ops_nn._conv_input_grad_phased(grad, weight, x_shape, s, g)
+            - ops_nn._conv_input_grad_dilated(grad, weight, x_shape, s, g)
+        )))
+        cases.append({
+            "name": name,
+            "stride": s,
+            "kernel": k,
+            "dilated_ms": dilated * 1e3,
+            "phased_ms": phased * 1e3,
+            "speedup": dilated / phased,
+            "max_abs_diff": diff,
+        })
+    speedups = [c["speedup"] for c in cases]
+    return {
+        "cases": cases,
+        "geomean_speedup": float(np.exp(np.mean(np.log(speedups)))),
+    }
+
+
+def _large_repro_blocks(snapshot: "tracemalloc.Snapshot", min_bytes: int) -> int:
+    """Count live traced blocks >= ``min_bytes`` allocated in repro code."""
+    count = 0
+    for trace in snapshot.traces:
+        if trace.size < min_bytes:
+            continue
+        frame = trace.traceback[0]
+        if "repro" in frame.filename:
+            count += 1
+    return count
+
+
+def _step_allocation_profile(searcher, x, y, pool_on: bool) -> dict[str, float]:
+    """Measure one weight step's heap behaviour under ``tracemalloc``.
+
+    Reported per step:
+
+    * ``forward_alloc_blocks`` — buffer-sized (>= 2 KiB) blocks allocated in
+      repro code during the forward that are still live when the graph is
+      complete; with the pool warm these come from free lists instead, so
+      the count is the direct measure of the "allocation-free" claim;
+    * ``peak_bytes`` — peak incremental traced memory over the full
+      forward+backward+update step.
+    """
+    from repro.nn.functional import cross_entropy
+
+    min_bytes = 2048
+    with buffer_pool(pool_on):
+        # Warm the pool and the allocator alike: every step Gumbel-samples a
+        # different candidate, so several steps are needed before the free
+        # lists cover the whole shape population.
+        for _ in range(6):
+            searcher.weight_step(x, y)
+        searcher.weight_optimizer.zero_grad()
+        searcher.arch_optimizer.zero_grad()
+        gc.collect()
+        tracemalloc.start(1)
+        try:
+            base = tracemalloc.take_snapshot()
+            sample = searcher.supernet.sample(
+                searcher.sampler, hard=searcher.config.hard_weight_step
+            )
+            logits = searcher.supernet(Tensor(x), sample=sample)
+            loss = cross_entropy(logits, y)
+            snap = tracemalloc.take_snapshot()
+            tracemalloc.reset_peak()
+            before_current, _ = tracemalloc.get_traced_memory()
+            loss.backward()
+            searcher.weight_optimizer.step()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        forward_blocks = (
+            _large_repro_blocks(snap, min_bytes)
+            - _large_repro_blocks(base, min_bytes)
+        )
+        searcher.weight_optimizer.zero_grad()
+        searcher.arch_optimizer.zero_grad()
+    return {
+        "forward_alloc_blocks": int(forward_blocks),
+        "peak_bytes": int(max(0, peak - before_current)),
+    }
+
+
+def bench_training_step(quick: bool = False) -> dict[str, Any]:
+    """Supernet weight/arch step wall clock and allocation counts, pool
+    on vs off (pool on/off samples interleaved round-robin on one searcher
+    so box noise cancels; ``loss_parity`` is checked on two fresh searchers
+    driven through identical step sequences)."""
+    repeats = 6 if quick else 16
+
+    searcher, splits = _make_searcher()
+    x, y = splits.train.images[:12], splits.train.labels[:12]
+    xv, yv = splits.val.images[:12], splits.val.labels[:12]
+    for pool_on in (False, True):  # warm both modes
+        with buffer_pool(pool_on):
+            searcher.weight_step(x, y)
+            searcher.arch_step(xv, yv)
+    samples: dict[tuple[str, bool], list[float]] = {
+        (phase, mode): [] for phase in ("weight", "arch") for mode in (False, True)
+    }
+    for _ in range(repeats):
+        for pool_on in (False, True):
+            with buffer_pool(pool_on):
+                start = time.perf_counter()
+                searcher.weight_step(x, y)
+                samples[("weight", pool_on)].append(time.perf_counter() - start)
+                start = time.perf_counter()
+                searcher.arch_step(xv, yv)
+                samples[("arch", pool_on)].append(time.perf_counter() - start)
+    weight_off = float(np.median(samples[("weight", False)]))
+    weight_on = float(np.median(samples[("weight", True)]))
+    arch_off = float(np.median(samples[("arch", False)]))
+    arch_on = float(np.median(samples[("arch", True)]))
+
+    def parity_losses(pool_on: bool) -> list[float]:
+        fresh, fresh_splits = _make_searcher()
+        px, py = fresh_splits.train.images[:12], fresh_splits.train.labels[:12]
+        with buffer_pool(pool_on):
+            return [fresh.weight_step(px, py) for _ in range(3)]
+
+    losses_off = parity_losses(False)
+    losses_on = parity_losses(True)
+    allocs_off = _step_allocation_profile(searcher, x, y, False)
+    allocs_on = _step_allocation_profile(searcher, x, y, True)
+    pool_stats = get_pool().stats()
+    blocks_on = max(1, allocs_on["forward_alloc_blocks"])
+    return {
+        "weight_step_ms": weight_on * 1e3,
+        "arch_step_ms": arch_on * 1e3,
+        "baseline_weight_step_ms": weight_off * 1e3,
+        "baseline_arch_step_ms": arch_off * 1e3,
+        "weight_step_speedup": weight_off / weight_on,
+        "arch_step_speedup": arch_off / arch_on,
+        "loss_parity": losses_off == losses_on,
+        "allocations": {
+            "pool_off": allocs_off,
+            "pool_on": allocs_on,
+            "forward_alloc_reduction": (
+                allocs_off["forward_alloc_blocks"] / blocks_on
+            ),
+        },
+        "pool": pool_stats,
+    }
+
+
+def bench_training_search(quick: bool = False) -> dict[str, Any]:
+    """End-to-end ``api.search`` epoch, pool on vs off (env kill-switch).
+
+    Both runs share the request and seed, so the epoch histories must be
+    bit-identical (``loss_parity``); the timing difference is purely the
+    buffer pool's doing.
+    """
+    from repro import api
+
+    request = api.SearchRequest(
+        target="fpga_pipelined",
+        epochs=2 if quick else 4,
+        blocks=2 if quick else 3,
+        seed=0,
+        batch_size=12,
+        arch_start_epoch=1,
+        name="bench-training",
+    )
+
+    def run() -> tuple[float, list[float]]:
+        start = time.perf_counter()
+        report = api.search(request)
+        wall = time.perf_counter() - start
+        return wall, [
+            (r.train_loss, r.val_acc_loss, r.total_loss)
+            for r in report.result.history
+        ]
+
+    @contextlib.contextmanager
+    def pool_killed():
+        saved = os.environ.get("REPRO_BUFFER_POOL")
+        os.environ["REPRO_BUFFER_POOL"] = "0"
+        try:
+            yield
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_BUFFER_POOL", None)
+            else:
+                os.environ["REPRO_BUFFER_POOL"] = saved
+
+    rounds = 2  # alternate off/on twice even in quick mode: a single
+    # sample per mode is one noise spike away from a false regression.
+    walls_off, walls_on = [], []
+    history_off = history_on = None
+    for _ in range(rounds):  # alternate modes so drift cancels
+        with pool_killed():
+            wall, history_off = run()
+        walls_off.append(wall)
+        wall, history_on = run()
+        walls_on.append(wall)
+    wall_off = float(np.median(walls_off))
+    wall_on = float(np.median(walls_on))
+
+    def _same(a, b):
+        return all(
+            x == y or (np.isnan(x) and np.isnan(y))
+            for ra, rb in zip(a, b) for x, y in zip(ra, rb)
+        )
+
+    return {
+        "epochs": request.epochs,
+        "blocks": request.blocks,
+        "wall_seconds": wall_on,
+        "baseline_wall_seconds": wall_off,
+        "epoch_seconds": wall_on / request.epochs,
+        "baseline_epoch_seconds": wall_off / request.epochs,
+        "speedup": wall_off / wall_on,
+        "loss_parity": len(history_off) == len(history_on)
+        and _same(history_off, history_on),
+    }
+
+
+def run_training_benchmarks(quick: bool = False) -> dict[str, Any]:
+    """Run the training suite; returns the ``BENCH_training.json`` payload."""
+    return {
+        "meta": {
+            "quick": quick,
+            "suite": "training",
+            "dtype_policy": get_default_dtype().name,
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "conv": bench_training_conv(quick),
+        "tconv_grad": bench_tconv_grad(quick),
+        "step": bench_training_step(quick),
+        "search": bench_training_search(quick),
+    }
+
+
+def render_training_report(report: dict[str, Any]) -> str:
+    """Human-readable summary of :func:`run_training_benchmarks` output."""
+    lines = [
+        f"training bench (dtype={report['meta']['dtype_policy']}, "
+        f"numpy {report['meta']['numpy']}, quick={report['meta']['quick']})",
+        "",
+        f"{'conv case':20s} {'current':>10s} {'pre-PR':>10s} {'speedup':>8s}",
+    ]
+    for case in report["conv"]["cases"]:
+        lines.append(
+            f"{case['name']:20s} {case['current_ms']:8.2f}ms "
+            f"{case['baseline_ms']:8.2f}ms {case['speedup']:7.2f}x"
+        )
+    lines.append(
+        f"{'geomean (small set)':20s} {'':>10s} {'':>10s} "
+        f"{report['conv']['geomean_speedup_small']:7.2f}x"
+    )
+    lines.append(
+        f"{'geomean (all)':20s} {'':>10s} {'':>10s} "
+        f"{report['conv']['geomean_speedup']:7.2f}x"
+    )
+    lines += ["", f"{'tconv grad case':20s} {'phased':>10s} {'dilated':>10s} {'speedup':>8s}"]
+    for case in report["tconv_grad"]["cases"]:
+        lines.append(
+            f"{case['name']:20s} {case['phased_ms']:8.2f}ms "
+            f"{case['dilated_ms']:8.2f}ms {case['speedup']:7.2f}x"
+        )
+    step = report["step"]
+    allocs = step["allocations"]
+    lines += [
+        "",
+        f"weight step {step['weight_step_ms']:7.1f}ms "
+        f"(pool off {step['baseline_weight_step_ms']:.1f}ms, "
+        f"{step['weight_step_speedup']:.2f}x)  loss parity: {step['loss_parity']}",
+        f"arch step   {step['arch_step_ms']:7.1f}ms "
+        f"(pool off {step['baseline_arch_step_ms']:.1f}ms, "
+        f"{step['arch_step_speedup']:.2f}x)",
+        f"forward allocations: {allocs['pool_off']['forward_alloc_blocks']} -> "
+        f"{allocs['pool_on']['forward_alloc_blocks']} blocks "
+        f"({allocs['forward_alloc_reduction']:.1f}x fewer); "
+        f"step peak {allocs['pool_off']['peak_bytes'] / 2**20:.1f} -> "
+        f"{allocs['pool_on']['peak_bytes'] / 2**20:.1f} MiB",
+        f"pool: {step['pool']['hits']} hits / {step['pool']['misses']} misses, "
+        f"{step['pool']['pooled_bytes'] / 2**20:.1f} MiB parked",
+    ]
+    search = report["search"]
+    lines.append(
+        f"api.search ({search['epochs']} epochs, {search['blocks']} blocks) "
+        f"{search['epoch_seconds']:.2f}s/epoch (pool off "
+        f"{search['baseline_epoch_seconds']:.2f}s/epoch, "
+        f"{search['speedup']:.2f}x)  loss parity: {search['loss_parity']}"
     )
     return "\n".join(lines)
 

@@ -18,8 +18,11 @@ Commands
              end-to-end search vs the pre-refactor baseline);
              ``--suite runtime`` writes ``BENCH_runtime.json``
              (``Engine.run`` vs ``BuiltNetwork.forward`` across the zoo).
+``compile``  lower a model into a static execution plan and save it to disk
+             (``.npz``) for cold-start-free deployment.
 ``infer``    compile a model into the inference runtime and time
-             ``Engine.run`` (``--compare`` adds the module-forward baseline).
+             ``Engine.run`` (``--compare`` adds the module-forward baseline;
+             ``--plan`` runs a previously saved plan instead).
 ``serve``    round-trip requests through the micro-batching inference
              server and report per-request latency next to the analytic
              device-model prediction (``--once`` for CI smoke).
@@ -234,6 +237,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         report = bench.run_runtime_benchmarks(quick=args.quick)
         rendered = bench.render_runtime_report(report)
         default_output = "BENCH_runtime.json"
+    elif args.suite == "training":
+        report = bench.run_training_benchmarks(quick=args.quick)
+        rendered = bench.render_training_report(report)
+        default_output = "BENCH_training.json"
     else:
         report = bench.run_benchmarks(quick=args.quick)
         rendered = bench.render_report(report)
@@ -261,6 +268,26 @@ def _runtime_engine(args: argparse.Namespace):
     )
 
 
+def _cmd_compile(args: argparse.Namespace) -> int:
+    engine = _runtime_engine(args)
+    path = engine.plan.save(args.out)
+    layout = engine.layout  # planned (and validated) by Engine.__init__
+    payload = {
+        "plan": engine.plan.to_dict(),
+        "path": str(path),
+        "arena_elems": layout.arena_elems,
+        "arena_reuse": layout.reuse_factor,
+    }
+    if args.format == "json":
+        _emit_json(payload)
+        return 0
+    print(f"compiled {engine.plan.name}: {engine.plan.num_ops()} ops, "
+          f"{len(engine.plan.buffers)} buffers "
+          f"(arena reuse {layout.reuse_factor:.1f}x)")
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_infer(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -270,7 +297,19 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         raise ValueError(
             f"--runs and --batch must be >= 1, got {args.runs}/{args.batch}"
         )
-    engine = _runtime_engine(args)
+    if args.plan:
+        from repro.runtime import Engine, ExecutionPlan
+
+        if args.compare:
+            raise ValueError(
+                "--compare rebuilds the module forward and needs --model, "
+                "not --plan"
+            )
+        engine = Engine(ExecutionPlan.load(args.plan))
+    elif args.model:
+        engine = _runtime_engine(args)
+    else:
+        raise ValueError("infer needs either --model or --plan")
     plan = engine.plan
     rng = np.random.default_rng(args.seed or 0)
     x = rng.normal(size=(args.batch,) + plan.input_shape)
@@ -359,6 +398,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         spec, args.target, stats["latency_ms"]["p50"],
         device=args.device, bits=args.bits,
     )
+    if args.calibration_log:
+        from repro.hw.calibration import append_serving_record
+
+        append_serving_record(args.calibration_log, comparison)
     payload = {
         "plan": engine.plan.to_dict(),
         "requests": requests,
@@ -381,6 +424,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"{comparison['target']}/{comparison['device']} predicts "
               f"{predicted:.2f} ms/frame -> measured/predicted "
               f"{comparison['measured_over_predicted']:.1f}x")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.hw.calibration import fit_from_serving_log
+
+    fits = fit_from_serving_log(args.log)
+    if not fits:
+        print("no usable records (need predicted_ms and measured_ms)",
+              file=sys.stderr)
+        return 1
+    if args.format == "json":
+        _emit_json({"fits": [fit.to_dict() for fit in fits.values()]})
+        return 0
+    print(f"{'target':16s} {'device':16s} {'n':>4s} {'meas/pred':>10s} "
+          f"{'scale':>8s} {'fitted':>8s}")
+    for fit in fits.values():
+        print(f"{fit.target:16s} {fit.device:16s} {fit.records:4d} "
+              f"{fit.ratio_geomean:10.2f} {fit.current_scale:8.3f} "
+              f"{fit.fitted_scale:8.3f}")
     return 0
 
 
@@ -470,11 +533,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--quick", action="store_true",
                          help="fewer repeats and a smaller search "
                               "(CI smoke mode)")
-    p_bench.add_argument("--suite", choices=("numerics", "runtime"),
+    p_bench.add_argument("--suite", choices=("numerics", "runtime", "training"),
                          default="numerics",
                          help="numerics: conv/supernet/search vs the "
                               "pre-refactor baseline; runtime: Engine.run vs "
-                              "BuiltNetwork.forward across the zoo")
+                              "BuiltNetwork.forward across the zoo; training: "
+                              "buffer pool + phase-decomposed gradients vs "
+                              "the pre-PR training hot path")
     p_bench.add_argument("--output", default=None,
                          help="where to write the JSON report (default "
                               "BENCH_<suite>.json)")
@@ -487,8 +552,10 @@ def build_parser() -> argparse.ArgumentParser:
     # shuffle-containing zoo entries stay analytic-model-only.
     runtime_models = buildable_models()
 
-    def add_runtime_model_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--model", required=True, choices=runtime_models)
+    def add_runtime_model_args(
+        p: argparse.ArgumentParser, required: bool = True
+    ) -> None:
+        p.add_argument("--model", required=required, choices=runtime_models)
         p.add_argument("--bits", type=int, default=None,
                        help="bake this weight precision into the plan "
                             "(default: the spec's annotation, if any)")
@@ -502,10 +569,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--classes", type=int, default=None,
                        help="override the classifier width")
 
+    p_compile = sub.add_parser(
+        "compile", help="compile a model and save the execution plan to disk"
+    )
+    add_runtime_model_args(p_compile)
+    p_compile.add_argument("--out", default="plan.npz",
+                           help="destination .npz file (ExecutionPlan.save)")
+    _add_format(p_compile)
+    p_compile.set_defaults(fn=_cmd_compile)
+
     p_infer = sub.add_parser(
         "infer", help="compile a model and time Engine.run on random input"
     )
-    add_runtime_model_args(p_infer)
+    add_runtime_model_args(p_infer, required=False)
+    p_infer.add_argument("--plan", default=None,
+                         help="run a saved plan (repro compile --out) instead "
+                              "of compiling --model")
     p_infer.add_argument("--batch", type=int, default=1)
     p_infer.add_argument("--runs", type=int, default=10,
                          help="timed repetitions after one warm-up run")
@@ -534,8 +613,21 @@ def build_parser() -> argparse.ArgumentParser:
                               "comparison")
     p_serve.add_argument("--device", choices=device_names(),
                          help="override the target's default device")
+    p_serve.add_argument("--calibration-log", default=None,
+                         help="append the predicted-vs-measured record to "
+                              "this JSONL file (consumed by repro calibrate)")
     _add_format(p_serve)
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_calibrate = sub.add_parser(
+        "calibrate",
+        help="refit device calibration_scale constants from a serving log",
+    )
+    p_calibrate.add_argument("--log", required=True,
+                             help="JSONL log written by "
+                                  "repro serve --calibration-log")
+    _add_format(p_calibrate)
+    p_calibrate.set_defaults(fn=_cmd_calibrate)
     return parser
 
 
@@ -543,9 +635,10 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
-    except ValueError as err:
+    except (ValueError, OSError) as err:
         # Registry/facade lookup errors (unknown target/device/model or an
-        # incompatible combination) are user input errors, not crashes.
+        # incompatible combination) and bad file paths (--plan/--log) are
+        # user input errors, not crashes.
         print(f"error: {err}", file=sys.stderr)
         return 2
 

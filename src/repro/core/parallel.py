@@ -18,13 +18,24 @@ wraps ``concurrent.futures`` with the three properties that make that safe:
 ``workers <= 1`` short-circuits to a plain in-process loop — no executor, no
 pickling — so the serial path stays the reference semantics and the parallel
 path is a pure speed-up.
+
+Bulk context crosses the process boundary once per worker via the executor
+initializer; when it is the synthetic task's :class:`DatasetSplits`, the
+arrays additionally travel as a tempfile ``np.memmap``
+(:func:`pack_splits_memmap`) rather than a pickle, so spawn-platform workers
+map the same pages instead of each materialising a private copy.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 from collections.abc import Callable, Sequence
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Any, TypeVar
+
+import numpy as np
 
 _P = TypeVar("_P")
 _R = TypeVar("_R")
@@ -38,8 +49,76 @@ EXECUTOR_KINDS = ("process", "thread")
 _SHARED: Any = None
 
 
+@dataclass(frozen=True)
+class MemmapSplits:
+    """Picklable descriptor of :class:`~repro.data.synthetic.DatasetSplits`
+    arrays parked in one tempfile.
+
+    Shipping the descriptor instead of the arrays means a spawn-platform
+    worker pays a few hundred bytes of pickle plus a page-faulted ``mmap``
+    instead of re-pickling (and copying) the whole synthetic task per
+    worker; fork platforms get the same file-backed sharing without relying
+    on copy-on-write.  ``restore`` rebuilds a ``DatasetSplits`` whose arrays
+    are read-only ``np.memmap`` views of the file.
+    """
+
+    path: str
+    config: Any
+    #: (split, field, dtype str, shape, byte offset) per array.
+    fields: tuple[tuple[str, str, str, tuple[int, ...], int], ...]
+
+    def restore(self) -> Any:
+        """Worker-side rebuild: memmap-backed ``DatasetSplits``."""
+        from repro.data.synthetic import Dataset, DatasetSplits
+
+        arrays: dict[tuple[str, str], np.ndarray] = {}
+        for split, field, dtype, shape, offset in self.fields:
+            arrays[(split, field)] = np.memmap(
+                self.path, dtype=np.dtype(dtype), mode="r",
+                offset=offset, shape=tuple(shape),
+            )
+        return DatasetSplits(
+            train=Dataset(arrays[("train", "images")], arrays[("train", "labels")]),
+            val=Dataset(arrays[("val", "images")], arrays[("val", "labels")]),
+            test=Dataset(arrays[("test", "images")], arrays[("test", "labels")]),
+            config=self.config,
+        )
+
+
+def pack_splits_memmap(splits: Any) -> MemmapSplits:
+    """Write a ``DatasetSplits``'s arrays into one tempfile for memmapping.
+
+    The caller owns the file and should ``os.unlink`` it once the consuming
+    workers are done (on POSIX, live memmaps keep the data reachable after
+    the unlink).
+    """
+    fd, path = tempfile.mkstemp(prefix="repro-splits-", suffix=".bin")
+    fields: list[tuple[str, str, str, tuple[int, ...], int]] = []
+    offset = 0
+    with os.fdopen(fd, "wb") as handle:
+        for split in ("train", "val", "test"):
+            dataset = getattr(splits, split)
+            for field in ("images", "labels"):
+                array = np.ascontiguousarray(getattr(dataset, field))
+                fields.append(
+                    (split, field, array.dtype.str, array.shape, offset)
+                )
+                handle.write(array.tobytes())
+                offset += array.nbytes
+    return MemmapSplits(
+        path=path, config=getattr(splits, "config", None), fields=tuple(fields)
+    )
+
+
+def _is_dataset_splits(value: Any) -> bool:
+    """Cheap type probe without importing the data package eagerly."""
+    return type(value).__name__ == "DatasetSplits"
+
+
 def _install_shared(value: Any) -> None:
     global _SHARED
+    if isinstance(value, MemmapSplits):
+        value = value.restore()
     _SHARED = value
 
 
@@ -118,6 +197,16 @@ class ParallelEvaluator:
                 return [fn(p) for p in payloads]
             finally:
                 _install_shared(previous)
+        pack: MemmapSplits | None = None
+        if self.kind == "process" and _is_dataset_splits(shared):
+            # Ship the synthetic-task arrays through one tempfile np.memmap
+            # instead of pickling them into every worker (spawn platforms
+            # re-build the arrays per worker otherwise; fork platforms drop
+            # the reliance on copy-on-write).  Workers reconstruct a real
+            # DatasetSplits in _install_shared, so fn sees the same object
+            # type either way.
+            pack = pack_splits_memmap(shared)
+            shared = pack
         try:
             with self._make_executor(len(payloads), shared) as executor:
                 futures = [executor.submit(fn, p) for p in payloads]
@@ -126,6 +215,12 @@ class ParallelEvaluator:
             # Thread workers share this process's slot; restore it so one
             # map() cannot leak its context into the next.
             _install_shared(previous)
+            if pack is not None:
+                # Workers are gone (executor shut down); drop the tempfile.
+                try:
+                    os.unlink(pack.path)
+                except OSError:
+                    pass
 
 
 def evaluate_parallel(

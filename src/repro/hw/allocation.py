@@ -61,7 +61,11 @@ def waterfill_allocation(
         for i in list(unfixed):
             share = remaining * workloads[i] / total_w
             headroom = caps[i] - alloc[i]
-            take = min(share, headroom)
+            # The third bound keeps the round's total at `remaining` even
+            # when the proportional share rounds up (subnormal workloads
+            # make remaining * w / total_w exceed remaining), so the sum
+            # can never escape the budget.
+            take = min(share, headroom, remaining - distributed)
             alloc[i] += take
             distributed += take
             if alloc[i] >= caps[i] - 1e-12:

@@ -33,7 +33,9 @@ def clip_grad_norm(params: Sequence[Tensor], max_norm: float) -> float:
         scale = max_norm / (norm + 1e-12)
         for p in params:
             if p.grad is not None:
-                p.grad = p.grad * scale
+                # In place: gradient buffers may be pool-owned (see
+                # repro.autograd.pool); rebinding would orphan them.
+                p.grad *= scale
     return norm
 
 
@@ -55,7 +57,13 @@ class Optimizer:
 
 
 class SGD(Optimizer):
-    """Stochastic gradient descent with classical momentum and weight decay."""
+    """Stochastic gradient descent with classical momentum and weight decay.
+
+    Updates run fully in place (velocity, parameters, and a persistent
+    per-parameter scratch buffer for the decay/LR products), so a steady-state
+    step performs no heap allocation — same arithmetic order, and therefore
+    bit-identical results, as the allocating formulation it replaces.
+    """
 
     def __init__(
         self,
@@ -70,21 +78,31 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+        self._scratch = [np.empty_like(p.data) for p in self.params]
 
     def step(self) -> None:
-        for p, v in zip(self.params, self._velocity):
+        for p, v, tmp in zip(self.params, self._velocity, self._scratch):
             if p.grad is None:
                 continue
-            grad = p.grad
-            if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
             v *= self.momentum
-            v += grad
-            p.data = p.data - self.lr * v
+            if self.weight_decay:
+                np.multiply(p.data, self.weight_decay, out=tmp)
+                tmp += p.grad
+                v += tmp
+            else:
+                v += p.grad
+            np.multiply(v, self.lr, out=tmp)
+            p.data -= tmp
 
 
 class Adam(Optimizer):
-    """Adam with bias correction; the paper-style choice for architecture vars."""
+    """Adam with bias correction; the paper-style choice for architecture vars.
+
+    Moments and parameters update in place through two persistent scratch
+    buffers per parameter — no per-step allocation, with the exact operation
+    order (and hence bit-identical results) of the allocating formulation:
+    ``p -= (lr * m_hat) / (sqrt(v_hat) + eps)``.
+    """
 
     def __init__(
         self,
@@ -100,25 +118,40 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        self._scratch = [
+            (np.empty_like(p.data), np.empty_like(p.data)) for p in self.params
+        ]
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
-        for p, m, v in zip(self.params, self._m, self._v):
+        for p, m, v, (t1, t2) in zip(self.params, self._m, self._v, self._scratch):
             if p.grad is None:
                 continue
             grad = p.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                np.multiply(p.data, self.weight_decay, out=t1)
+                t1 += grad
+                grad = t1
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=t2)
+            m += t2
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # ((1-b2) * grad) * grad — the historical association, preserved
+            # so results match the allocating formulation bit for bit.
+            np.multiply(grad, 1.0 - self.beta2, out=t2)
+            t2 *= grad
+            v += t2
+            # t1 <- lr * m_hat, t2 <- sqrt(v_hat) + eps, update = t1 / t2.
+            np.divide(m, bias1, out=t1)
+            t1 *= self.lr
+            np.divide(v, bias2, out=t2)
+            np.sqrt(t2, out=t2)
+            t2 += self.eps
+            t1 /= t2
+            p.data -= t1
 
 
 class CosineSchedule:

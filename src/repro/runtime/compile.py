@@ -47,8 +47,9 @@ from repro.runtime.plan import BufferSpec, ExecutionPlan, PlanOp
 class _PlanBuilder:
     """Accumulates buffers and ops while the lowering walks the network."""
 
-    def __init__(self, dtype: np.dtype) -> None:
+    def __init__(self, dtype: np.dtype, fuse_residual: bool = True) -> None:
         self.dtype = np.dtype(dtype)
+        self.fuse_residual = fuse_residual
         self.buffers: list[BufferSpec] = []
         self.ops: list[PlanOp] = []
 
@@ -108,6 +109,7 @@ def _lower_conv_unit(
     in_shape: tuple[int, ...],
     bits: int | None,
     b: _PlanBuilder,
+    residual_in: int | None = None,
 ) -> tuple[int, tuple[int, ...]]:
     conv = unit.conv
     c_in, h, w = in_shape
@@ -118,6 +120,7 @@ def _lower_conv_unit(
     attrs = {
         "stride": conv.stride, "padding": conv.padding, "groups": conv.groups,
         "kernel": conv.kernel_size, "pad_buf": None, "col_buf": None,
+        "add_buf": residual_in,
     }
     if conv.padding:
         attrs["pad_buf"] = b.buffer(
@@ -132,12 +135,17 @@ def _lower_conv_unit(
         scratch.append(attrs["col_buf"])
     out_shape = (conv.out_channels, out_h, out_w)
     out_buf = b.buffer(out_shape)
+    # A fused residual is an op input like any other: the liveness pass
+    # keeps it alive through this op so the arena cannot overlap it with
+    # the output.
+    inputs = (in_buf,) if residual_in is None else (in_buf, residual_in)
     b.emit(PlanOp(
-        kind="conv", inputs=(in_buf,), output=out_buf, attrs=attrs,
+        kind="conv", inputs=inputs, output=out_buf, attrs=attrs,
         weight=weight, bias=bias, act="relu6" if unit.act else None,
         scratch=tuple(scratch),
         label=f"conv{conv.kernel_size}x{conv.kernel_size}"
-              f"{'dw' if conv.groups == c_in and conv.groups > 1 else ''}",
+              f"{'dw' if conv.groups == c_in and conv.groups > 1 else ''}"
+              f"{'+add' if residual_in is not None else ''}",
     ))
     return out_buf, out_shape
 
@@ -224,6 +232,14 @@ def _lower_unit(
     if isinstance(unit, _MBConvUnit):
         cur, shape = _lower_conv_unit(unit.expand, in_buf, in_shape, bits, b)
         cur, shape = _lower_conv_unit(unit.dw, cur, shape, bits, b)
+        if unit.use_residual and b.fuse_residual:
+            # Conv+add fusion: the projection conv accumulates the block
+            # input into its own output pass (see conv2d_into's residual
+            # argument) — one op and one buffer fewer per residual block,
+            # and the add rides the GEMM output while it is still hot.
+            return _lower_conv_unit(
+                unit.project, cur, shape, bits, b, residual_in=in_buf
+            )
         cur, shape = _lower_conv_unit(unit.project, cur, shape, bits, b)
         if unit.use_residual:
             cur = b.emit(PlanOp(
@@ -275,6 +291,7 @@ def compile_spec(
     model: ArchSpec | BuiltNetwork,
     bits: int | None = None,
     seed: int | None = None,
+    fuse_residual: bool = True,
 ) -> ExecutionPlan:
     """Lower a spec or built network into a static inference plan.
 
@@ -284,6 +301,9 @@ def compile_spec(
     :func:`~repro.nas.network.build_network` with ``seed``; passing a
     :class:`BuiltNetwork` compiles its *current* weights and BN running
     statistics, so the plan reproduces the network's eval-mode forward.
+    ``fuse_residual`` (default on) lets each MBConv residual ride the
+    projection conv's output pass instead of a separate add op — identical
+    arithmetic order, one op and one activation buffer fewer per block.
 
     Returns:
         An :class:`ExecutionPlan` ready for
@@ -311,7 +331,7 @@ def compile_spec(
     effective_bits = spec.weight_bits if bits is None else bits
     if not effective_bits or effective_bits >= 32:
         effective_bits = None  # the float path, matching fake_quantize
-    builder = _PlanBuilder(get_default_dtype())
+    builder = _PlanBuilder(get_default_dtype(), fuse_residual=fuse_residual)
     in_shape = (spec.input_channels, spec.input_size, spec.input_size)
     in_buf = builder.buffer(in_shape, role="input")
     cur, shape = in_buf, in_shape

@@ -106,6 +106,7 @@ def _exec_conv(op: PlanOp, views: dict[int, np.ndarray]) -> None:
     attrs = op.attrs
     pad_buf = attrs["pad_buf"]
     col_buf = attrs["col_buf"]
+    add_buf = attrs.get("add_buf")
     ops_nn.conv2d_into(
         views[op.inputs[0]], op.weight,
         stride=attrs["stride"], padding=attrs["padding"],
@@ -113,6 +114,7 @@ def _exec_conv(op: PlanOp, views: dict[int, np.ndarray]) -> None:
         out=views[op.output],
         pad_buf=views[pad_buf] if pad_buf is not None else None,
         cols=views[col_buf] if col_buf is not None else None,
+        residual=views[add_buf] if add_buf is not None else None,
     )
 
 

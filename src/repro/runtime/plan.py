@@ -16,7 +16,9 @@ autograd at inference time).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -29,6 +31,22 @@ OP_KINDS = (
 
 #: Fused activation tags (``None`` means linear output).
 ACTIVATIONS = (None, "relu", "relu6")
+
+
+def _attrs_to_json(attrs: dict[str, Any]) -> dict[str, Any]:
+    """Op attrs are ints/None plus the concat ``channels`` tuple."""
+    return {
+        key: list(value) if isinstance(value, tuple) else value
+        for key, value in attrs.items()
+    }
+
+
+def _attrs_from_json(attrs: dict[str, Any]) -> dict[str, Any]:
+    """Inverse of :func:`_attrs_to_json` (lists come back as tuples)."""
+    return {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in attrs.items()
+    }
 
 
 @dataclass(frozen=True)
@@ -127,6 +145,108 @@ class ExecutionPlan:
     def buffer_elems(self) -> int:
         """Sum of per-sample elements over every buffer (no arena reuse)."""
         return sum(b.elems for b in self.buffers)
+
+    def save(self, path: str | Path) -> Path:
+        """Serialise the plan to a ``.npz`` file for cold-start-free deploys.
+
+        The structural header (op list, buffer table, geometry attrs) is
+        stored as JSON; every op's baked weight/bias lands as its own array
+        entry.  :meth:`load` reconstructs an equivalent plan without
+        touching the network builder, the BN folding or the quantiser — the
+        compile cost is paid once, at build time.
+
+        Returns the path actually written: ``np.savez`` appends ``.npz``
+        when missing, and the return value reflects that.
+        """
+        path = Path(path)
+        if path.suffix != ".npz":
+            # Mirror np.savez_compressed, which silently appends the
+            # suffix — callers must get back the real filename.
+            path = Path(str(path) + ".npz")
+        header = {
+            "version": 1,
+            "name": self.name,
+            "dtype": np.dtype(self.dtype).name,
+            "bits": self.bits,
+            "input_buffer": self.input_buffer,
+            "output_buffer": self.output_buffer,
+            "metadata": self.metadata,
+            "buffers": [
+                {"id": b.id, "shape": list(b.shape), "role": b.role}
+                for b in self.buffers
+            ],
+            "ops": [
+                {
+                    "kind": op.kind,
+                    "inputs": list(op.inputs),
+                    "output": op.output,
+                    "attrs": _attrs_to_json(op.attrs),
+                    "act": op.act,
+                    "scratch": list(op.scratch),
+                    "label": op.label,
+                    "weight": op.weight is not None,
+                    "bias": op.bias is not None,
+                }
+                for op in self.ops
+            ],
+        }
+        arrays: dict[str, np.ndarray] = {
+            "header": np.frombuffer(
+                json.dumps(header).encode("utf-8"), dtype=np.uint8
+            ).copy()
+        }
+        for index, op in enumerate(self.ops):
+            if op.weight is not None:
+                arrays[f"op{index}_weight"] = op.weight
+            if op.bias is not None:
+                arrays[f"op{index}_bias"] = op.bias
+        np.savez_compressed(path, **arrays)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExecutionPlan":
+        """Reconstruct a plan written by :meth:`save`.
+
+        Raises:
+            ValueError: If the file lacks the plan header (not a saved plan)
+                or carries an unknown format version.
+        """
+        with np.load(Path(path)) as archive:
+            if "header" not in archive:
+                raise ValueError(f"{path} is not a saved ExecutionPlan")
+            header = json.loads(bytes(archive["header"]).decode("utf-8"))
+            if header.get("version") != 1:
+                raise ValueError(
+                    f"unsupported plan format version {header.get('version')!r}"
+                )
+            ops = []
+            for index, rec in enumerate(header["ops"]):
+                ops.append(PlanOp(
+                    kind=rec["kind"],
+                    inputs=tuple(rec["inputs"]),
+                    output=rec["output"],
+                    attrs=_attrs_from_json(rec["attrs"]),
+                    weight=(
+                        archive[f"op{index}_weight"] if rec["weight"] else None
+                    ),
+                    bias=archive[f"op{index}_bias"] if rec["bias"] else None,
+                    act=rec["act"],
+                    scratch=tuple(rec["scratch"]),
+                    label=rec["label"],
+                ))
+        return cls(
+            name=header["name"],
+            ops=ops,
+            buffers=[
+                BufferSpec(id=b["id"], shape=tuple(b["shape"]), role=b["role"])
+                for b in header["buffers"]
+            ],
+            input_buffer=header["input_buffer"],
+            output_buffer=header["output_buffer"],
+            dtype=np.dtype(header["dtype"]),
+            bits=header["bits"],
+            metadata=header["metadata"],
+        )
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-JSON summary of the plan (weights elided)."""

@@ -151,3 +151,76 @@ class TestRuntimeSuite:
         assert "ShuffleNet-V2" not in names
         assert "MobileNet-V2" in names
         assert len(names) == 12
+
+
+class TestTrainingSuite:
+    def test_tconv_grad_section(self):
+        section = bench.bench_tconv_grad(quick=True)
+        assert section["cases"], "no tconv cases recorded"
+        for case in section["cases"]:
+            assert case["stride"] > 1
+            assert case["max_abs_diff"] <= 1e-4
+            assert case["phased_ms"] > 0 and case["dilated_ms"] > 0
+        assert np.isfinite(section["geomean_speedup"])
+
+    def test_step_allocation_profile_counts_drop_with_pool(self):
+        searcher, splits = bench._make_searcher()
+        x, y = splits.train.images[:12], splits.train.labels[:12]
+        off = bench._step_allocation_profile(searcher, x, y, pool_on=False)
+        # Two pooled profiles: the first may still be filling buckets for
+        # freshly sampled candidate shapes; steady state is the claim.
+        bench._step_allocation_profile(searcher, x, y, pool_on=True)
+        on = bench._step_allocation_profile(searcher, x, y, pool_on=True)
+        assert off["forward_alloc_blocks"] > on["forward_alloc_blocks"] * 5
+        assert on["peak_bytes"] < off["peak_bytes"]
+
+    def test_dilated_input_grads_context_restores(self):
+        from repro.autograd import ops_nn
+
+        original = ops_nn._conv_input_grad
+        with bench._dilated_input_grads():
+            assert ops_nn._conv_input_grad is not original
+        assert ops_nn._conv_input_grad is original
+
+    def test_render_training_report(self):
+        report = {
+            "meta": {"quick": True, "suite": "training", "dtype_policy": "float32",
+                     "numpy": np.__version__, "python": "3", "machine": "x"},
+            "conv": {
+                "cases": [{"name": "r_dw3x3", "small": True, "current_ms": 1.0,
+                           "baseline_ms": 2.0, "speedup": 2.0,
+                           "shape": {}}],
+                "geomean_speedup_small": 2.0,
+                "geomean_speedup": 2.0,
+            },
+            "tconv_grad": {
+                "cases": [{"name": "dw3x3_s2", "stride": 2, "kernel": 3,
+                           "dilated_ms": 2.0, "phased_ms": 1.0, "speedup": 2.0,
+                           "max_abs_diff": 0.0}],
+                "geomean_speedup": 2.0,
+            },
+            "step": {
+                "weight_step_ms": 10.0, "arch_step_ms": 20.0,
+                "baseline_weight_step_ms": 12.0, "baseline_arch_step_ms": 22.0,
+                "weight_step_speedup": 1.2, "arch_step_speedup": 1.1,
+                "loss_parity": True,
+                "allocations": {
+                    "pool_off": {"forward_alloc_blocks": 100, "peak_bytes": 1 << 20},
+                    "pool_on": {"forward_alloc_blocks": 2, "peak_bytes": 1 << 16},
+                    "forward_alloc_reduction": 50.0,
+                },
+                "pool": {"hits": 10, "misses": 1, "releases": 11,
+                         "outstanding": 0, "pooled_bytes": 1 << 20,
+                         "free_buffers": 4},
+            },
+            "search": {"epochs": 2, "blocks": 2, "wall_seconds": 1.0,
+                       "baseline_wall_seconds": 1.2, "epoch_seconds": 0.5,
+                       "baseline_epoch_seconds": 0.6, "speedup": 1.2,
+                       "loss_parity": True},
+        }
+        text = bench.render_training_report(report)
+        assert "r_dw3x3" in text
+        assert "forward allocations: 100 -> 2" in text
+        assert "loss parity: True" in text
+        path_suite = json.dumps(report)
+        assert json.loads(path_suite)["meta"]["suite"] == "training"

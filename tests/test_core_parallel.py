@@ -118,3 +118,70 @@ class TestBaselineDeterminism:
         assert serial.best.fitness == parallel.best.fitness
         assert serial.best.spec.name == parallel.best.spec.name
         assert serial.evaluations == parallel.evaluations
+
+
+def _shared_images_sum(_payload):
+    splits = get_shared()
+    return (
+        type(splits).__name__,
+        type(splits.train.images).__name__,
+        float(splits.train.images.sum()),
+        int(splits.val.labels.sum()),
+    )
+
+
+class TestMemmapSharing:
+    def test_pack_restore_round_trip(self, tiny_splits):
+        from repro.core.parallel import pack_splits_memmap
+        import os
+
+        pack = pack_splits_memmap(tiny_splits)
+        try:
+            restored = pack.restore()
+            for split in ("train", "val", "test"):
+                original = getattr(tiny_splits, split)
+                copy = getattr(restored, split)
+                assert isinstance(copy.images, np.memmap)
+                np.testing.assert_array_equal(copy.images, original.images)
+                np.testing.assert_array_equal(copy.labels, original.labels)
+            assert restored.config == tiny_splits.config
+        finally:
+            os.unlink(pack.path)
+
+    def test_process_workers_see_memmap_backed_splits(self, tiny_splits):
+        results = ParallelEvaluator(workers=2, kind="process").map(
+            _shared_images_sum, [0, 1, 2], shared=tiny_splits
+        )
+        expected = (
+            "DatasetSplits",
+            "memmap",
+            float(tiny_splits.train.images.sum()),
+            int(tiny_splits.val.labels.sum()),
+        )
+        assert results == [expected] * 3
+
+    def test_tempfile_removed_after_map(self, tiny_splits, monkeypatch):
+        import repro.core.parallel as parallel_mod
+
+        paths = []
+        original = parallel_mod.pack_splits_memmap
+
+        def recording(splits):
+            pack = original(splits)
+            paths.append(pack.path)
+            return pack
+
+        monkeypatch.setattr(parallel_mod, "pack_splits_memmap", recording)
+        ParallelEvaluator(workers=2, kind="process").map(
+            _shared_images_sum, [0, 1], shared=tiny_splits
+        )
+        import os
+
+        assert paths and not os.path.exists(paths[0])
+
+    def test_thread_kind_skips_memmap(self, tiny_splits):
+        # Threads share memory already: the caller's object goes straight in.
+        results = ParallelEvaluator(workers=2, kind="thread").map(
+            _shared_images_sum, [0, 1], shared=tiny_splits
+        )
+        assert all(r[0] == "DatasetSplits" and r[1] == "ndarray" for r in results)

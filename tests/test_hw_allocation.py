@@ -112,3 +112,11 @@ def test_property_waterfill_monotone_in_workload(workloads, budget):
     order = np.argsort(workloads)
     allocated = np.array(alloc)[order]
     assert all(a <= b + 1e-6 for a, b in zip(allocated, allocated[1:]))
+
+
+def test_waterfill_subnormal_workload_stays_within_budget():
+    """Regression: a subnormal workload made the proportional share round up
+    past the remaining budget (hypothesis-found: [5e-324] with budget 1.75
+    allocated 2.0)."""
+    alloc = waterfill_allocation([5e-324], 1.75)
+    assert sum(alloc) <= 1.75 + 1e-6

@@ -1,0 +1,79 @@
+"""Refitting device calibration constants from serving measurements."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.model_zoo import get_model
+from repro.hw.calibration import (
+    append_serving_record,
+    apply_fit,
+    fit_calibration_scale,
+    fit_from_serving_log,
+    load_serving_log,
+)
+from repro.hw.report import predicted_vs_measured
+
+
+def _records(scale_factor: float, n: int = 3) -> list[dict]:
+    """Synthetic serving records whose measurements are the analytic
+    prediction scaled by ``scale_factor`` (plus mild jitter)."""
+    spec = get_model("ResNet18")
+    rng = np.random.default_rng(0)
+    records = []
+    for _ in range(n):
+        base = predicted_vs_measured(spec, "gpu", measured_ms=1.0, bits=32)
+        jitter = float(rng.uniform(0.98, 1.02))
+        base["measured_ms"] = base["predicted_ms"] * scale_factor * jitter
+        base["measured_over_predicted"] = base["measured_ms"] / base["predicted_ms"]
+        records.append(base)
+    return records
+
+
+def test_fit_recovers_scale_factor():
+    fits = fit_calibration_scale(_records(2.5))
+    assert len(fits) == 1
+    fit = next(iter(fits.values()))
+    assert fit.records == 3
+    assert fit.ratio_geomean == pytest.approx(2.5, rel=0.05)
+    assert fit.fitted_scale == pytest.approx(fit.current_scale * 2.5, rel=0.05)
+
+
+def test_applied_fit_closes_the_gap():
+    """Re-predicting with the refit device lands on the measurements."""
+    from repro.hw.analytic import gpu_latency_ms
+    from repro.hw.registry import get_device
+
+    records = _records(3.0)
+    fit = next(iter(fit_calibration_scale(records).values()))
+    device = apply_fit(get_device(fit.device), fit)
+    spec = get_model("ResNet18")
+    new_predicted = gpu_latency_ms(spec, device, weight_bits=32)
+    measured_gm = float(np.exp(np.mean([np.log(r["measured_ms"]) for r in records])))
+    assert new_predicted == pytest.approx(measured_gm, rel=0.05)
+
+
+def test_throughput_metric_scales_inversely():
+    """Pipelined-FPS records: predicted_ms ∝ 1/scale, so the fit divides."""
+    spec = get_model("VGG16")
+    base = predicted_vs_measured(spec, "fpga_pipelined", measured_ms=1.0, bits=16)
+    assert base["metric"] == "throughput_fps"
+    base["measured_ms"] = base["predicted_ms"] * 2.0
+    fit = next(iter(fit_calibration_scale([base]).values()))
+    assert fit.fitted_scale == pytest.approx(fit.current_scale / 2.0, rel=1e-6)
+
+
+def test_unusable_records_are_skipped():
+    assert fit_calibration_scale([
+        {"target": "gpu", "device": "Titan RTX", "predicted_ms": None,
+         "measured_ms": 1.0},
+        {"target": "gpu", "device": "Titan RTX", "measured_ms": 1.0},
+    ]) == {}
+
+
+def test_log_round_trip(tmp_path):
+    path = tmp_path / "serving.jsonl"
+    for record in _records(1.5, n=2):
+        append_serving_record(path, record)
+    assert len(load_serving_log(path)) == 2
+    fits = fit_from_serving_log(path)
+    assert next(iter(fits.values())).records == 2

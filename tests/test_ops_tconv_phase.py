@@ -1,0 +1,150 @@
+"""Phase-decomposed transposed-conv input gradients vs the dilated oracle.
+
+The phased kernel must match :func:`_conv_input_grad_dilated` (the original
+dilate-then-correlate formulation, kept as the oracle) to float64 summation-
+order tolerance (the sub-GEMMs reassociate the additions) across every
+stride/kernel/shape class — including the awkward ones: input
+rows the kernel never reaches (``(H - kH) % stride != 0``), phases with an
+empty sub-kernel (``stride > kH``), grouped and depthwise layouts, and
+non-square inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import ops_nn
+from repro.autograd.gradcheck import gradcheck
+from repro.autograd.pool import buffer_pool
+from repro.autograd.tensor import default_dtype, tensor
+
+RNG = np.random.default_rng(42)
+
+
+def _case(n, c_in, c_out, h, w, k, stride, groups):
+    out_h = (h - k) // stride + 1
+    out_w = (w - k) // stride + 1
+    grad = RNG.normal(size=(n, c_out, out_h, out_w))
+    weight = RNG.normal(size=(c_out, c_in // groups, k, k))
+    return grad, weight, (n, c_in, h, w)
+
+
+# (c_in, c_out, groups) layout classes: dense, depthwise, grouped.
+LAYOUTS = [(3, 5, 1), (4, 4, 4), (4, 6, 2)]
+
+
+@pytest.mark.parametrize("stride", [2, 3, 4])
+@pytest.mark.parametrize("kernel", [1, 2, 3, 5])
+@pytest.mark.parametrize("layout", LAYOUTS)
+def test_phased_matches_oracle(stride, kernel, layout):
+    c_in, c_out, groups = layout
+    for h in (kernel, kernel + 1, 7, 9, 12):
+        if h < kernel or (h - kernel) // stride + 1 < 1:
+            continue
+        grad, weight, x_shape = _case(2, c_in, c_out, h, h, kernel, stride, groups)
+        oracle = ops_nn._conv_input_grad_dilated(grad, weight, x_shape, stride, groups)
+        phased = ops_nn._conv_input_grad_phased(grad, weight, x_shape, stride, groups)
+        np.testing.assert_allclose(phased, oracle, rtol=1e-12, atol=1e-12)
+
+
+@pytest.mark.parametrize("stride,kernel,h", [
+    (2, 3, 8),    # (8-3) % 2 != 0: trailing row unreached
+    (3, 2, 9),    # (9-2) % 3 != 0
+    (4, 3, 10),   # (10-3) % 4 != 0
+    (3, 5, 11),   # (11-5) % 3 == 0 control case
+])
+def test_unreached_trailing_rows(stride, kernel, h):
+    grad, weight, x_shape = _case(2, 3, 4, h, h, kernel, stride, 1)
+    oracle = ops_nn._conv_input_grad_dilated(grad, weight, x_shape, stride, 1)
+    phased = ops_nn._conv_input_grad_phased(grad, weight, x_shape, stride, 1)
+    np.testing.assert_allclose(phased, oracle, rtol=1e-12, atol=1e-12)
+    # Rows past the last kernel touch must have exactly-zero gradient.
+    last_touched = (grad.shape[2] - 1) * stride + kernel
+    if last_touched < h:
+        assert np.all(phased[:, :, last_touched:, :] == 0.0)
+
+
+@pytest.mark.parametrize("stride,kernel", [(3, 2), (4, 3), (4, 2), (5, 3)])
+def test_empty_phases_stay_zero(stride, kernel):
+    """stride > kernel: some input phases are never touched by any tap."""
+    h = 2 * stride + kernel
+    grad, weight, x_shape = _case(2, 3, 4, h, h, kernel, stride, 1)
+    oracle = ops_nn._conv_input_grad_dilated(grad, weight, x_shape, stride, 1)
+    phased = ops_nn._conv_input_grad_phased(grad, weight, x_shape, stride, 1)
+    np.testing.assert_allclose(phased, oracle, rtol=1e-12, atol=1e-12)
+    # At least one phase has an empty sub-kernel; its rows are zero.
+    empty = [p for p in range(stride)
+             if len(range((kernel - 1 - p) % stride, kernel, stride)) == 0]
+    assert empty, "case selection should produce an empty phase"
+    for p in empty:
+        assert np.all(phased[:, :, p::stride, :] == 0.0)
+
+
+def test_non_square_input():
+    grad, weight, x_shape = _case(3, 4, 6, 11, 8, 3, 2, 2)
+    oracle = ops_nn._conv_input_grad_dilated(grad, weight, x_shape, 2, 2)
+    phased = ops_nn._conv_input_grad_phased(grad, weight, x_shape, 2, 2)
+    np.testing.assert_allclose(phased, oracle, rtol=1e-12, atol=1e-12)
+
+
+@pytest.mark.parametrize("stride,kernel,groups", [
+    (2, 3, 1), (2, 5, 1), (3, 3, 1), (2, 3, 4), (2, 5, 4), (3, 2, 2),
+])
+def test_gradcheck_through_phased_path(monkeypatch, stride, kernel, groups):
+    """Float64 gradcheck of conv2d with the input grad forced through the
+    phase decomposition (the dispatch threshold would otherwise route these
+    deliberately small shapes to the dilated path)."""
+    monkeypatch.setattr(
+        ops_nn, "_conv_input_grad",
+        lambda grad, w, shape, s, g: ops_nn._conv_input_grad_phased(
+            grad, w, shape, s, g
+        ),
+    )
+    c_in = 4
+    c_out = 4 if groups == 4 else 6 if groups == 2 else 5
+    h = kernel + 2 * stride + 1
+    with default_dtype(np.float64):
+        x = tensor(RNG.normal(size=(2, c_in, h, h)), requires_grad=True)
+        w = tensor(
+            RNG.normal(size=(c_out, c_in // groups, kernel, kernel)),
+            requires_grad=True,
+        )
+        assert gradcheck(
+            lambda a, b: ops_nn.conv2d(a, b, stride=stride, groups=groups),
+            (x, w),
+        )
+
+
+def test_phased_under_buffer_pool_matches_oracle():
+    """Pooled scratch must not change results (canvases are zeroed)."""
+    grad, weight, x_shape = _case(2, 4, 4, 9, 9, 3, 2, 4)
+    oracle = ops_nn._conv_input_grad_dilated(grad, weight, x_shape, 2, 4)
+    with buffer_pool(True):
+        # Dirty the pool so reused buffers carry garbage if not re-zeroed.
+        x = tensor(RNG.normal(size=(2, 4, 9, 9)), requires_grad=True)
+        w = tensor(RNG.normal(size=(4, 1, 3, 3)), requires_grad=True)
+        ops_nn.conv2d(x, w, stride=2, groups=4).sum().backward()
+        x.zero_grad()
+        w.zero_grad()
+        phased = ops_nn._conv_input_grad_phased(grad, weight, x_shape, 2, 4)
+    np.testing.assert_allclose(phased, oracle, rtol=1e-12, atol=1e-12)
+
+
+def test_conv2d_stride2_end_to_end_matches_reference():
+    """Full conv fwd+bwd with stride 2 against the loop-based reference."""
+    with default_dtype(np.float64):
+        x_data = RNG.normal(size=(2, 4, 10, 10))
+        w_data = RNG.normal(size=(6, 4, 3, 3))
+        seed = RNG.normal(size=(2, 6, 5, 5))
+
+        def run(conv_fn):
+            x = tensor(x_data, requires_grad=True)
+            w = tensor(w_data, requires_grad=True)
+            out = conv_fn(x, w, stride=2, padding=1)
+            out.backward(seed)
+            return out.data.copy(), x.grad.copy(), w.grad.copy()
+
+        out_fast, gx_fast, gw_fast = run(ops_nn.conv2d)
+        out_ref, gx_ref, gw_ref = run(ops_nn._reference_conv2d)
+        np.testing.assert_allclose(out_fast, out_ref, atol=1e-10)
+        np.testing.assert_allclose(gx_fast, gx_ref, atol=1e-10)
+        np.testing.assert_allclose(gw_fast, gw_ref, atol=1e-10)

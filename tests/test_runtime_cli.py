@@ -111,3 +111,43 @@ class TestServeCommand:
         out = capsys.readouterr().out
         assert "served 3 request(s)" in out
         assert "latency p50" in out
+
+
+class TestCompileAndPlanCLI:
+    def test_compile_then_infer_plan(self, tmp_path, capsys):
+        plan_path = str(tmp_path / "plan.npz")
+        assert main(["compile", "--model", "MobileNet-V2", *SCALE,
+                     "--out", plan_path, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["path"] == plan_path
+        assert payload["plan"]["ops"] > 0
+        assert main(["infer", "--plan", plan_path, "--runs", "2",
+                     "--format", "json"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["plan"]["name"] == payload["plan"]["name"]
+        assert result["latency_ms"]["p50"] > 0
+
+    def test_infer_needs_model_or_plan(self, capsys):
+        assert main(["infer", "--runs", "1"]) == 2
+        assert "either --model or --plan" in capsys.readouterr().err
+
+    def test_infer_plan_rejects_compare(self, tmp_path, capsys):
+        plan_path = str(tmp_path / "plan.npz")
+        main(["compile", "--model", "MobileNet-V2", *SCALE, "--out", plan_path])
+        capsys.readouterr()
+        assert main(["infer", "--plan", plan_path, "--compare"]) == 2
+
+    def test_training_suite_choice(self):
+        args = build_parser().parse_args(["bench", "--suite", "training"])
+        assert args.suite == "training"
+
+    def test_calibrate_from_serve_log(self, tmp_path, capsys):
+        log = str(tmp_path / "serving.jsonl")
+        assert main(["serve", "--model", "MobileNet-V2", *SCALE, "--once",
+                     "--calibration-log", log, "--format", "json"]) == 0
+        capsys.readouterr()
+        assert main(["calibrate", "--log", log, "--format", "json"]) == 0
+        fits = json.loads(capsys.readouterr().out)["fits"]
+        assert len(fits) == 1
+        assert fits[0]["records"] == 1
+        assert fits[0]["fitted_scale"] > 0

@@ -15,7 +15,7 @@ from repro.nas.arch_spec import (
     scale_spec,
 )
 from repro.nas.network import build_network
-from repro.runtime import compile_spec
+from repro.runtime import Engine, compile_spec
 from repro.runtime.plan import ExecutionPlan
 
 
@@ -37,14 +37,37 @@ class TestCompile:
     def test_plan_structure(self):
         plan = compile_spec(_tiny_spec(), seed=0)
         assert isinstance(plan, ExecutionPlan)
-        # stem conv + 3 MBConv convs + residual add + pool + gap + linear
+        # stem conv + 3 MBConv convs (residual fused into the projection
+        # conv — no separate add op) + pool + gap + linear
         assert plan.num_ops("conv") == 4
-        assert plan.num_ops("add") == 1
+        assert plan.num_ops("add") == 0
         assert plan.num_ops("maxpool") == 1
         assert plan.num_ops("gap") == 1
         assert plan.num_ops("linear") == 1
         assert plan.input_shape == (3, 12, 12)
         assert plan.output_shape == (4,)
+        fused = [op for op in plan.ops if op.attrs.get("add_buf") is not None]
+        assert len(fused) == 1
+        # The residual buffer is an op input, so liveness keeps it alive.
+        assert fused[0].attrs["add_buf"] in fused[0].inputs
+
+    def test_plan_structure_unfused(self):
+        plan = compile_spec(_tiny_spec(), seed=0, fuse_residual=False)
+        assert plan.num_ops("conv") == 4
+        assert plan.num_ops("add") == 1
+        assert all(op.attrs.get("add_buf") is None for op in plan.ops)
+
+    def test_residual_fusion_parity(self):
+        """Fused and unfused plans agree to float accumulation exactness."""
+        rng = np.random.default_rng(5)
+        net = build_network(_tiny_spec(), seed=1)
+        for _ in range(2):
+            net(Tensor(rng.normal(size=(4, 3, 12, 12))))
+        net.eval()
+        fused = Engine(compile_spec(net))
+        unfused = Engine(compile_spec(net, fuse_residual=False))
+        x = rng.normal(size=(4, 3, 12, 12))
+        np.testing.assert_array_equal(fused.run(x), unfused.run(x))
 
     def test_accepts_built_network(self):
         net = build_network(_tiny_spec(), seed=3)

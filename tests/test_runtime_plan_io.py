@@ -1,0 +1,85 @@
+"""ExecutionPlan save/load round-trips (cold-start-free deployment)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.baselines.model_zoo import get_model
+from repro.nas.arch_spec import scale_spec
+from repro.nas.network import build_network
+from repro.runtime import Engine, ExecutionPlan, compile_spec
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    spec = scale_spec(
+        get_model("MobileNet-V2"), width_mult=0.1, input_size=16, num_classes=4
+    )
+    net = build_network(spec, seed=0)
+    rng = np.random.default_rng(0)
+    for _ in range(2):  # non-trivial BN running stats
+        net(Tensor(rng.normal(size=(4, 3, 16, 16))))
+    net.eval()
+    return compile_spec(net)
+
+
+def test_round_trip_structure(compiled, tmp_path):
+    path = compiled.save(tmp_path / "plan.npz")
+    loaded = ExecutionPlan.load(path)
+    assert loaded.name == compiled.name
+    assert loaded.dtype == compiled.dtype
+    assert loaded.bits == compiled.bits
+    assert loaded.input_buffer == compiled.input_buffer
+    assert loaded.output_buffer == compiled.output_buffer
+    assert len(loaded.ops) == len(compiled.ops)
+    assert len(loaded.buffers) == len(compiled.buffers)
+    for a, b in zip(loaded.ops, compiled.ops):
+        assert (a.kind, a.inputs, a.output, a.act, a.scratch) == (
+            b.kind, b.inputs, b.output, b.act, b.scratch
+        )
+        assert a.attrs == b.attrs
+        if b.weight is None:
+            assert a.weight is None
+        else:
+            np.testing.assert_array_equal(a.weight, b.weight)
+            assert a.weight.dtype == b.weight.dtype
+
+
+def test_round_trip_execution_parity(compiled, tmp_path):
+    path = compiled.save(tmp_path / "plan.npz")
+    loaded = ExecutionPlan.load(path)
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(3,) + compiled.input_shape)
+    np.testing.assert_array_equal(Engine(loaded).run(x), Engine(compiled).run(x))
+
+
+def test_concat_attrs_survive(tmp_path):
+    """Tuple-valued attrs (concat channels) round-trip as tuples."""
+    spec = scale_spec(
+        get_model("GoogleNet"), width_mult=0.25, input_size=32, num_classes=4
+    )
+    plan = compile_spec(spec, seed=0)
+    if plan.num_ops("concat") == 0:
+        pytest.skip("model lowers without concat ops")
+    loaded = ExecutionPlan.load(plan.save(tmp_path / "plan.npz"))
+    rng = np.random.default_rng(2)
+    for op in loaded.ops:
+        if op.kind == "concat":
+            assert isinstance(op.attrs["channels"], tuple)
+    x = rng.normal(size=(2,) + plan.input_shape)
+    np.testing.assert_array_equal(Engine(loaded).run(x), Engine(plan).run(x))
+
+
+def test_load_rejects_foreign_npz(tmp_path):
+    path = tmp_path / "not_a_plan.npz"
+    np.savez(path, data=np.zeros(4))
+    with pytest.raises(ValueError, match="not a saved ExecutionPlan"):
+        ExecutionPlan.load(path)
+
+
+def test_save_appends_npz_suffix_and_returns_real_path(compiled, tmp_path):
+    """Regression: np.savez appends .npz; save must report the real file."""
+    path = compiled.save(tmp_path / "myplan")
+    assert path.name == "myplan.npz"
+    assert path.exists()
+    assert ExecutionPlan.load(path).name == compiled.name

@@ -103,6 +103,27 @@ def collect_missing() -> list[str]:
         if inspect.isclass(obj):
             missing.extend(_missing_in_class(obj, label))
 
+    # Training-hot-path surface: the autograd buffer pool and the serving-log
+    # calibration refit.
+    from repro.autograd import pool as autograd_pool
+    from repro.hw import calibration
+
+    extra_names = (
+        (autograd_pool, ("BufferPool", "buffer_pool", "get_pool")),
+        (calibration, (
+            "CalibrationFit", "fit_calibration_scale", "fit_from_serving_log",
+            "append_serving_record", "load_serving_log", "apply_fit",
+        )),
+    )
+    for module, names in extra_names:
+        for name in names:
+            obj = getattr(module, name)
+            label = f"{module.__name__}.{name}"
+            if not _has_doc(obj):
+                missing.append(label)
+            if inspect.isclass(obj):
+                missing.extend(_missing_in_class(obj, label))
+
     return sorted(set(missing))
 
 
