@@ -72,6 +72,7 @@ __all__ = [
     "estimate",
     "search",
     "search_many",
+    "serve_fleet",
     "serve_plan",
     "targets",
     "zoo",
@@ -361,6 +362,9 @@ class SearchReport:
     seed: int = 0
     #: Path of the checkpoint the run restarted from, or ``None``.
     resumed_from: str | None = None
+    #: True when :func:`search_many` killed this run at the probe stage as
+    #: dominated — the report then covers only the probe epochs.
+    early_stopped: bool = False
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-JSON form (what ``repro search --format json`` prints)."""
@@ -373,6 +377,7 @@ class SearchReport:
             "train_loss_drop": self.train_loss_drop,
             "final_theta_perplexity": self.final_theta_perplexity,
             "resumed_from": self.resumed_from,
+            "early_stopped": self.early_stopped,
             "search": self.result.to_dict(),
             "retrain": self.retrain.to_dict() if self.retrain else None,
         }
@@ -534,6 +539,8 @@ def search_many(
     objective: str = "total_loss",
     checkpoint_dir: str | None = None,
     cache_dir: str | None = None,
+    early_stop_after: int | None = None,
+    early_stop_keep: int = 1,
     **kwargs: Any,
 ) -> MultiSearchResult:
     """Batched multi-seed co-search sharing one configuration.
@@ -554,6 +561,17 @@ def search_many(
     again, so only new seeds cost compute.  Cached seeds are listed in the
     result's ``cached_seeds``.
 
+    With ``early_stop_after`` set, the batch runs in two stages: every seed
+    is first *probed* for that many epochs, then only the ``early_stop_keep``
+    best probes (by ``objective``) are resumed from their probe checkpoints
+    to the full epoch count — clearly dominated seeds are killed early.
+    Because the Gumbel temperature anneal depends only on the epoch index
+    and checkpoint resume is bit-identical, a survivor's final report is
+    exactly what an un-probed full run of that seed would have produced.
+    Dominated seeds keep their probe-stage reports, flagged
+    ``early_stopped=True``, and are listed in ``early_stopped_seeds``; they
+    are never selected as ``best``.
+
     Args:
         seeds: Iterable of integer seeds, one search per entry (duplicates
             are rejected — they would collide on checkpoint directories).
@@ -563,6 +581,12 @@ def search_many(
         checkpoint_dir: Parent directory for per-seed checkpoint subdirs.
         cache_dir: Cross-run result cache directory; completed seeds are
             skipped on re-run when the shared configuration is unchanged.
+        early_stop_after: Probe-stage epoch count; ``None`` disables early
+            stopping.  Incompatible with ``cache_dir`` and ``resume`` (a
+            probe report must never be cached or resumed as if it were a
+            full run).
+        early_stop_keep: How many probe-stage leaders survive to the full
+            epoch count (the rest are early-stopped).
         **kwargs: Shared :class:`SearchRequest` fields (``target``,
             ``epochs``, ``blocks``, ``resume``, ...).  ``seed`` and
             ``checkpoint_dir`` are managed per run and cannot be passed here.
@@ -590,7 +614,40 @@ def search_many(
                 f"{managed!r} is managed per run by search_many; "
                 f"pass seeds=... / checkpoint_dir=... instead"
             )
+    if early_stop_after is not None:
+        if early_stop_after < 1:
+            raise ValueError(
+                f"early_stop_after must be >= 1, got {early_stop_after}"
+            )
+        if early_stop_keep < 1:
+            raise ValueError(
+                f"early_stop_keep must be >= 1, got {early_stop_keep}"
+            )
+        if cache_dir is not None:
+            raise ValueError(
+                "early_stop_after cannot be combined with cache_dir: a "
+                "probe-stage report must never be cached as a full run"
+            )
+        if kwargs.get("resume"):
+            raise ValueError(
+                "early_stop_after cannot be combined with resume=True: the "
+                "probe stage manages its own checkpoints"
+            )
+        full_epochs = int(kwargs.get("epochs", SearchRequest().epochs))
+        if early_stop_after >= full_epochs:
+            early_stop_after = None  # probing the whole run kills nothing
     start = time.perf_counter()
+    if early_stop_after is not None:
+        return _search_many_early_stop(
+            seeds,
+            workers=workers,
+            objective=objective,
+            checkpoint_dir=checkpoint_dir,
+            probe_epochs=early_stop_after,
+            keep=early_stop_keep,
+            kwargs=kwargs,
+            start=start,
+        )
     cached: dict[int, SearchReport] = {}
     digest = ""
     if cache_dir is not None:
@@ -631,6 +688,97 @@ def search_many(
         workers=workers,
         wall_seconds=wall,
         cached_seeds=sorted(cached),
+    )
+
+
+def _search_many_early_stop(
+    seeds: list[int],
+    *,
+    workers: int,
+    objective: str,
+    checkpoint_dir: str | None,
+    probe_epochs: int,
+    keep: int,
+    kwargs: dict[str, Any],
+    start: float,
+) -> MultiSearchResult:
+    """Two-stage :func:`search_many`: probe every seed, finish the leaders.
+
+    Stage 1 runs every seed for ``probe_epochs`` epochs, checkpointing each
+    epoch.  Stage 2 resumes the ``keep`` best probes (final-epoch
+    ``objective``, NaN ranks last, ties broken by seed order) from their
+    probe checkpoints to the full epoch count — bit-identical to un-probed
+    full runs, since the anneal schedule depends only on the epoch index
+    and resume is exact.  Dominated seeds keep their probe reports, flagged
+    ``early_stopped=True``.
+    """
+    import contextlib
+    import tempfile
+
+    context = (
+        contextlib.nullcontext(checkpoint_dir)
+        if checkpoint_dir is not None
+        else tempfile.TemporaryDirectory(prefix="repro-earlystop-")
+    )
+    with context as root:
+        def seed_dir(seed: int) -> str:
+            return str(Path(root) / f"seed-{seed}")
+
+        probe_kwargs = dict(kwargs)
+        probe_kwargs["epochs"] = probe_epochs
+        probe_kwargs["retrain_epochs"] = 0  # probes never retrain
+        probe_kwargs["checkpoint_every"] = 1  # snapshot at the probe end
+        probe_kwargs.pop("resume", None)
+        probe_requests = [
+            SearchRequest(seed=seed, checkpoint_dir=seed_dir(seed),
+                          **probe_kwargs)
+            for seed in seeds
+        ]
+        probes = list(
+            ParallelEvaluator(workers=workers).map(
+                _search_worker, probe_requests
+            )
+        )
+        ranked = []
+        for report in probes:
+            history = report.result.history
+            value = (
+                float(getattr(history[-1], objective))
+                if history else float("nan")
+            )
+            ranked.append(float("inf") if value != value else value)
+        order = sorted(range(len(seeds)), key=lambda i: (ranked[i], i))
+        survivor_indices = sorted(order[:keep])
+        full_kwargs = {
+            key: value for key, value in kwargs.items() if key != "resume"
+        }
+        full_requests = [
+            SearchRequest(seed=seeds[index], checkpoint_dir=seed_dir(seeds[index]),
+                          resume=True, **full_kwargs)
+            for index in survivor_indices
+        ]
+        finished = list(
+            ParallelEvaluator(workers=workers).map(
+                _search_worker, full_requests
+            )
+        )
+    by_index = dict(zip(survivor_indices, finished))
+    runs = []
+    early_stopped_seeds = []
+    for index, probe in enumerate(probes):
+        if index in by_index:
+            runs.append(by_index[index])
+        else:
+            probe.early_stopped = True
+            early_stopped_seeds.append(seeds[index])
+            runs.append(probe)
+    return MultiSearchResult.from_runs(
+        seeds=seeds,
+        runs=runs,
+        objective=objective,
+        workers=workers,
+        wall_seconds=time.perf_counter() - start,
+        early_stopped_seeds=early_stopped_seeds,
     )
 
 
@@ -782,3 +930,58 @@ def serve_plan(
         input_size=input_size, num_classes=num_classes,
     )
     return InferenceServer(engine, max_batch=max_batch, max_wait_ms=max_wait_ms)
+
+
+def serve_fleet(
+    models: dict[str, str | ArchSpec] | list[str],
+    *,
+    workers: int = 2,
+    bits: int | None = None,
+    seed: int | None = 0,
+    width_mult: float | None = None,
+    input_size: int | None = None,
+    num_classes: int | None = None,
+    max_batch: int = 8,
+    max_queue: int = 64,
+):
+    """Compile ``models`` and stand up a multi-worker serving fleet.
+
+    The production tier above :func:`serve_plan`: one
+    :class:`repro.runtime.fleet.ServingFleet` hosts every compiled plan
+    behind ``submit(model, x)`` — ``workers`` threads share each plan's
+    baked weights through a single memmap, coalesce concurrent requests
+    into per-model batches, reject on a bounded queue (``max_queue``), and
+    shed deadline-expired requests before spending compute on them.
+
+    Args:
+        models: Either a mapping of serving name to zoo name/:class:`ArchSpec`,
+            or a list of zoo names (each served under its own name).
+        workers: Worker-thread count.
+        bits, seed, width_mult, input_size, num_classes: Compilation knobs,
+            applied to every model (as in :func:`compile_model`).
+        max_batch: Largest coalesced batch per worker pull.
+        max_queue: Per-model admission bound (then ``QueueFull``).
+
+    Use as a context manager so the workers are torn down::
+
+        with api.serve_fleet(["EDD-CNN", "MobileNet-V2"], workers=4,
+                             width_mult=0.1, input_size=16) as fleet:
+            logits = fleet.infer("EDD-CNN", x)
+            print(fleet.stats()["fleet"])
+    """
+    from repro.runtime import compile_spec
+    from repro.runtime.fleet import ServingFleet
+
+    named = models if isinstance(models, dict) else {name: name for name in models}
+    if not named:
+        raise ValueError("serve_fleet needs at least one model")
+    plans = {
+        name: compile_spec(
+            _runtime_spec(model, width_mult, input_size, num_classes),
+            bits=bits, seed=seed,
+        )
+        for name, model in named.items()
+    }
+    return ServingFleet(
+        plans, workers=workers, max_batch=max_batch, max_queue=max_queue
+    )

@@ -17,7 +17,10 @@ Commands
              ``BENCH_numerics.json`` (conv fwd+bwd, supernet step,
              end-to-end search vs the pre-refactor baseline);
              ``--suite runtime`` writes ``BENCH_runtime.json``
-             (``Engine.run`` vs ``BuiltNetwork.forward`` across the zoo).
+             (``Engine.run`` vs ``BuiltNetwork.forward`` across the zoo);
+             ``--suite serving`` writes ``BENCH_serving.json`` (traffic
+             replay against the fleet: throughput and tail latency vs
+             worker count).
 ``compile``  lower a model into a static execution plan and save it to disk
              (``.npz``) for cold-start-free deployment.
 ``infer``    compile a model into the inference runtime and time
@@ -26,6 +29,9 @@ Commands
 ``serve``    round-trip requests through the micro-batching inference
              server and report per-request latency next to the analytic
              device-model prediction (``--once`` for CI smoke).
+             ``--models a,b --workers N`` serves several models from one
+             multi-worker :class:`~repro.runtime.fleet.ServingFleet`
+             (shared baked weights, admission control, fleet stats).
 
 ``tables``, ``zoo``, ``explore``, ``search``, ``bench``, ``infer`` and
 ``serve`` accept ``--format json`` for machine-readable output (the
@@ -188,6 +194,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
             objective=args.objective,
             checkpoint_dir=args.checkpoint_dir,
             cache_dir=args.cache_dir,
+            early_stop_after=args.early_stop_after,
+            early_stop_keep=args.early_stop_keep,
             **shared,
         )
         if args.format == "json":
@@ -199,8 +207,10 @@ def _cmd_search(args: argparse.Namespace) -> int:
         for seed, run, value in zip(multi.seeds, multi.runs, values):
             marker = " <- best" if run is multi.best else ""
             cached = " (cached)" if seed in multi.cached_seeds else ""
+            stopped = (" (early-stopped)"
+                       if seed in multi.early_stopped_seeds else "")
             print(f"{seed:6d} {run.spec_name:24s} {str(run.converged):>9s} "
-                  f"{value:14.4f}{marker}{cached}")
+                  f"{value:14.4f}{marker}{cached}{stopped}")
         print(f"\nbest seed {multi.best_seed} "
               f"({multi.workers} worker(s), {multi.wall_seconds:.1f}s)\n")
         print(render_architecture(multi.best.result.spec))
@@ -237,6 +247,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         report = bench.run_runtime_benchmarks(quick=args.quick)
         rendered = bench.render_runtime_report(report)
         default_output = "BENCH_runtime.json"
+    elif args.suite == "serving":
+        report = bench.run_serving_benchmarks(quick=args.quick)
+        rendered = bench.render_serving_report(report)
+        default_output = "BENCH_serving.json"
     elif args.suite == "training":
         report = bench.run_training_benchmarks(quick=args.quick)
         rendered = bench.render_training_report(report)
@@ -378,9 +392,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.hw.report import predicted_vs_measured
     from repro.runtime import InferenceServer
 
+    if args.models and args.model:
+        raise ValueError("pass either --model or --models, not both")
+    if not args.models and not args.model:
+        raise ValueError("pass --model NAME or --models a,b,c")
     requests = 1 if args.once else args.requests
     if requests < 1:
         raise ValueError(f"--requests must be >= 1, got {requests}")
+    if args.models:
+        return _serve_fleet(args, requests)
     engine = _runtime_engine(args)
     rng = np.random.default_rng(args.seed or 0)
     with InferenceServer(
@@ -424,6 +444,82 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"{comparison['target']}/{comparison['device']} predicts "
               f"{predicted:.2f} ms/frame -> measured/predicted "
               f"{comparison['measured_over_predicted']:.1f}x")
+    return 0
+
+
+def _serve_fleet(args: argparse.Namespace, requests: int) -> int:
+    """``repro serve --models a,b --workers N``: the multi-tenant fleet path."""
+    import numpy as np
+
+    from repro import api
+    from repro.hw.report import predicted_vs_measured
+
+    names = [name.strip() for name in args.models.split(",") if name.strip()]
+    if not names:
+        raise ValueError("--models needs at least one model name")
+    rng = np.random.default_rng(args.seed or 0)
+    with api.serve_fleet(
+        names,
+        workers=args.workers,
+        bits=args.bits,
+        seed=args.seed,
+        width_mult=args.width,
+        input_size=args.input_size,
+        num_classes=args.classes,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+    ) as fleet:
+        handles = []
+        for name in names:
+            spec = api._runtime_spec(name, args.width, args.input_size,
+                                     args.classes)
+            shape = (spec.input_channels, spec.input_size, spec.input_size)
+            handles += [
+                fleet.submit(name, rng.normal(size=shape))
+                for _ in range(requests)
+            ]
+        for handle in handles:
+            handle.result(timeout=60.0)
+        stats = fleet.stats()
+    comparisons = {}
+    for name in names:
+        spec = api._runtime_spec(name, args.width, args.input_size,
+                                 args.classes)
+        comparison = predicted_vs_measured(
+            spec, args.target, stats["models"][name]["latency_ms"]["p50"],
+            device=args.device, bits=args.bits,
+        )
+        comparisons[name] = comparison
+        if args.calibration_log:
+            from repro.hw.calibration import append_serving_record
+
+            append_serving_record(args.calibration_log, comparison)
+    payload = {
+        "models": names,
+        "workers": args.workers,
+        "requests_per_model": requests,
+        "stats": stats,
+        "predicted_vs_measured": comparisons,
+    }
+    if args.format == "json":
+        _emit_json(payload)
+        return 0
+    fleet_block = stats["fleet"]
+    print(f"fleet served {fleet_block['completed']} request(s) across "
+          f"{len(names)} model(s) on {args.workers} worker(s)")
+    for name in names:
+        block = stats["models"][name]
+        lat = block["latency_ms"]
+        line = (f"  {name}: p50 {lat['p50']:.2f} ms, p95 {lat['p95']:.2f} ms, "
+                f"p99 {lat['p99']:.2f} ms (mean batch {block['mean_batch']:.1f})")
+        predicted = comparisons[name]["predicted_ms"]
+        if predicted:
+            line += (f"; predicted {predicted:.2f} ms -> "
+                     f"{comparisons[name]['measured_over_predicted']:.1f}x")
+        print(line)
+    shared = stats["weights"]["shared_bytes"]
+    print(f"weights: {shared / 1024:.0f} KiB mapped once "
+          f"(vs {stats['weights']['unshared_bytes'] / 1024:.0f} KiB unshared)")
     return 0
 
 
@@ -524,6 +620,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="restart from the newest checkpoint in "
                                "--checkpoint-dir (bit-identical to an "
                                "uninterrupted run)")
+    p_search.add_argument("--early-stop-after", type=int, default=None,
+                          metavar="E",
+                          help="with --seeds: probe every seed for E epochs, "
+                               "then resume only the --early-stop-keep best "
+                               "to the full --epochs (dominated seeds are "
+                               "killed early)")
+    p_search.add_argument("--early-stop-keep", type=int, default=1,
+                          metavar="K",
+                          help="probe-stage survivors (default 1)")
     _add_format(p_search)
     p_search.set_defaults(fn=_cmd_search)
 
@@ -533,7 +638,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--quick", action="store_true",
                          help="fewer repeats and a smaller search "
                               "(CI smoke mode)")
-    p_bench.add_argument("--suite", choices=("numerics", "runtime", "training"),
+    p_bench.add_argument("--suite",
+                         choices=("numerics", "runtime", "serving", "training"),
                          default="numerics",
                          help="numerics: conv/supernet/search vs the "
                               "pre-refactor baseline; runtime: Engine.run vs "
@@ -597,9 +703,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve = sub.add_parser(
         "serve", help="serve a compiled model through the micro-batching queue"
     )
-    add_runtime_model_args(p_serve)
+    add_runtime_model_args(p_serve, required=False)
+    p_serve.add_argument("--models", default=None,
+                         help="comma-separated model names: serve them all "
+                              "from one multi-worker fleet (instead of "
+                              "--model)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="fleet worker-thread count (with --models)")
+    p_serve.add_argument("--max-queue", type=int, default=64,
+                         help="per-model admission bound before QueueFull "
+                              "(with --models)")
     p_serve.add_argument("--requests", type=int, default=8,
-                         help="number of random requests to round-trip")
+                         help="number of random requests to round-trip "
+                              "(per model with --models)")
     p_serve.add_argument("--once", action="store_true",
                          help="round-trip a single request and exit "
                               "(CI smoke mode)")

@@ -94,6 +94,10 @@ class MultiSearchResult:
         cached_seeds: Seeds whose reports were loaded from a cross-run
             result cache instead of being searched (see
             :func:`repro.api.search_many`'s ``cache_dir``).
+        early_stopped_seeds: Seeds whose runs were killed at the probe stage
+            as dominated (see :func:`repro.api.search_many`'s
+            ``early_stop_after``); their reports cover only the probe epochs
+            and are never selected as ``best``.
     """
 
     seeds: list[int]
@@ -103,6 +107,7 @@ class MultiSearchResult:
     workers: int = 1
     wall_seconds: float = 0.0
     cached_seeds: list[int] = field(default_factory=list)
+    early_stopped_seeds: list[int] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if len(self.seeds) != len(self.runs):
@@ -123,14 +128,18 @@ class MultiSearchResult:
         workers: int = 1,
         wall_seconds: float = 0.0,
         cached_seeds: list[int] | tuple[int, ...] = (),
+        early_stopped_seeds: list[int] | tuple[int, ...] = (),
     ) -> "MultiSearchResult":
         """Build the result with the canonical NaN-aware best selection.
 
         The winning run minimises the final-epoch ``objective``; runs whose
         objective is NaN (e.g. ``total_loss`` before the arch phase starts)
-        or whose history is empty can never beat a real value.  This is the
-        single selection rule — :func:`repro.api.search_many` and any custom
-        driver construct through here so ``best_index`` always agrees with
+        or whose history is empty can never beat a real value, and neither
+        can runs whose seed is in ``early_stopped_seeds`` (their histories
+        cover only the probe epochs — comparing them against full runs would
+        be apples-to-oranges).  This is the single selection rule —
+        :func:`repro.api.search_many` and any custom driver construct
+        through here so ``best_index`` always agrees with
         :meth:`objective_values`.
 
         Raises:
@@ -141,16 +150,20 @@ class MultiSearchResult:
             raise ValueError(
                 f"unknown objective {objective!r}, known: {MULTI_SEARCH_OBJECTIVES}"
             )
+        dominated = set(early_stopped_seeds)
         ranked = []
-        for run in runs:
+        for seed, run in zip(seeds, runs):
             history = run.result.history
             value = float(getattr(history[-1], objective)) if history else float("nan")
-            ranked.append(float("inf") if value != value else value)
+            if seed in dominated or value != value:
+                value = float("inf")
+            ranked.append(value)
         best_index = min(range(len(runs)), key=ranked.__getitem__) if runs else 0
         return cls(
             seeds=seeds, runs=runs, objective=objective,
             best_index=best_index, workers=workers, wall_seconds=wall_seconds,
             cached_seeds=list(cached_seeds),
+            early_stopped_seeds=sorted(dominated),
         )
 
     @property
@@ -182,6 +195,7 @@ class MultiSearchResult:
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
             "cached_seeds": list(self.cached_seeds),
+            "early_stopped_seeds": list(self.early_stopped_seeds),
             "runs": [run.to_dict() for run in self.runs],
             "aggregate": {
                 "objective": self.objective,

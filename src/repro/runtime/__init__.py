@@ -10,14 +10,17 @@ turns it into something that *runs fast* —
   preallocated arena with buffer reuse (:class:`ArenaLayout`);
 * :class:`Engine` executes the plan autograd-free with out-buffer kernels;
 * :class:`InferenceServer` / :class:`BatchingQueue` serve it with
-  micro-batching and per-request latency stats.
+  micro-batching and per-request latency stats;
+* :class:`ServingFleet` (:mod:`repro.runtime.fleet`) scales that into a
+  multi-worker, multi-tenant serving tier with admission control.
 
-See ``docs/runtime.md`` for the full walkthrough.
+See ``docs/runtime.md`` and ``docs/serving.md`` for the full walkthrough.
 """
 
 from repro.runtime.arena import ArenaLayout, LiveRange, live_ranges, plan_arena
 from repro.runtime.compile import compile_spec
 from repro.runtime.engine import Engine
+from repro.runtime.fleet import ServingFleet
 from repro.runtime.plan import BufferSpec, ExecutionPlan, PlanOp
 from repro.runtime.serve import BatchingQueue, InferenceHandle, InferenceServer
 
@@ -31,6 +34,7 @@ __all__ = [
     "InferenceServer",
     "LiveRange",
     "PlanOp",
+    "ServingFleet",
     "compile_spec",
     "live_ranges",
     "plan_arena",

@@ -47,9 +47,15 @@ from repro.runtime.plan import BufferSpec, ExecutionPlan, PlanOp
 class _PlanBuilder:
     """Accumulates buffers and ops while the lowering walks the network."""
 
-    def __init__(self, dtype: np.dtype, fuse_residual: bool = True) -> None:
+    def __init__(
+        self,
+        dtype: np.dtype,
+        fuse_residual: bool = True,
+        fuse_pool: bool = True,
+    ) -> None:
         self.dtype = np.dtype(dtype)
         self.fuse_residual = fuse_residual
+        self.fuse_pool = fuse_pool
         self.buffers: list[BufferSpec] = []
         self.ops: list[PlanOp] = []
 
@@ -186,6 +192,57 @@ def _lower_pool_unit(
     return out_buf, out_shape
 
 
+def _poolable_into_conv(pool: _PoolUnit, unit) -> bool:
+    """True when ``avgpool(k) -> conv1x1`` can fuse into one strided conv.
+
+    Average pooling is linear, so a following dense 1x1 convolution absorbs
+    it exactly: a kernel-``k`` stride-``k`` conv whose weight is the 1x1
+    weight tiled over the window and divided by ``k**2`` computes the same
+    map in a single im2col GEMM — no pooled intermediate, one op fewer.
+    The builder's avg forward ignores stride/padding (window == stride,
+    no padding), so the window geometry is fully described by ``kernel``.
+    """
+    return (
+        pool.mode == "avg"
+        and isinstance(unit, _ConvUnit)
+        and unit.conv.kernel_size == 1
+        and unit.conv.stride == 1
+        and unit.conv.padding == 0
+        and unit.conv.groups == 1
+    )
+
+
+def _lower_avgpool_conv_fused(
+    pool: _PoolUnit,
+    unit: _ConvUnit,
+    in_buf: int,
+    in_shape: tuple[int, ...],
+    bits: int | None,
+    b: _PlanBuilder,
+) -> tuple[int, tuple[int, ...]]:
+    conv = unit.conv
+    c_in, h, w = in_shape
+    k = pool.kernel
+    if h % k or w % k:
+        raise ValueError(f"avg pool kernel {k} does not divide {h}x{w}")
+    weight_1x1, bias = _fold_conv_bn(conv, unit.bn, bits, b.dtype)
+    weight = (
+        np.tile(weight_1x1.astype(np.float64), (1, 1, k, k)) / (k * k)
+    ).astype(b.dtype)
+    out_h, out_w = h // k, w // k
+    col_buf = b.buffer((c_in, k, k, out_h, out_w), role="scratch")
+    out_shape = (conv.out_channels, out_h, out_w)
+    out_buf = b.buffer(out_shape)
+    b.emit(PlanOp(
+        kind="conv", inputs=(in_buf,), output=out_buf,
+        attrs={"stride": k, "padding": 0, "groups": 1, "kernel": k,
+               "pad_buf": None, "col_buf": col_buf, "add_buf": None},
+        weight=weight, bias=bias, act="relu6" if unit.act else None,
+        scratch=(col_buf,), label=f"avgpool{k}+conv1x1",
+    ))
+    return out_buf, out_shape
+
+
 def _lower_fc_unit(
     unit: _FCUnit,
     in_buf: int,
@@ -292,6 +349,7 @@ def compile_spec(
     bits: int | None = None,
     seed: int | None = None,
     fuse_residual: bool = True,
+    fuse_pool: bool = True,
 ) -> ExecutionPlan:
     """Lower a spec or built network into a static inference plan.
 
@@ -304,6 +362,10 @@ def compile_spec(
     ``fuse_residual`` (default on) lets each MBConv residual ride the
     projection conv's output pass instead of a separate add op — identical
     arithmetic order, one op and one activation buffer fewer per block.
+    ``fuse_pool`` (default on) collapses every top-level
+    ``avgpool(k) -> conv1x1`` pair into one kernel-``k`` stride-``k`` conv
+    (the pooled mean is absorbed into the tiled weight) — same map up to
+    float summation order, one op and the pooled buffer fewer.
 
     Returns:
         An :class:`ExecutionPlan` ready for
@@ -331,13 +393,28 @@ def compile_spec(
     effective_bits = spec.weight_bits if bits is None else bits
     if not effective_bits or effective_bits >= 32:
         effective_bits = None  # the float path, matching fake_quantize
-    builder = _PlanBuilder(get_default_dtype(), fuse_residual=fuse_residual)
+    builder = _PlanBuilder(
+        get_default_dtype(), fuse_residual=fuse_residual, fuse_pool=fuse_pool
+    )
     in_shape = (spec.input_channels, spec.input_size, spec.input_size)
     in_buf = builder.buffer(in_shape, role="input")
     cur, shape = in_buf, in_shape
+    units = list(net.units)
     with no_grad():
-        for unit in net.units:
+        index = 0
+        while index < len(units):
+            unit = units[index]
+            lookahead = units[index + 1] if index + 1 < len(units) else None
+            if (builder.fuse_pool and isinstance(unit, _PoolUnit)
+                    and lookahead is not None
+                    and _poolable_into_conv(unit, lookahead)):
+                cur, shape = _lower_avgpool_conv_fused(
+                    unit, lookahead, cur, shape, effective_bits, builder
+                )
+                index += 2
+                continue
             cur, shape = _lower_unit(unit, cur, shape, effective_bits, builder)
+            index += 1
     return ExecutionPlan(
         name=spec.name,
         ops=builder.ops,

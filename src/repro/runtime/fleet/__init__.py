@@ -1,0 +1,49 @@
+"""Production serving tier: multi-worker, multi-tenant inference fleet.
+
+The fleet scales the single-model :class:`~repro.runtime.serve
+.InferenceServer` into a serving layer: N worker threads over shared
+read-only baked weights (one memmap per plan), continuous batching across
+concurrent request streams, bounded-queue admission control with deadline
+shedding, per-model routing, and a serving-metrics surface
+(``fleet.stats()``) that feeds ``repro calibrate``.
+
+Entry points: :class:`ServingFleet` directly, :func:`repro.api.serve_fleet`,
+or ``repro serve --workers N --models a,b``; ``repro bench --suite serving``
+replays :mod:`~repro.runtime.fleet.traffic` traces against it.
+"""
+
+from repro.runtime.fleet.fleet import ServingFleet
+from repro.runtime.fleet.metrics import ServingMetrics, latency_percentiles
+from repro.runtime.fleet.requests import (
+    DeadlineExceeded,
+    FleetClosed,
+    FleetHandle,
+    QueueFull,
+)
+from repro.runtime.fleet.scheduler import FleetScheduler
+from repro.runtime.fleet.traffic import (
+    TraceEvent,
+    burst_trace,
+    merge_traces,
+    poisson_trace,
+    replay,
+)
+from repro.runtime.fleet.weights import PlanWeightPack, pack_plan_memmap
+
+__all__ = [
+    "ServingFleet",
+    "FleetHandle",
+    "FleetScheduler",
+    "QueueFull",
+    "DeadlineExceeded",
+    "FleetClosed",
+    "ServingMetrics",
+    "latency_percentiles",
+    "PlanWeightPack",
+    "pack_plan_memmap",
+    "TraceEvent",
+    "poisson_trace",
+    "burst_trace",
+    "merge_traces",
+    "replay",
+]

@@ -1,0 +1,249 @@
+"""ServingFleet: N workers, shared baked weights, one multi-tenant door.
+
+The fleet is the production tier above :class:`~repro.runtime.serve
+.InferenceServer` (single model, single worker).  One fleet hosts many
+compiled plans behind ``submit(model, x)``:
+
+* each plan's baked arrays are packed once into a single memmap
+  (:func:`~repro.runtime.fleet.weights.pack_plan_memmap`) and every worker's
+  engine reads the same read-only pages — weight memory is O(1) in the
+  worker count, and spinning up a worker touches no weight bytes;
+* each worker thread owns its own :class:`~repro.runtime.engine.Engine` per
+  model — a private arena slice — so workers never contend on scratch
+  buffers; numpy kernels release the GIL, so workers overlap on multi-core
+  hosts;
+* the :class:`~repro.runtime.fleet.scheduler.FleetScheduler` provides
+  continuous batching, bounded-queue admission control, and deadline
+  shedding; every decision lands in
+  :class:`~repro.runtime.fleet.metrics.ServingMetrics`, surfaced as
+  ``fleet.stats()``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.runtime.engine import Engine
+from repro.runtime.fleet.metrics import ServingMetrics
+from repro.runtime.fleet.requests import (
+    DeadlineExceeded,
+    FleetClosed,
+    FleetHandle,
+    _FleetRequest,
+)
+from repro.runtime.fleet.scheduler import FleetScheduler
+from repro.runtime.fleet.weights import pack_plan_memmap
+from repro.runtime.plan import ExecutionPlan
+
+
+class ServingFleet:
+    """Multi-worker, multi-tenant serving frontend over compiled plans.
+
+    Args:
+        plans: Mapping of model name to compiled
+            :class:`~repro.runtime.plan.ExecutionPlan`; each becomes a
+            routing key for :meth:`submit`.
+        workers: Worker-thread count (``>= 1``).
+        max_batch: Largest coalesced batch a worker pulls per model.
+        max_queue: Per-model admission bound; submits beyond it raise
+            :class:`~repro.runtime.fleet.requests.QueueFull`.
+
+    Use as a context manager or call :meth:`close` — worker threads are
+    non-daemonic.
+    """
+
+    def __init__(
+        self,
+        plans: dict[str, ExecutionPlan],
+        workers: int = 2,
+        max_batch: int = 8,
+        max_queue: int = 64,
+    ) -> None:
+        if not plans:
+            raise ValueError("ServingFleet needs at least one plan")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.max_batch = int(max_batch)
+        self._packs = {
+            name: pack_plan_memmap(plan) for name, plan in plans.items()
+        }
+        # One memmap-backed plan per model, shared by every worker thread.
+        self._plans = {
+            name: pack.restore() for name, pack in self._packs.items()
+        }
+        for pack in self._packs.values():
+            pack.unlink()  # pages stay reachable through the live memmaps
+        self._scheduler = FleetScheduler(max_queue=max_queue, max_batch=max_batch)
+        for name in plans:
+            self._scheduler.add_model(name)
+        self.metrics = ServingMetrics(self.workers)
+        self._closed = False
+        self._close_lock = threading.Lock()
+        # Engines are built lazily per (worker, model): a worker allocates a
+        # model's arena only once it actually serves that model's traffic.
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(index,),
+                name=f"fleet-worker-{index}",
+            )
+            for index in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- worker loop ---------------------------------------------------------
+    def _worker_loop(self, worker_index: int) -> None:
+        engines: dict[str, Engine] = {}
+        while True:
+            picked = self._scheduler.next_batch()
+            if picked is None:
+                return
+            model, live, shed = picked
+            start = time.perf_counter()
+            for request in shed:
+                request.fail(DeadlineExceeded(
+                    f"request for {model!r} shed after exceeding its deadline"
+                ))
+            if shed:
+                self.metrics.record_shed(model, len(shed))
+            if not live:
+                self.metrics.record_worker_busy(
+                    worker_index, time.perf_counter() - start
+                )
+                continue
+            engine = engines.get(model)
+            if engine is None:
+                engine = engines[model] = Engine(self._plans[model])
+            try:
+                batch = np.stack([request.x for request in live])
+                outputs = engine.run(batch)
+            except Exception as error:  # engine failures reach the callers
+                for request in live:
+                    request.fail(error)
+                self.metrics.record_failed(model, len(live))
+                self.metrics.record_worker_busy(
+                    worker_index, time.perf_counter() - start
+                )
+                continue
+            for row, request in enumerate(live):
+                request.complete(np.array(outputs[row]), len(live))
+            self.metrics.record_batch(
+                model,
+                [request.latency_ms for request in live],
+                worker_index,
+                time.perf_counter() - start,
+            )
+
+    # -- client API ----------------------------------------------------------
+    def submit(
+        self,
+        model: str,
+        x: np.ndarray,
+        deadline_ms: float | None = None,
+    ) -> FleetHandle:
+        """Enqueue one sample for ``model``; returns a waitable handle.
+
+        Raises:
+            ValueError: For an unregistered model name or a batched input.
+            FleetClosed: After :meth:`close`.
+            QueueFull: When ``model``'s queue is at ``max_queue`` — the
+                rejection is also counted in the metrics.
+        """
+        if model not in self._plans:
+            raise ValueError(
+                f"unknown model {model!r}; registered: "
+                f"{', '.join(sorted(self._plans))}"
+            )
+        x = np.asarray(x)
+        expected = tuple(self._plans[model].input_shape)
+        if x.shape != expected:
+            raise ValueError(
+                f"model {model!r} expects one sample of shape "
+                f"{expected}, got {x.shape}"
+            )
+        request = _FleetRequest(model, x, deadline_ms)
+        try:
+            self._scheduler.submit(request)
+        except Exception:
+            self.metrics.record_rejected(model)
+            raise
+        self.metrics.record_accepted(model)
+        return FleetHandle(request)
+
+    def infer(
+        self,
+        model: str,
+        x: np.ndarray,
+        deadline_ms: float | None = None,
+        timeout: float | None = None,
+    ) -> np.ndarray:
+        """Blocking convenience wrapper: ``submit(...).result(timeout)``."""
+        return self.submit(model, x, deadline_ms).result(timeout)
+
+    def models(self) -> list[str]:
+        """Registered model names, sorted."""
+        return sorted(self._plans)
+
+    # -- observability -------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-serialisable serving state.
+
+        Per-model and fleet-wide counters and latency percentiles from
+        :class:`~repro.runtime.fleet.metrics.ServingMetrics`, plus the
+        weight-sharing ledger: bytes of baked weights mapped once per model
+        versus what ``workers`` private copies would have cost.
+        """
+        snapshot = self.metrics.snapshot(self._scheduler.depths())
+        shared = sum(pack.nbytes for pack in self._packs.values())
+        snapshot["config"] = {
+            "workers": self.workers,
+            "max_batch": self.max_batch,
+            "max_queue": self._scheduler.max_queue,
+            "models": self.models(),
+        }
+        snapshot["weights"] = {
+            "shared_bytes": shared,
+            "unshared_bytes": shared * self.workers,
+            "per_model_bytes": {
+                name: pack.nbytes for name, pack in sorted(self._packs.items())
+            },
+        }
+        return snapshot
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self, timeout: float = 10.0) -> None:
+        """Shut down: stop admission, join workers, fail leftovers.
+
+        Requests still queued when the workers exit are failed with
+        :class:`~repro.runtime.fleet.requests.FleetClosed` — no waiter
+        hangs.  Idempotent.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._scheduler.close()
+        for thread in self._threads:
+            thread.join(timeout)
+        leftovers = self._scheduler.drain()
+        for request in leftovers:
+            request.fail(FleetClosed(
+                "fleet shut down before serving this request"
+            ))
+        if leftovers:
+            by_model: dict[str, int] = {}
+            for request in leftovers:
+                by_model[request.model] = by_model.get(request.model, 0) + 1
+            for model, count in by_model.items():
+                self.metrics.record_failed(model, count)
+
+    def __enter__(self) -> "ServingFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

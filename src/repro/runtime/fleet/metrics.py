@@ -1,0 +1,181 @@
+"""Serving metrics: per-model and fleet-wide counters behind one lock.
+
+Every admission decision and every served batch is recorded here, so
+``fleet.stats()`` can answer the operational questions a serving tier gets
+asked: how much traffic is each model taking, how much was rejected or shed,
+what are the tail latencies, how well is batching coalescing, and how busy
+are the workers.  The invariant the tests pin down::
+
+    accepted == completed + failed + shed + still-queued
+
+holds per model and fleet-wide at every quiescent point.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+import numpy as np
+
+
+def latency_percentiles(samples_ms) -> dict[str, float]:
+    """Mean/p50/p95/p99/max summary of a latency sample list (ms).
+
+    The serving-tier shape (p99 included) of
+    :func:`repro.runtime.serve.latency_summary`.
+    """
+    arr = np.asarray(list(samples_ms), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("latency_percentiles needs at least one sample")
+    return {
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+    }
+
+
+class _ModelCounters:
+    """Mutable per-model tallies (guarded by the owning metrics lock)."""
+
+    __slots__ = (
+        "accepted", "rejected", "shed", "completed", "failed",
+        "latencies_ms", "batch_sizes",
+    )
+
+    def __init__(self) -> None:
+        self.accepted = 0
+        self.rejected = 0
+        self.shed = 0
+        self.completed = 0
+        self.failed = 0
+        self.latencies_ms: list[float] = []
+        self.batch_sizes: list[int] = []
+
+    def snapshot(self, queue_depth: int) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "completed": self.completed,
+            "failed": self.failed,
+            "queue_depth": queue_depth,
+        }
+        if self.latencies_ms:
+            out["latency_ms"] = latency_percentiles(self.latencies_ms)
+        if self.batch_sizes:
+            hist: dict[str, int] = {}
+            for size in self.batch_sizes:
+                hist[str(size)] = hist.get(str(size), 0) + 1
+            out["batches"] = len(self.batch_sizes)
+            out["mean_batch"] = float(np.mean(self.batch_sizes))
+            out["batch_hist"] = hist
+        return out
+
+
+class ServingMetrics:
+    """Thread-safe counters for one fleet: admission, latency, utilisation.
+
+    Workers and the submit path record into it concurrently; ``snapshot``
+    returns a JSON-serialisable dict (per-model blocks plus a fleet-wide
+    aggregate).  Worker busy-time is reported as utilisation — busy seconds
+    over wall seconds since the fleet started.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self._lock = threading.Lock()
+        self._models: dict[str, _ModelCounters] = {}
+        self._worker_busy_s = [0.0] * workers
+        self._worker_batches = [0] * workers
+        self.started_at = time.perf_counter()
+
+    def _model(self, model: str) -> _ModelCounters:
+        counters = self._models.get(model)
+        if counters is None:
+            counters = self._models[model] = _ModelCounters()
+        return counters
+
+    # -- admission ----------------------------------------------------------
+    def record_accepted(self, model: str) -> None:
+        """One request admitted to ``model``'s queue."""
+        with self._lock:
+            self._model(model).accepted += 1
+
+    def record_rejected(self, model: str) -> None:
+        """One request rejected by admission control (queue full/closed)."""
+        with self._lock:
+            self._model(model).rejected += 1
+
+    # -- serving ------------------------------------------------------------
+    def record_shed(self, model: str, count: int = 1) -> None:
+        """``count`` queued requests shed on deadline before compute."""
+        with self._lock:
+            self._model(model).shed += count
+
+    def record_failed(self, model: str, count: int = 1) -> None:
+        """``count`` requests failed by an engine-side error."""
+        with self._lock:
+            self._model(model).failed += count
+
+    def record_batch(
+        self,
+        model: str,
+        latencies_ms: list[float],
+        worker: int,
+        busy_s: float,
+    ) -> None:
+        """One served batch: per-request latencies plus worker busy time."""
+        with self._lock:
+            counters = self._model(model)
+            counters.completed += len(latencies_ms)
+            counters.latencies_ms.extend(latencies_ms)
+            counters.batch_sizes.append(len(latencies_ms))
+            self._worker_busy_s[worker] += busy_s
+            self._worker_batches[worker] += 1
+
+    def record_worker_busy(self, worker: int, busy_s: float) -> None:
+        """Busy time that served no batch (e.g. a shed-only dequeue)."""
+        with self._lock:
+            self._worker_busy_s[worker] += busy_s
+
+    # -- reporting ----------------------------------------------------------
+    def snapshot(self, queue_depths: dict[str, int] | None = None) -> dict[str, Any]:
+        """JSON-serialisable state: per-model blocks + fleet aggregate."""
+        depths = queue_depths or {}
+        with self._lock:
+            wall_s = max(time.perf_counter() - self.started_at, 1e-9)
+            per_model = {
+                name: counters.snapshot(depths.get(name, 0))
+                for name, counters in sorted(self._models.items())
+            }
+            workers = [
+                {
+                    "busy_s": busy,
+                    "batches": batches,
+                    "utilization": busy / wall_s,
+                }
+                for busy, batches in zip(
+                    self._worker_busy_s, self._worker_batches
+                )
+            ]
+            all_latencies = [
+                lat
+                for counters in self._models.values()
+                for lat in counters.latencies_ms
+            ]
+        fleet = {
+            key: sum(block[key] for block in per_model.values())
+            for key in ("accepted", "rejected", "shed", "completed", "failed")
+        }
+        fleet["queue_depth"] = sum(depths.values())
+        if all_latencies:
+            fleet["latency_ms"] = latency_percentiles(all_latencies)
+        return {
+            "uptime_s": wall_s,
+            "fleet": fleet,
+            "models": per_model,
+            "workers": workers,
+        }

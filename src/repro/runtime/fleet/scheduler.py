@@ -1,0 +1,147 @@
+"""Continuous-batching scheduler: per-model bounded queues, global FIFO.
+
+The scheduler is the meeting point between client threads (``submit``) and
+worker threads (``next_batch``).  Its policy, in order:
+
+1. **Admission control** — each model has a bounded queue; a submit beyond
+   ``max_queue`` raises :class:`~repro.runtime.fleet.requests.QueueFull`
+   instead of growing an unbounded backlog (explicit backpressure).
+2. **Continuous batching** — a free worker immediately pulls whatever is
+   pending for one model (up to ``max_batch``), with no coalescing wait
+   window: under load, batches form naturally because requests arrive while
+   every worker is busy; a lone request on an idle fleet is served at
+   batch-1 latency.
+3. **Global FIFO across tenants** — the worker picks the model whose *head*
+   request has waited longest, so one chatty tenant cannot starve another:
+   every model's oldest request ages toward the front of the fleet-wide
+   line.
+4. **Shed on deadline** — expired requests are separated out at dequeue
+   time, *before* any compute is spent on them; the worker fails them with
+   :class:`~repro.runtime.fleet.requests.DeadlineExceeded` and serves only
+   the live remainder.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.runtime.fleet.requests import (
+    FleetClosed,
+    QueueFull,
+    _FleetRequest,
+)
+
+
+class FleetScheduler:
+    """Bounded per-model request queues plus the worker dispatch loop.
+
+    Thread-safe: client threads call :meth:`submit`, worker threads block in
+    :meth:`next_batch`, and :meth:`close`/:meth:`drain` run the shutdown
+    hand-off.  All state is guarded by one condition variable.
+    """
+
+    def __init__(self, max_queue: int = 64, max_batch: int = 8) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_queue = int(max_queue)
+        self.max_batch = int(max_batch)
+        self._cond = threading.Condition()
+        self._queues: dict[str, deque[_FleetRequest]] = {}
+        self._closed = False
+
+    def add_model(self, name: str) -> None:
+        """Register a routing key (idempotent)."""
+        with self._cond:
+            self._queues.setdefault(name, deque())
+
+    def models(self) -> list[str]:
+        """Currently registered routing keys, sorted."""
+        with self._cond:
+            return sorted(self._queues)
+
+    # -- client side --------------------------------------------------------
+    def submit(self, request: _FleetRequest) -> None:
+        """Admit one request or raise (bounded queue, closed fleet).
+
+        Raises:
+            FleetClosed: After :meth:`close`.
+            QueueFull: When the model's queue is at ``max_queue``.
+            KeyError: For an unregistered model (callers validate first and
+                raise a friendlier error).
+        """
+        with self._cond:
+            if self._closed:
+                raise FleetClosed("fleet is shut down")
+            queue = self._queues[request.model]
+            if len(queue) >= self.max_queue:
+                raise QueueFull(
+                    f"queue for model {request.model!r} is full "
+                    f"({self.max_queue} pending)"
+                )
+            queue.append(request)
+            self._cond.notify()
+
+    def depths(self) -> dict[str, int]:
+        """Pending request count per model."""
+        with self._cond:
+            return {name: len(queue) for name, queue in self._queues.items()}
+
+    # -- worker side --------------------------------------------------------
+    def next_batch(
+        self,
+    ) -> tuple[str, list[_FleetRequest], list[_FleetRequest]] | None:
+        """Block for the next per-model batch; ``None`` means shut down.
+
+        Returns ``(model, live, shed)``: up to ``max_batch`` requests popped
+        from the queue whose head has waited longest, split into still-live
+        requests and deadline-expired ones (in arrival order).  ``live`` may
+        be empty when every popped request had already expired — the caller
+        sheds and comes back.
+
+        After :meth:`close`, no further batches are handed out even if work
+        is still queued — shutdown is fail-fast, and the owner fails the
+        :meth:`drain` leftovers explicitly rather than serving a closed
+        fleet's backlog.
+        """
+        with self._cond:
+            while True:
+                if self._closed:
+                    return None
+                best: str | None = None
+                oldest = float("inf")
+                for name, queue in self._queues.items():
+                    if queue and queue[0].enqueued_at < oldest:
+                        oldest = queue[0].enqueued_at
+                        best = name
+                if best is not None:
+                    queue = self._queues[best]
+                    now = time.perf_counter()
+                    live: list[_FleetRequest] = []
+                    shed: list[_FleetRequest] = []
+                    while queue and len(live) + len(shed) < self.max_batch:
+                        request = queue.popleft()
+                        (shed if request.expired(now) else live).append(request)
+                    return best, live, shed
+                if self._closed:
+                    return None
+                self._cond.wait()
+
+    # -- shutdown -----------------------------------------------------------
+    def close(self) -> None:
+        """Stop admitting; wake every blocked worker so it can exit."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def drain(self) -> list[_FleetRequest]:
+        """Pop every still-queued request (for failing them at shutdown)."""
+        with self._cond:
+            leftovers: list[_FleetRequest] = []
+            for queue in self._queues.values():
+                leftovers.extend(queue)
+                queue.clear()
+            return leftovers

@@ -1,0 +1,136 @@
+"""Shared read-only baked weights: ship one plan's arrays via one memmap.
+
+A :class:`~repro.runtime.plan.ExecutionPlan` carries every baked
+(BN-folded, fake-quantised) weight and bias array inline.  A serving fleet
+runs many workers over the *same* plan, and the weights are strictly
+read-only at inference time — so instead of each worker holding (or, across
+processes, pickling) a private copy, :func:`pack_plan_memmap` parks all of a
+plan's arrays in one tempfile and :meth:`PlanWeightPack.restore` rebuilds an
+equivalent plan whose weights are read-only ``np.memmap`` views of that
+file.  This is the same one-file shipping trick
+:func:`repro.core.parallel.pack_splits_memmap` uses for datasets.
+
+Consequences for the fleet:
+
+* worker spin-up is cheap — a new worker builds an
+  :class:`~repro.runtime.engine.Engine` (its own arena slice) over the
+  already-mapped plan, touching no weight bytes;
+* weight memory is O(1) in the worker count — every worker's kernels read
+  the same physical pages, so fleet RSS grows only by the per-worker arenas.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.plan import ExecutionPlan, PlanOp
+
+
+@dataclass(frozen=True)
+class PlanWeightPack:
+    """Descriptor of one plan's baked arrays parked in a single tempfile.
+
+    ``fields`` records, per op, where its weight/bias live in the file.  The
+    pack owner (normally :class:`~repro.runtime.fleet.fleet.ServingFleet`)
+    should :meth:`unlink` the file once every consumer has mapped it — on
+    POSIX, live memmaps keep the pages reachable after the unlink.
+    """
+
+    path: str
+    plan: ExecutionPlan  # structural plan; ops hold no weight arrays
+    #: (op index, "weight"/"bias", dtype str, shape, byte offset) per array.
+    fields: tuple[tuple[int, str, str, tuple[int, ...], int], ...]
+    nbytes: int
+
+    def restore(self) -> ExecutionPlan:
+        """Rebuild an executable plan with read-only memmapped weights.
+
+        Every call maps the same file, so N restores (one per process, say)
+        still share one set of physical pages.  Within one process a single
+        restored plan can simply be shared across worker threads.
+        """
+        arrays: dict[tuple[int, str], np.ndarray] = {}
+        for op_index, field, dtype, shape, offset in self.fields:
+            arrays[(op_index, field)] = np.memmap(
+                self.path, dtype=np.dtype(dtype), mode="r",
+                offset=offset, shape=tuple(shape),
+            )
+        ops = []
+        for index, op in enumerate(self.plan.ops):
+            ops.append(PlanOp(
+                kind=op.kind,
+                inputs=op.inputs,
+                output=op.output,
+                attrs=dict(op.attrs),
+                weight=arrays.get((index, "weight")),
+                bias=arrays.get((index, "bias")),
+                act=op.act,
+                scratch=op.scratch,
+                label=op.label,
+            ))
+        return ExecutionPlan(
+            name=self.plan.name,
+            ops=ops,
+            buffers=list(self.plan.buffers),
+            input_buffer=self.plan.input_buffer,
+            output_buffer=self.plan.output_buffer,
+            dtype=self.plan.dtype,
+            bits=self.plan.bits,
+            metadata=dict(self.plan.metadata),
+        )
+
+    def unlink(self) -> None:
+        """Remove the backing file (safe while memmaps are still live)."""
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+def pack_plan_memmap(plan: ExecutionPlan) -> PlanWeightPack:
+    """Write ``plan``'s baked weight/bias arrays into one tempfile.
+
+    Returns a :class:`PlanWeightPack` whose ``plan`` holds the structure
+    (ops, buffers, geometry) with the weight arrays stripped; ``restore``
+    reattaches them as read-only memmap views.
+    """
+    fd, path = tempfile.mkstemp(prefix="repro-plan-", suffix=".bin")
+    fields: list[tuple[int, str, str, tuple[int, ...], int]] = []
+    offset = 0
+    with os.fdopen(fd, "wb") as handle:
+        for index, op in enumerate(plan.ops):
+            for field in ("weight", "bias"):
+                array = getattr(op, field)
+                if array is None:
+                    continue
+                array = np.ascontiguousarray(array)
+                fields.append(
+                    (index, field, array.dtype.str, array.shape, offset)
+                )
+                handle.write(array.tobytes())
+                offset += array.nbytes
+    stripped_ops = [
+        PlanOp(
+            kind=op.kind, inputs=op.inputs, output=op.output,
+            attrs=dict(op.attrs), weight=None, bias=None, act=op.act,
+            scratch=op.scratch, label=op.label,
+        )
+        for op in plan.ops
+    ]
+    structural = ExecutionPlan(
+        name=plan.name,
+        ops=stripped_ops,
+        buffers=list(plan.buffers),
+        input_buffer=plan.input_buffer,
+        output_buffer=plan.output_buffer,
+        dtype=plan.dtype,
+        bits=plan.bits,
+        metadata=dict(plan.metadata),
+    )
+    return PlanWeightPack(
+        path=path, plan=structural, fields=tuple(fields), nbytes=offset
+    )

@@ -124,6 +124,23 @@ class BatchingQueue:
         self._closing = True
         self._queue.put(_SHUTDOWN)
 
+    def drain(self) -> list:
+        """Pop every remaining item (sentinels excluded) without blocking.
+
+        A ``put`` that raced :meth:`close` can land *behind* the shutdown
+        sentinel, where no ``get_batch`` will ever reach it.  The owner
+        calls ``drain`` after the worker has exited and fails the leftovers
+        explicitly, so no waiter hangs on a completed shutdown.
+        """
+        leftovers = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return leftovers
+            if item is not _SHUTDOWN:
+                leftovers.append(item)
+
     def get_batch(self) -> list:
         """Block for the next micro-batch (``[]`` means shut down)."""
         if self._closed:
@@ -237,9 +254,19 @@ class InferenceServer:
         }
 
     def close(self, timeout: float = 10.0) -> None:
-        """Drain the queue and stop the worker thread."""
+        """Drain the queue and stop the worker thread.
+
+        Requests that raced :meth:`close` past the shutdown sentinel are
+        failed with ``RuntimeError`` instead of leaving their futures
+        hanging.
+        """
         self.queue.close()
         self._worker.join(timeout)
+        for request in self.queue.drain():
+            request.error = RuntimeError(
+                "InferenceServer closed before serving this request"
+            )
+            request.event.set()
 
     def __enter__(self) -> "InferenceServer":
         return self

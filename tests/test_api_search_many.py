@@ -78,6 +78,74 @@ class TestSearchMany:
         }
 
 
+def _nan_aware_equal(a: float, b: float) -> bool:
+    return (a != a and b != b) or a == b
+
+
+class TestEarlyStopping:
+    def test_survivor_is_bit_identical_to_full_run(self):
+        """Probe-then-resume must reproduce the un-probed full run exactly."""
+        kwargs = dict(epochs=3, blocks=2, batch_size=8)
+        plain = api.search_many([0, 1, 2], **kwargs)
+        stopped = api.search_many(
+            [0, 1, 2], early_stop_after=2, early_stop_keep=1, **kwargs
+        )
+        assert stopped.best_seed == plain.best_seed
+        full = plain.best.result.history
+        resumed = stopped.best.result.history
+        assert len(full) == len(resumed) == 3
+        for rec_full, rec_resumed in zip(full, resumed):
+            for field in MULTI_SEARCH_OBJECTIVES:
+                assert _nan_aware_equal(
+                    float(getattr(rec_full, field)),
+                    float(getattr(rec_resumed, field)),
+                )
+        np.testing.assert_array_equal(
+            plain.best.result.theta, stopped.best.result.theta
+        )
+
+    def test_dominated_seeds_are_flagged_and_truncated(self):
+        stopped = api.search_many(
+            [0, 1, 2], epochs=3, blocks=2, batch_size=8,
+            early_stop_after=2, early_stop_keep=1,
+        )
+        assert len(stopped.early_stopped_seeds) == 2
+        for seed, run in zip(stopped.seeds, stopped.runs):
+            if seed in stopped.early_stopped_seeds:
+                assert run.early_stopped
+                assert len(run.result.history) == 2  # probe epochs only
+                assert run.retrain is None
+            else:
+                assert not run.early_stopped
+                assert len(run.result.history) == 3
+        # Dominated probes rank as +inf and can never win.
+        assert stopped.best_seed not in stopped.early_stopped_seeds
+        payload = stopped.to_dict()
+        assert payload["early_stopped_seeds"] == stopped.early_stopped_seeds
+        json.dumps(payload)
+
+    def test_probe_covering_all_epochs_disables_early_stop(self):
+        multi = api.search_many(
+            [0, 1], epochs=2, blocks=2, batch_size=8,
+            early_stop_after=2, early_stop_keep=1,
+        )
+        assert multi.early_stopped_seeds == []
+        assert all(len(run.result.history) == 2 for run in multi.runs)
+
+    def test_early_stop_validation(self):
+        kwargs = dict(epochs=3, blocks=2, batch_size=8)
+        with pytest.raises(ValueError, match="early_stop_after"):
+            api.search_many([0, 1], early_stop_after=0, **kwargs)
+        with pytest.raises(ValueError, match="early_stop_keep"):
+            api.search_many([0, 1], early_stop_after=1, early_stop_keep=0,
+                            **kwargs)
+        with pytest.raises(ValueError, match="cache_dir"):
+            api.search_many([0, 1], early_stop_after=1, cache_dir="/tmp/x",
+                            **kwargs)
+        with pytest.raises(ValueError, match="resume"):
+            api.search_many([0, 1], early_stop_after=1, resume=True, **kwargs)
+
+
 class TestMultiSearchResultValidation:
     def test_mismatched_lengths_rejected(self):
         with pytest.raises(ValueError):

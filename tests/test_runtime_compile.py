@@ -33,6 +33,21 @@ def _tiny_spec() -> ArchSpec:
     )
 
 
+def _pooly_spec() -> ArchSpec:
+    """avgpool(2) immediately followed by a dense 1x1 conv — the fusable pair."""
+    return ArchSpec(
+        "pooly",
+        [
+            StemBlock(out_ch=8, kernel=3, stride=1),
+            PoolBlock(kernel=2, stride=2, mode="avg"),
+            ConvBlock(out_ch=6, kernel=1),
+            FCBlock(out_features=4),
+        ],
+        input_size=12,
+        input_channels=3,
+    )
+
+
 class TestCompile:
     def test_plan_structure(self):
         plan = compile_spec(_tiny_spec(), seed=0)
@@ -73,6 +88,44 @@ class TestCompile:
         net = build_network(_tiny_spec(), seed=3)
         plan = compile_spec(net)
         assert plan.name == "tiny"
+
+    def test_pool_conv_fusion_collapses_pair_to_one_conv(self):
+        plan = compile_spec(_pooly_spec(), seed=0)
+        assert plan.num_ops("avgpool") == 0
+        fused = [op for op in plan.ops if op.label == "avgpool2+conv1x1"]
+        assert len(fused) == 1
+        assert fused[0].attrs["kernel"] == 2
+        assert fused[0].attrs["stride"] == 2
+        unfused = compile_spec(_pooly_spec(), seed=0, fuse_pool=False)
+        assert unfused.num_ops("avgpool") == 1
+        assert unfused.num_ops("conv") == plan.num_ops("conv")
+        assert len(unfused.ops) == len(plan.ops) + 1
+
+    def test_pool_conv_fusion_parity(self, float64_numerics):
+        """Fused avgpool+conv matches the unfused plan and the module path."""
+        rng = np.random.default_rng(9)
+        net = build_network(_pooly_spec(), seed=2)
+        for _ in range(2):
+            net(Tensor(rng.normal(size=(4, 3, 12, 12))))
+        net.eval()
+        fused = Engine(compile_spec(net))
+        unfused = Engine(compile_spec(net, fuse_pool=False))
+        x = rng.normal(size=(4, 3, 12, 12))
+        # The fused conv reorders the float summation (window and channels
+        # sum in one GEMM) — identical real-arithmetic map, so float64
+        # agreement up to rounding.
+        np.testing.assert_allclose(
+            fused.run(x), unfused.run(x), rtol=1e-12, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            fused.run(x), net(Tensor(x)).data, rtol=1e-9, atol=1e-9
+        )
+
+    def test_pool_conv_fusion_skips_max_and_nonunit_convs(self):
+        # _tiny_spec's max pool must never fuse; its op counts are pinned by
+        # test_plan_structure with fuse_pool on by default.
+        plan = compile_spec(_tiny_spec(), seed=0, fuse_pool=True)
+        assert plan.num_ops("maxpool") == 1
 
     def test_bn_folding_matches_eval_forward(self):
         """Folded conv+bias reproduces conv -> eval BN on non-trivial stats."""

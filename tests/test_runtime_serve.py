@@ -60,6 +60,27 @@ class TestBatchingQueue:
         with pytest.raises(RuntimeError, match="closed"):
             q.put("late")
 
+    def test_drain_returns_items_stranded_behind_sentinel(self):
+        # A put() racing close() can enqueue *after* the shutdown sentinel
+        # (the _closing check is not atomic with the queue insert); simulate
+        # the interleaving by inserting into the raw queue directly.
+        q = BatchingQueue(max_wait_ms=1.0)
+        q.put("served")
+        q.close()
+        q._queue.put("stranded-1")
+        q._queue.put("stranded-2")
+        assert q.get_batch() == ["served"]
+        assert q.get_batch() == []  # sentinel: worker would exit here
+        assert q.drain() == ["stranded-1", "stranded-2"]
+        assert q.drain() == []
+
+    def test_drain_skips_sentinels(self):
+        q = BatchingQueue()
+        q.put("a")
+        q.close()
+        q.close()
+        assert q.drain() == ["a"]
+
 
 class TestInferenceServer:
     def test_round_trip_matches_engine(self):
@@ -132,6 +153,20 @@ class TestInferenceServer:
         server.close()
         with pytest.raises(RuntimeError, match="closed"):
             server.submit(np.zeros((3, 16, 16)))
+
+    def test_close_fails_stranded_requests_instead_of_hanging(self):
+        # Simulate a submit that raced close() past the sentinel: its future
+        # must complete with a clean RuntimeError, not hang forever.
+        from repro.runtime.serve import _PendingRequest, InferenceHandle
+
+        server = InferenceServer(_tiny_engine())
+        server.queue.close()  # sentinel goes in first...
+        stranded = _PendingRequest(np.zeros((3, 16, 16)))
+        server.queue._queue.put(stranded)  # ...request lands behind it
+        server.close()
+        handle = InferenceHandle(stranded)
+        with pytest.raises(RuntimeError, match="closed before serving"):
+            handle.result(timeout=1.0)
 
 
 class TestServePlanFacade:

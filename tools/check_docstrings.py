@@ -14,7 +14,10 @@ docstring:
   ``device_names``, ``build_hardware_model``, ``quantization_for_target``);
 * the compiled-runtime surface (everything in ``repro.runtime.__all__``:
   ``compile_spec``, ``ExecutionPlan``, ``plan_arena``, ``Engine``,
-  ``InferenceServer``, ``BatchingQueue``, ...).
+  ``InferenceServer``, ``BatchingQueue``, ...);
+* the serving-fleet surface (everything in ``repro.runtime.fleet.__all__``:
+  ``ServingFleet``, ``FleetScheduler``, ``ServingMetrics``, the traffic
+  generators, ...).
 
 Run directly::
 
@@ -98,6 +101,16 @@ def collect_missing() -> list[str]:
     for name in runtime.__all__:
         obj = getattr(runtime, name)
         label = f"repro.runtime.{name}"
+        if not _has_doc(obj):
+            missing.append(label)
+        if inspect.isclass(obj):
+            missing.extend(_missing_in_class(obj, label))
+
+    import repro.runtime.fleet as fleet
+
+    for name in fleet.__all__:
+        obj = getattr(fleet, name)
+        label = f"repro.runtime.fleet.{name}"
         if not _has_doc(obj):
             missing.append(label)
         if inspect.isclass(obj):
