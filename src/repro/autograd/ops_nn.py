@@ -18,6 +18,9 @@ equivalence tests and the ``repro bench`` baseline measurements.
 
 from __future__ import annotations
 
+import os
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.autograd.pool import get_pool
@@ -438,6 +441,82 @@ def _im2col_conv(xp: Tensor, weight: Tensor, stride: int, groups: int,
     )
 
 
+#: Below this much tap work (``N*C*oH*oW*kH*kW`` multiply-accumulates) the
+#: direct depthwise kernel's 2*k² python-level tap operations cost more than
+#: the im2col GEMM overhead they avoid — dispatch accordingly (tests pin it
+#: to 0 to force the direct path at unit-test sizes).
+_DW_DIRECT_MIN_ELEMS = 100_000
+
+#: Environment kill-switch: ``REPRO_DW_DIRECT=0`` pins every depthwise
+#: convolution to the im2col path (mirrors ``REPRO_BATCHED_SOFT`` /
+#: ``REPRO_BUFFER_POOL``; the search bench uses it to time the pre-kernel
+#: baseline).
+DW_DIRECT_ENV = "REPRO_DW_DIRECT"
+
+
+def dw_direct_enabled() -> bool:
+    """Whether the direct depthwise kernel may be dispatched (default on)."""
+    return os.environ.get(DW_DIRECT_ENV, "1") != "0"
+
+
+def _depthwise_direct(xp: Tensor, weight: Tensor, op_name: str) -> Tensor:
+    """Direct depthwise convolution (stride 1, already-padded input).
+
+    The im2col formulation turns a depthwise stage into ``C`` batched
+    (1, k²) x (k², oH*oW) GEMMs — BLAS at its worst shape — after paying a
+    k²-fold column materialisation (and, past :data:`_COL_CHUNK_BYTES`, a
+    second one to recompute the columns in the backward).  Per-op profiling
+    of soft supernet steps at paper widths puts that ``dwconv2d`` backward
+    at ~80% of total step time.  This node instead contracts a zero-copy
+    sliding-window view directly:
+
+    * forward: ``einsum('ncijhw,cij->nchw')`` over :func:`_window_view`;
+    * weight grad: ``einsum('ncijhw,nchw->cij')`` over the same view (no
+      column matrix ever materialises, so nothing is recomputed);
+    * input grad: k² shift-accumulate taps
+      ``gx[:, :, i:i+oH, j:j+oW] += g * w[:, i, j]`` — cheaper than an
+      einsum over the padded-gradient window because the output gradient is
+      smaller than the padded input.
+
+    Measured ~2x faster than the im2col path for k in {5, 7} at search
+    widths; k == 3 and strided cases stay on im2col
+    (:func:`conv2d` dispatches only profitable shapes here).
+    """
+    x_data, w_data = xp.data, weight.data
+    n, c, _, _ = x_data.shape
+    k = w_data.shape[2]
+    win = _window_view(x_data, k, k, 1)
+    out_h, out_w = win.shape[4], win.shape[5]
+    w2 = w_data.reshape(c, k, k)
+    pool = pool_for_op(xp, weight)
+    out = (
+        pool.acquire((n, c, out_h, out_w), x_data.dtype)
+        if pool is not None
+        else np.empty((n, c, out_h, out_w), dtype=x_data.dtype)
+    )
+    np.einsum("ncijhw,cij->nchw", win, w2, out=out)
+    need_input_grad = xp.requires_grad or xp.backward_fn is not None
+
+    def backward(grad: np.ndarray):
+        grad_w = np.einsum("ncijhw,nchw->cij", win, grad).reshape(w_data.shape)
+        if not need_input_grad:
+            return None, grad_w
+        grad_x = np.zeros(x_data.shape, dtype=grad.dtype)
+        bpool = get_pool()
+        scratch = bpool.acquire((n, c, out_h, out_w), grad.dtype)
+        for i in range(k):
+            for j in range(k):
+                np.multiply(grad, w2[:, i, j][None, :, None, None], out=scratch)
+                grad_x[:, :, i : i + out_h, j : j + out_w] += scratch
+        bpool.release(scratch)
+        return grad_x, grad_w
+
+    return make_op(
+        out, (xp, weight), backward, op_name,
+        pooled_out=pool is not None and pool.owns(out),
+    )
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -471,6 +550,20 @@ def conv2d(
         op_name = "conv2d"
     elif groups == c_in and c_out == c_in:
         op_name = "dwconv2d"
+        # Direct-kernel dispatch (see _depthwise_direct): stride-1 square
+        # kernels of 5+ taps at sizes where the im2col GEMM is the
+        # bottleneck rather than the python-level tap loop.
+        if (
+            stride == 1
+            and k_h == k_w
+            and k_h >= 5
+            and dw_direct_enabled()
+            and x.shape[0] * c_in * k_h * k_w
+            * _conv_output_size(x.shape[2] + 2 * padding, k_h, stride)
+            * _conv_output_size(x.shape[3] + 2 * padding, k_w, stride)
+            >= _DW_DIRECT_MIN_ELEMS
+        ):
+            return _depthwise_direct(xp, weight, op_name)
     else:
         op_name = "gconv2d"
     return _im2col_conv(xp, weight, stride, groups, op_name)
@@ -1000,3 +1093,219 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
         return (out * (grad - inner),)
 
     return make_op(out, (x,), backward, "softmax")
+
+
+# -- multi-candidate (batched soft-mode) primitives ---------------------------
+#
+# Soft Gumbel supernet passes evaluate all M candidate operations of a block
+# on the *same* input.  These primitives let the block run as a handful of
+# stacked kernels instead of M small ones: candidate weights are stacked
+# along C_out (``stack_conv_weights`` — one conv with M*C_out channels, one
+# im2col + one GEMM), the shared residual is added to every candidate slice
+# in one node (``residual_add_shared``) and the Gumbel mixture
+# ``sum_m w_m * out_m`` collapses to ONE einsum tape node
+# (``mix_candidates``) instead of M muls + M-1 adds.  See
+# repro.nas.batched for the dispatch that buckets candidates and falls back
+# to the serial oracle.
+
+
+def stack_conv_weights(
+    weights: Sequence[Tensor], pad_to: int | None = None
+) -> Tensor:
+    """Stack M candidate conv weights along ``C_out`` into one kernel tensor.
+
+    Every weight is ``(c_out_m, c_in_g, k_m, k_m)`` with a shared ``c_in_g``;
+    the result is ``(sum_m c_out_m, c_in_g, K, K)`` with ``K = pad_to`` (or
+    the common kernel size).  Smaller (odd) kernels are zero-padded centred in
+    the K x K canvas — with "same" padding ``K // 2`` the padded kernel
+    computes exactly the same correlation as the original at ``k_m // 2``
+    (the extra taps multiply zeros), which is what lets mixed-kernel
+    candidates share one grouped conv.  Backward slices the gradient back to
+    each candidate's rows and centre window.
+    """
+    if not weights:
+        raise ValueError("stack_conv_weights requires at least one weight")
+    c_in_g = weights[0].shape[1]
+    kernels = [w.shape[2] for w in weights]
+    k_max = pad_to if pad_to is not None else max(kernels)
+    rows = [w.shape[0] for w in weights]
+    offsets = np.cumsum([0] + rows)
+    for w in weights:
+        if w.ndim != 4 or w.shape[1] != c_in_g or w.shape[2] != w.shape[3]:
+            raise ValueError(f"incompatible candidate weight shape {w.shape}")
+        if w.shape[2] > k_max or (k_max - w.shape[2]) % 2:
+            raise ValueError(
+                f"kernel {w.shape[2]} cannot be centred in a {k_max}x{k_max} canvas"
+            )
+    out = np.zeros(
+        (int(offsets[-1]), c_in_g, k_max, k_max), dtype=weights[0].data.dtype
+    )
+    for idx, w in enumerate(weights):
+        k = kernels[idx]
+        off = (k_max - k) // 2
+        out[offsets[idx] : offsets[idx + 1], :, off : off + k, off : off + k] = w.data
+
+    def backward(grad: np.ndarray):
+        grads = []
+        for idx in range(len(weights)):
+            k = kernels[idx]
+            off = (k_max - k) // 2
+            grads.append(
+                grad[
+                    offsets[idx] : offsets[idx + 1], :, off : off + k, off : off + k
+                ].copy()
+            )
+        return tuple(grads)
+
+    return make_op(out, tuple(weights), backward, "stack_conv_weights")
+
+
+def residual_add_shared(stacked: Tensor, shortcut: Tensor, copies: int) -> Tensor:
+    """Add one shared shortcut to every candidate slice of a stacked tensor.
+
+    ``stacked`` is ``(N, copies * C, H, W)`` — the batched evaluation of
+    ``copies`` candidates — and ``shortcut`` is the block input
+    ``(N, C, H, W)``.  Per-slice semantics match the serial path's
+    ``out_m + x`` bit-for-bit (same elementwise adds); the backward sums the
+    gradient over the candidate axis for the shortcut.
+    """
+    n, c_total, h, w = stacked.shape
+    if c_total % copies:
+        raise ValueError(f"{c_total} channels not divisible by {copies} copies")
+    c = c_total // copies
+    if shortcut.shape != (n, c, h, w):
+        raise ValueError(
+            f"shortcut shape {shortcut.shape} does not match slices of {stacked.shape}"
+        )
+    pool = pool_for_op(stacked, shortcut)
+    if pool is not None:
+        out = pool.acquire(stacked.shape, stacked.data.dtype)
+    else:
+        out = np.empty(stacked.shape, dtype=stacked.data.dtype)
+    np.add(
+        stacked.data.reshape(n, copies, c, h, w),
+        shortcut.data[:, None],
+        out=out.reshape(n, copies, c, h, w),
+    )
+
+    def backward(grad: np.ndarray):
+        return grad, grad.reshape(n, copies, c, h, w).sum(axis=1)
+
+    return make_op(
+        out, (stacked, shortcut), backward, "residual_add_shared",
+        pooled_out=pool is not None and pool.owns(out),
+    )
+
+
+def project_candidates(
+    x: Tensor, weights: Sequence[Tensor], sections: Sequence[int]
+) -> Tensor:
+    """Ragged-group pointwise projection: one node, per-candidate GEMMs.
+
+    ``x`` is ``(N, sum_m h_m, H, W)`` — candidate hidden activations stacked
+    along channels with (possibly differing) widths ``sections`` — and
+    ``weights[m]`` is candidate m's 1x1 projection ``(C_out, h_m, 1, 1)``
+    with a shared ``C_out``.  A uniform-width stack would be a plain grouped
+    conv, but grouped ``conv2d`` requires equal channels per group; this op
+    handles the ragged case by looping the per-candidate GEMMs *inside* one
+    tape node — the flops match the serial path exactly while M conv nodes
+    (each with pad/im2col/closure overhead) collapse into one.  Returns
+    ``(N, M * C_out, H, W)``.
+    """
+    if not weights or len(weights) != len(sections):
+        raise ValueError("need one projection weight per section")
+    n, c_total, h, w = x.shape
+    if sum(sections) != c_total:
+        raise ValueError(
+            f"sections {tuple(sections)} do not cover {c_total} input channels"
+        )
+    c_out = weights[0].shape[0]
+    for wt, h_m in zip(weights, sections):
+        if wt.shape != (c_out, h_m, 1, 1):
+            raise ValueError(
+                f"weight shape {wt.shape} does not match (C_out={c_out}, {h_m}, 1, 1)"
+            )
+    copies = len(weights)
+    offsets = np.cumsum([0] + list(sections))
+    l = h * w
+    x_data = x.data
+    pool = pool_for_op(x, *weights)
+    if pool is not None:
+        out = pool.acquire((n, copies * c_out, h, w), x_data.dtype)
+    else:
+        out = np.empty((n, copies * c_out, h, w), dtype=x_data.dtype)
+    for m, wt in enumerate(weights):
+        xm = x_data[:, offsets[m] : offsets[m + 1]].reshape(n, sections[m], l)
+        np.matmul(
+            wt.data.reshape(c_out, sections[m])[None],
+            xm,
+            out=out[:, m * c_out : (m + 1) * c_out].reshape(n, c_out, l),
+        )
+    need_input_grad = x.requires_grad or x.backward_fn is not None
+
+    def backward(grad: np.ndarray):
+        bpool = get_pool()
+        grad_x = (
+            np.empty(x_data.shape, dtype=x_data.dtype) if need_input_grad else None
+        )
+        grads_w = []
+        for m, wt in enumerate(weights):
+            h_m = sections[m]
+            w2d = wt.data.reshape(c_out, h_m)
+            xm = x_data[:, offsets[m] : offsets[m + 1]].reshape(n, h_m, l)
+            gm = grad[:, m * c_out : (m + 1) * c_out].reshape(n, c_out, l)
+            gw_scratch = bpool.acquire((n, c_out, h_m), grad.dtype)
+            np.matmul(gm, xm.transpose(0, 2, 1), out=gw_scratch)
+            grads_w.append(gw_scratch.sum(axis=0).reshape(wt.shape))
+            bpool.release(gw_scratch)
+            if grad_x is not None:
+                np.matmul(
+                    w2d.T[None],
+                    gm,
+                    out=grad_x[:, offsets[m] : offsets[m + 1]].reshape(n, h_m, l),
+                )
+        return (grad_x,) + tuple(grads_w)
+
+    return make_op(
+        out, (x,) + tuple(weights), backward, "project_candidates",
+        pooled_out=pool is not None and pool.owns(out),
+    )
+
+
+def mix_candidates(stacked: Tensor, weights: Tensor, copies: int) -> Tensor:
+    """Reduce a stacked candidate tensor to its Gumbel mixture in ONE node.
+
+    ``stacked`` is ``(N, copies * C, H, W)``; ``weights`` is the ``(copies,)``
+    slice of the block's Gumbel sample.  Computes
+    ``out = sum_m weights[m] * stacked[:, m*C:(m+1)*C]`` as a single einsum
+    tape node — the serial path spends ``copies`` muls plus ``copies - 1``
+    adds (2*copies - 1 tape nodes) on the same reduction.  Backward:
+    ``d stacked = w_m * grad`` per slice and ``d w_m = <grad, slice_m>``.
+    """
+    n, c_total, h, w = stacked.shape
+    if c_total % copies:
+        raise ValueError(f"{c_total} channels not divisible by {copies} copies")
+    if weights.shape != (copies,):
+        raise ValueError(
+            f"weights shape {weights.shape} does not match {copies} candidates"
+        )
+    c = c_total // copies
+    stacked5 = stacked.data.reshape(n, copies, c, h, w)
+    pool = pool_for_op(stacked, weights)
+    if pool is not None:
+        out = pool.acquire((n, c, h, w), stacked.data.dtype)
+        np.einsum("m,nmchw->nchw", weights.data, stacked5, out=out)
+    else:
+        out = np.einsum("m,nmchw->nchw", weights.data, stacked5)
+
+    def backward(grad: np.ndarray):
+        grad_stacked = (
+            weights.data[None, :, None, None, None] * grad[:, None]
+        ).reshape(stacked.shape)
+        grad_w = np.einsum("nmchw,nchw->m", stacked5, grad)
+        return grad_stacked, grad_w
+
+    return make_op(
+        out, (stacked, weights), backward, "mix_candidates",
+        pooled_out=pool is not None and pool.owns(out),
+    )

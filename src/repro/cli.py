@@ -20,7 +20,9 @@ Commands
              (``Engine.run`` vs ``BuiltNetwork.forward`` across the zoo);
              ``--suite serving`` writes ``BENCH_serving.json`` (traffic
              replay against the fleet: throughput and tail latency vs
-             worker count).
+             worker count); ``--suite search`` writes ``BENCH_search.json``
+             (batched soft-mode supernet evaluation vs the serial
+             per-candidate oracle, plus float64 parity).
 ``compile``  lower a model into a static execution plan and save it to disk
              (``.npz``) for cold-start-free deployment.
 ``infer``    compile a model into the inference runtime and time
@@ -255,6 +257,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         report = bench.run_training_benchmarks(quick=args.quick)
         rendered = bench.render_training_report(report)
         default_output = "BENCH_training.json"
+    elif args.suite == "search":
+        report = bench.run_search_benchmarks(quick=args.quick)
+        rendered = bench.render_search_report(report)
+        default_output = "BENCH_search.json"
     else:
         report = bench.run_benchmarks(quick=args.quick)
         rendered = bench.render_report(report)
@@ -639,13 +645,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fewer repeats and a smaller search "
                               "(CI smoke mode)")
     p_bench.add_argument("--suite",
-                         choices=("numerics", "runtime", "serving", "training"),
+                         choices=("numerics", "runtime", "serving",
+                                  "training", "search"),
                          default="numerics",
                          help="numerics: conv/supernet/search vs the "
                               "pre-refactor baseline; runtime: Engine.run vs "
                               "BuiltNetwork.forward across the zoo; training: "
                               "buffer pool + phase-decomposed gradients vs "
-                              "the pre-PR training hot path")
+                              "the pre-PR training hot path; search: batched "
+                              "soft-mode supernet evaluation vs the serial "
+                              "oracle")
     p_bench.add_argument("--output", default=None,
                          help="where to write the JSON report (default "
                               "BENCH_<suite>.json)")

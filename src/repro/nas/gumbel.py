@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.autograd import ops_nn
 from repro.autograd.tensor import Tensor, make_op
+from repro.utils.numeric import stable_softmax
 
 
 def sample_gumbel(shape: tuple[int, ...], rng: np.random.Generator, eps: float = 1e-10) -> np.ndarray:
@@ -115,9 +116,7 @@ class GumbelSoftmax:
 
 def entropy_of_logits(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     """Shannon entropy (nats) of the implied categorical — a convergence probe."""
-    shifted = logits - logits.max(axis=axis, keepdims=True)
-    probs = np.exp(shifted)
-    probs /= probs.sum(axis=axis, keepdims=True)
+    probs = stable_softmax(logits, axis=axis)
     return -(probs * np.log(np.maximum(probs, 1e-12))).sum(axis=axis)
 
 

@@ -10,12 +10,24 @@ from __future__ import annotations
 import numpy as np
 
 
-def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Stable softmax along ``axis`` (shifts by the max before exponentiating)."""
-    x = np.asarray(x, dtype=np.float64)
+def stable_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Max-shifted softmax in the array's *own* dtype (no float64 coercion).
+
+    The one shared implementation of the softmax-over-logits pattern:
+    :meth:`repro.nas.supernet.SuperNet.theta_probabilities` /
+    ``phi_probabilities`` and :func:`repro.nas.gumbel.entropy_of_logits` all
+    reduce to this.  Unlike :func:`softmax` it preserves the input dtype, so
+    float32 logits produce float32 probabilities.
+    """
+    x = np.asarray(x)
     shifted = x - np.max(x, axis=axis, keepdims=True)
     exp = np.exp(shifted)
     return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis`` (shifts by the max before exponentiating)."""
+    return stable_softmax(np.asarray(x, dtype=np.float64), axis=axis)
 
 
 def log_sum_exp(x: np.ndarray, axis: int | None = None) -> np.ndarray:

@@ -150,3 +150,85 @@ class TestMaxPoolEquivalence:
         out.backward(np.ones(out.shape))
         # every unit of upstream gradient lands somewhere in the input
         assert x.grad.sum() == out.data.size
+
+
+class TestDepthwiseDirectEquivalence:
+    """The direct depthwise kernel (einsum window forward/weight-grad plus
+    shift-accumulate input grad) matches the reference conv exactly.
+
+    Production dispatch requires stride 1, square kernels of 5+, and enough
+    tap work (``_DW_DIRECT_MIN_ELEMS``); the threshold is pinned to 0 here
+    so unit-sized problems exercise the direct code path.
+    """
+
+    @pytest.mark.parametrize("k,padding", [
+        (5, 2), (5, 0), (7, 3), (7, 1),
+    ])
+    def test_matches_reference(self, k, padding, monkeypatch):
+        monkeypatch.setattr(ops_nn, "_DW_DIRECT_MIN_ELEMS", 0)
+        dispatched = []
+        real = ops_nn._depthwise_direct
+
+        def spy(xp, weight, op_name):
+            dispatched.append(op_name)
+            return real(xp, weight, op_name)
+
+        monkeypatch.setattr(ops_nn, "_depthwise_direct", spy)
+        rng = np.random.default_rng(11)
+        c = 4
+        x = rng.normal(size=(2, c, 9, 9))
+        weight = rng.normal(size=(c, 1, k, k))
+        x_new = tensor(x, requires_grad=True)
+        w_new = tensor(weight, requires_grad=True)
+        out_new = conv2d(x_new, w_new, stride=1, padding=padding, groups=c)
+        seed_grad = rng.normal(size=out_new.shape)
+        out_new.backward(seed_grad)
+        assert dispatched == ["dwconv2d"]
+
+        x_ref = tensor(x, requires_grad=True)
+        w_ref = tensor(weight, requires_grad=True)
+        out_ref = _reference_conv2d(x_ref, w_ref, stride=1, padding=padding,
+                                    groups=c)
+        out_ref.backward(seed_grad)
+        np.testing.assert_allclose(out_new.data, out_ref.data, atol=1e-10)
+        np.testing.assert_allclose(x_new.grad, x_ref.grad, atol=1e-10)
+        np.testing.assert_allclose(w_new.grad, w_ref.grad, atol=1e-10)
+
+    def test_external_input_skips_input_grad(self, monkeypatch):
+        monkeypatch.setattr(ops_nn, "_DW_DIRECT_MIN_ELEMS", 0)
+        rng = np.random.default_rng(12)
+        x = tensor(rng.normal(size=(1, 3, 8, 8)))  # graph-external
+        w = tensor(rng.normal(size=(3, 1, 5, 5)), requires_grad=True)
+        out = conv2d(x, w, stride=1, padding=2, groups=3)
+        out.backward(np.ones(out.shape))
+        assert w.grad is not None and np.abs(w.grad).sum() > 0
+
+    def test_kill_switch_pins_im2col(self, monkeypatch):
+        monkeypatch.setattr(ops_nn, "_DW_DIRECT_MIN_ELEMS", 0)
+        monkeypatch.setenv(ops_nn.DW_DIRECT_ENV, "0")
+
+        def boom(*a, **k):  # pragma: no cover - failure path
+            raise AssertionError("REPRO_DW_DIRECT=0 must pin im2col")
+
+        monkeypatch.setattr(ops_nn, "_depthwise_direct", boom)
+        rng = np.random.default_rng(13)
+        x = tensor(rng.normal(size=(1, 3, 8, 8)), requires_grad=True)
+        w = tensor(rng.normal(size=(3, 1, 5, 5)), requires_grad=True)
+        out = conv2d(x, w, stride=1, padding=2, groups=3)
+        out.backward(np.ones(out.shape))
+
+    @pytest.mark.parametrize("stride,k", [(2, 5), (1, 3)])
+    def test_unprofitable_shapes_stay_on_im2col(self, stride, k, monkeypatch):
+        """Strided and 3x3 depthwise convs lose with the tap loop - the
+        dispatch must leave them on the im2col path even with no floor."""
+        monkeypatch.setattr(ops_nn, "_DW_DIRECT_MIN_ELEMS", 0)
+
+        def boom(*a, **kw):  # pragma: no cover - failure path
+            raise AssertionError(f"stride={stride} k={k} must not dispatch")
+
+        monkeypatch.setattr(ops_nn, "_depthwise_direct", boom)
+        rng = np.random.default_rng(14)
+        x = tensor(rng.normal(size=(1, 3, 9, 9)), requires_grad=True)
+        w = tensor(rng.normal(size=(3, 1, k, k)), requires_grad=True)
+        out = conv2d(x, w, stride=stride, padding=k // 2, groups=3)
+        out.backward(np.ones(out.shape))

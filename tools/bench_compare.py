@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Compare a fresh BENCH_*.json against the committed baseline (run in CI).
+
+Walks both reports for numeric leaves whose key marks them as a timing
+(``*_ms`` / ``*_seconds``) and computes the geometric-mean ratio
+fresh/baseline over the keys present in both.  Exits 1 when the fresh run
+is more than the allowed regression slower overall (default 10%).
+
+Speedup *ratios* (``speedup``, ``*_speedup``) are intentionally not
+compared — they are already relative measurements and double-counting
+them would let a uniformly slower machine mask a real regression (or
+vice versa).  Parity booleans are enforced where present: a fresh report
+with ``parity_ok: false`` fails regardless of timings.
+
+Run directly::
+
+    PYTHONPATH=src python tools/bench_compare.py BENCH_search.json fresh.json
+    PYTHONPATH=src python tools/bench_compare.py --max-regression 0.25 \\
+        BENCH_numerics.json fresh_numerics.json
+
+Absolute machine speed differs between the commit box and CI runners, so
+cross-machine comparisons are only meaningful with a generous threshold;
+the default is tuned for same-machine before/after runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+TIMING_SUFFIXES = ("_ms", "_seconds")
+
+
+def timing_leaves(node: object, prefix: str = "") -> dict[str, float]:
+    """Flatten ``node`` to ``{dotted.path: value}`` for timing-valued keys."""
+    leaves: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and str(key).endswith(TIMING_SUFFIXES)
+                and value > 0
+            ):
+                leaves[path] = float(value)
+            else:
+                leaves.update(timing_leaves(value, path))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            # Case lists carry a 'name' field; key rows by it so reordered
+            # or added cases pair up by identity, not by index.
+            label = value.get("name", i) if isinstance(value, dict) else i
+            leaves.update(timing_leaves(value, f"{prefix}[{label}]"))
+    return leaves
+
+
+def parity_flags(node: object, prefix: str = "") -> dict[str, bool]:
+    """Flatten ``node`` to ``{dotted.path: value}`` for parity booleans."""
+    flags: dict[str, bool] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, bool) and (
+                str(key).endswith("parity_ok") or str(key).endswith("_parity")
+            ):
+                flags[path] = value
+            else:
+                flags.update(parity_flags(value, path))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            flags.update(parity_flags(value, f"{prefix}[{i}]"))
+    return flags
+
+
+def compare(
+    baseline: dict, fresh: dict, max_regression: float
+) -> tuple[bool, str]:
+    """Compare two bench reports; returns ``(ok, human_summary)``."""
+    base_times = timing_leaves(baseline)
+    fresh_times = timing_leaves(fresh)
+    shared = sorted(set(base_times) & set(fresh_times))
+    lines = []
+    ok = True
+
+    for path, flag in sorted(parity_flags(fresh).items()):
+        if not flag:
+            ok = False
+            lines.append(f"PARITY FAIL: {path} is false in the fresh report")
+
+    if not shared:
+        return False, "no shared timing keys between baseline and fresh report"
+
+    ratios = {p: fresh_times[p] / base_times[p] for p in shared}
+    geomean = math.exp(sum(math.log(r) for r in ratios.values()) / len(ratios))
+    worst = max(ratios, key=ratios.get)
+    lines.append(
+        f"{len(shared)} shared timings; geomean fresh/baseline = {geomean:.3f} "
+        f"(allowed <= {1 + max_regression:.2f})"
+    )
+    lines.append(f"worst key: {worst} at {ratios[worst]:.3f}x baseline")
+    if geomean > 1.0 + max_regression:
+        ok = False
+        lines.append(
+            f"REGRESSION: fresh run is {geomean:.3f}x the committed baseline "
+            f"(> {1 + max_regression:.2f}x allowed)"
+        )
+    return ok, "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_*.json")
+    parser.add_argument("fresh", type=Path, help="freshly generated report")
+    parser.add_argument(
+        "--max-regression", type=float, default=0.10,
+        help="allowed geomean slowdown, fractional (default 0.10 = 10%%)",
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    ok, summary = compare(baseline, fresh, args.max_regression)
+    print(summary)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
