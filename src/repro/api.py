@@ -936,6 +936,7 @@ def serve_fleet(
     models: dict[str, str | ArchSpec] | list[str],
     *,
     workers: int = 2,
+    worker_kind: str = "thread",
     bits: int | None = None,
     seed: int | None = 0,
     width_mult: float | None = None,
@@ -948,7 +949,7 @@ def serve_fleet(
 
     The production tier above :func:`serve_plan`: one
     :class:`repro.runtime.fleet.ServingFleet` hosts every compiled plan
-    behind ``submit(model, x)`` — ``workers`` threads share each plan's
+    behind ``submit(model, x)`` — ``workers`` workers share each plan's
     baked weights through a single memmap, coalesce concurrent requests
     into per-model batches, reject on a bounded queue (``max_queue``), and
     shed deadline-expired requests before spending compute on them.
@@ -956,7 +957,11 @@ def serve_fleet(
     Args:
         models: Either a mapping of serving name to zoo name/:class:`ArchSpec`,
             or a list of zoo names (each served under its own name).
-        workers: Worker-thread count.
+        workers: Worker count.
+        worker_kind: ``"thread"`` (in-process workers; overlap bounded by
+            the GIL) or ``"process"`` (child processes cold-started from
+            the shared weight memmaps: true core scaling, crash detection
+            with ``WorkerCrashed``, automatic respawn).
         bits, seed, width_mult, input_size, num_classes: Compilation knobs,
             applied to every model (as in :func:`compile_model`).
         max_batch: Largest coalesced batch per worker pull.
@@ -965,6 +970,7 @@ def serve_fleet(
     Use as a context manager so the workers are torn down::
 
         with api.serve_fleet(["EDD-CNN", "MobileNet-V2"], workers=4,
+                             worker_kind="process",
                              width_mult=0.1, input_size=16) as fleet:
             logits = fleet.infer("EDD-CNN", x)
             print(fleet.stats()["fleet"])
@@ -983,5 +989,6 @@ def serve_fleet(
         for name, model in named.items()
     }
     return ServingFleet(
-        plans, workers=workers, max_batch=max_batch, max_queue=max_queue
+        plans, workers=workers, max_batch=max_batch, max_queue=max_queue,
+        kind=worker_kind,
     )

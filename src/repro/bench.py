@@ -850,9 +850,17 @@ SERVING_BENCH_SCALE = {"width_mult": 0.25, "input_size": 16, "num_classes": 8}
 
 
 def bench_serving(
-    quick: bool = False, workers_sweep: list[int] | None = None
+    quick: bool = False,
+    workers_sweep: list[int] | None = None,
+    kinds: tuple[str, ...] = ("thread", "process"),
 ) -> dict[str, Any]:
-    """Traffic-replay serving benchmark: throughput/latency vs worker count."""
+    """Traffic-replay serving benchmark: throughput/latency vs worker count.
+
+    Sweeps the worker count for each worker tier in ``kinds`` (thread
+    workers overlap only while BLAS releases the GIL; process workers own
+    whole cores) and reports per-tier scaling plus a process-vs-thread
+    comparison at the largest sweep point.
+    """
     from repro.baselines.model_zoo import get_model
     from repro.nas.arch_spec import scale_spec
     from repro.runtime import Engine, compile_spec
@@ -900,45 +908,57 @@ def bench_serving(
            for name in names]
     ))
 
-    runs = []
-    for workers in workers_sweep:
-        with ServingFleet(plans, workers=workers, max_batch=max_batch) as fleet:
-            # Warm-up: let every worker build its engines before measuring.
-            warm = merge_traces(*(
-                [burst_trace(name, bursts=1, burst_size=workers * 2, gap_s=1.0)
-                 for name in names]
-            ))
-            warm_record = replay(fleet, warm, inputs)
-            record = replay(fleet, trace, inputs)
-            stats = fleet.stats()
-        per_model_p99 = {
-            name: block["latency_ms"]["p99"]
-            for name, block in record.get("per_model", {}).items()
-        }
-        shared = stats["weights"]["shared_bytes"]
-        runs.append({
-            "workers": workers,
-            "throughput_rps": record["throughput_rps"],
-            "replay": record,
-            "per_model_p99_ms": per_model_p99,
-            "mean_batch": float(np.mean([
-                block["mean_batch"] for block in stats["models"].values()
-                if "mean_batch" in block
-            ])),
-            "warmup_requests": warm_record["completed"],
-            "memory": {
-                "weights_shared_bytes": shared,
-                "weights_unshared_bytes": shared * workers,
-                "arena_bytes_per_worker": sum(arena_bytes.values()),
-                "est_fleet_bytes": shared + workers * sum(arena_bytes.values()),
+    tiers: dict[str, Any] = {}
+    for kind in kinds:
+        runs = []
+        for workers in workers_sweep:
+            with ServingFleet(
+                plans, workers=workers, max_batch=max_batch, kind=kind
+            ) as fleet:
+                # Warm-up: every worker builds its engines before measuring
+                # (process workers also pay their cold start here).
+                warm = merge_traces(*(
+                    [burst_trace(name, bursts=1, burst_size=workers * 2,
+                                 gap_s=1.0)
+                     for name in names]
+                ))
+                warm_record = replay(fleet, warm, inputs)
+                record = replay(fleet, trace, inputs)
+                stats = fleet.stats()
+            per_model_p99 = {
+                name: block["latency_ms"]["p99"]
+                for name, block in record.get("per_model", {}).items()
+            }
+            shared = stats["weights"]["shared_bytes"]
+            runs.append({
+                "workers": workers,
+                "kind": kind,
+                "throughput_rps": record["throughput_rps"],
+                "replay": record,
+                "per_model_p99_ms": per_model_p99,
+                "mean_batch": float(np.mean([
+                    block["mean_batch"] for block in stats["models"].values()
+                    if "mean_batch" in block
+                ])),
+                "warmup_requests": warm_record["completed"],
+                "memory": {
+                    "weights_shared_bytes": shared,
+                    "weights_unshared_bytes": shared * workers,
+                    "arena_bytes_per_worker": sum(arena_bytes.values()),
+                    "est_fleet_bytes": shared
+                    + workers * sum(arena_bytes.values()),
+                },
+            })
+        base = runs[0]["throughput_rps"]
+        tiers[kind] = {
+            "runs": runs,
+            "throughput_scaling_vs_1_worker": {
+                str(run["workers"]): (
+                    run["throughput_rps"] / base if base else 0.0
+                )
+                for run in runs
             },
-        })
-
-    base = runs[0]["throughput_rps"]
-    scaling = {
-        str(run["workers"]): run["throughput_rps"] / base if base else 0.0
-        for run in runs
-    }
+        }
     try:
         cpus = len(os.sched_getaffinity(0))
     except AttributeError:  # non-Linux
@@ -950,15 +970,25 @@ def bench_serving(
         "duration_s": duration_s,
         "offered_rps": {name: rates[name] for name in names},
         "trace_events": len(trace),
-        "runs": runs,
-        "throughput_scaling_vs_1_worker": scaling,
+        "kinds": list(kinds),
+        "tiers": tiers,
         "host_cpus": cpus,
     }
+    if len(tiers) > 1:
+        top = str(max(workers_sweep))
+        thread_top = tiers["thread"]["throughput_scaling_vs_1_worker"][top]
+        process_top = tiers["process"]["throughput_scaling_vs_1_worker"][top]
+        out["process_vs_thread_scaling_at_max_workers"] = (
+            process_top / thread_top if thread_top else 0.0
+        )
     if cpus < max(workers_sweep):
         out["note"] = (
             f"host exposes {cpus} CPU(s); worker counts beyond that cannot "
-            "scale throughput here — workers overlap only when numpy kernels "
-            "run on distinct cores (the BLAS calls release the GIL)"
+            "scale throughput here for either tier — thread workers overlap "
+            "only when numpy kernels run on distinct cores (BLAS releases "
+            "the GIL), and process workers still share the one core while "
+            "paying pipe IPC per batch.  The process tier's scaling claim "
+            "is only measurable on a multi-core host."
         )
     return out
 
@@ -988,22 +1018,30 @@ def render_serving_report(report: dict[str, Any]) -> str:
         f"max_batch {section['max_batch']}, "
         f"{section['trace_events']} events over {section['duration_s']:.1f}s, "
         f"host cpus {section['host_cpus']}, quick={report['meta']['quick']})",
-        "",
-        f"{'workers':>7s} {'served rps':>11s} {'scaling':>8s} {'p50':>8s} "
-        f"{'p99':>8s} {'rej':>5s} {'shed':>5s} {'batch':>6s}",
     ]
-    for run in section["runs"]:
-        replay_rec = run["replay"]
-        lat = replay_rec.get("latency_ms", {})
-        scaling = section["throughput_scaling_vs_1_worker"][str(run["workers"])]
-        lines.append(
-            f"{run['workers']:7d} {run['throughput_rps']:11.1f} "
-            f"{scaling:7.2f}x {lat.get('p50', float('nan')):7.2f} "
-            f"{lat.get('p99', float('nan')):7.2f} "
-            f"{replay_rec['rejected']:5d} {replay_rec['shed']:5d} "
-            f"{run['mean_batch']:6.2f}"
-        )
-    last = section["runs"][-1]
+    last = None
+    for kind in section["kinds"]:
+        tier = section["tiers"][kind]
+        lines += [
+            "",
+            f"[{kind} workers]",
+            f"{'workers':>7s} {'served rps':>11s} {'scaling':>8s} "
+            f"{'p50':>8s} {'p99':>8s} {'rej':>5s} {'shed':>5s} {'batch':>6s}",
+        ]
+        for run in tier["runs"]:
+            replay_rec = run["replay"]
+            lat = replay_rec.get("latency_ms", {})
+            scaling = tier["throughput_scaling_vs_1_worker"][
+                str(run["workers"])
+            ]
+            lines.append(
+                f"{run['workers']:7d} {run['throughput_rps']:11.1f} "
+                f"{scaling:7.2f}x {lat.get('p50', float('nan')):7.2f} "
+                f"{lat.get('p99', float('nan')):7.2f} "
+                f"{replay_rec['rejected']:5d} {replay_rec['shed']:5d} "
+                f"{run['mean_batch']:6.2f}"
+            )
+        last = tier["runs"][-1]
     memory = last["memory"]
     lines.append(
         f"\nweights: {memory['weights_shared_bytes'] / 1024:.0f} KiB mapped "
@@ -1013,6 +1051,11 @@ def render_serving_report(report: dict[str, Any]) -> str:
     )
     for name, p99 in sorted(last["per_model_p99_ms"].items()):
         lines.append(f"p99[{name}] @ {last['workers']} workers: {p99:.2f} ms")
+    if "process_vs_thread_scaling_at_max_workers" in section:
+        lines.append(
+            "process vs thread scaling at max workers: "
+            f"{section['process_vs_thread_scaling_at_max_workers']:.2f}x"
+        )
     if "note" in section:
         lines.append(f"note: {section['note']}")
     return "\n".join(lines)

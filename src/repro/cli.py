@@ -467,6 +467,7 @@ def _serve_fleet(args: argparse.Namespace, requests: int) -> int:
     with api.serve_fleet(
         names,
         workers=args.workers,
+        worker_kind=args.worker_kind,
         bits=args.bits,
         seed=args.seed,
         width_mult=args.width,
@@ -503,6 +504,7 @@ def _serve_fleet(args: argparse.Namespace, requests: int) -> int:
     payload = {
         "models": names,
         "workers": args.workers,
+        "worker_kind": args.worker_kind,
         "requests_per_model": requests,
         "stats": stats,
         "predicted_vs_measured": comparisons,
@@ -512,7 +514,8 @@ def _serve_fleet(args: argparse.Namespace, requests: int) -> int:
         return 0
     fleet_block = stats["fleet"]
     print(f"fleet served {fleet_block['completed']} request(s) across "
-          f"{len(names)} model(s) on {args.workers} worker(s)")
+          f"{len(names)} model(s) on {args.workers} {args.worker_kind} "
+          f"worker(s)")
     for name in names:
         block = stats["models"][name]
         lat = block["latency_ms"]
@@ -718,7 +721,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "from one multi-worker fleet (instead of "
                               "--model)")
     p_serve.add_argument("--workers", type=int, default=2,
-                         help="fleet worker-thread count (with --models)")
+                         help="fleet worker count (with --models)")
+    p_serve.add_argument("--worker-kind", choices=("thread", "process"),
+                         default="thread",
+                         help="fleet worker tier (with --models): 'thread' "
+                              "shares the GIL, 'process' cold-starts one "
+                              "child per worker from the shared weight "
+                              "memmaps for true core scaling")
     p_serve.add_argument("--max-queue", type=int, default=64,
                          help="per-model admission bound before QueueFull "
                               "(with --models)")

@@ -7,18 +7,26 @@ concurrent request streams, bounded-queue admission control with deadline
 shedding, per-model routing, and a serving-metrics surface
 (``fleet.stats()``) that feeds ``repro calibrate``.
 
+Workers come in two tiers: ``kind="thread"`` (in-process, overlap bounded
+by the GIL) and ``kind="process"`` (child processes cold-started from the
+weight packs, driven over a pipe protocol with heartbeat crash detection
+and respawn — see :mod:`~repro.runtime.fleet.worker`).  The deterministic
+fault-injection hooks live in :mod:`~repro.runtime.fleet.testing`.
+
 Entry points: :class:`ServingFleet` directly, :func:`repro.api.serve_fleet`,
-or ``repro serve --workers N --models a,b``; ``repro bench --suite serving``
-replays :mod:`~repro.runtime.fleet.traffic` traces against it.
+or ``repro serve --workers N --worker-kind process --models a,b``;
+``repro bench --suite serving`` replays
+:mod:`~repro.runtime.fleet.traffic` traces against both tiers.
 """
 
-from repro.runtime.fleet.fleet import ServingFleet
+from repro.runtime.fleet.fleet import WORKER_KINDS, ServingFleet
 from repro.runtime.fleet.metrics import ServingMetrics, latency_percentiles
 from repro.runtime.fleet.requests import (
     DeadlineExceeded,
     FleetClosed,
     FleetHandle,
     QueueFull,
+    WorkerCrashed,
 )
 from repro.runtime.fleet.scheduler import FleetScheduler
 from repro.runtime.fleet.traffic import (
@@ -29,14 +37,18 @@ from repro.runtime.fleet.traffic import (
     replay,
 )
 from repro.runtime.fleet.weights import PlanWeightPack, pack_plan_memmap
+from repro.runtime.fleet.worker import ProcessWorker
 
 __all__ = [
     "ServingFleet",
+    "WORKER_KINDS",
     "FleetHandle",
     "FleetScheduler",
+    "ProcessWorker",
     "QueueFull",
     "DeadlineExceeded",
     "FleetClosed",
+    "WorkerCrashed",
     "ServingMetrics",
     "latency_percentiles",
     "PlanWeightPack",

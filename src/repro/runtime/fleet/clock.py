@@ -1,0 +1,37 @@
+"""Injectable monotonic time source for the serving fleet.
+
+Request deadlines, global-FIFO age comparisons and latency stamps all read
+the clock through :func:`now` instead of calling ``time.perf_counter``
+directly.  In production the two are the same function; in tests,
+:class:`repro.runtime.fleet.testing.FakeClock` swaps in a manually-advanced
+source via :func:`set_time_source`, which makes deadline expiry and queue
+ageing *deterministic* — a property test can submit a request, advance the
+clock past its deadline, and know (not hope) the scheduler sheds it.
+
+Heartbeat/crash detection in :mod:`repro.runtime.fleet.worker` deliberately
+does **not** use this clock: it watches real child processes, so it keeps
+real ``time.monotonic`` semantics even while a fake clock is installed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+_source: Callable[[], float] = time.perf_counter
+
+
+def now() -> float:
+    """Current fleet time in seconds (monotonic, arbitrary epoch)."""
+    return _source()
+
+
+def set_time_source(source: Callable[[], float] | None = None) -> None:
+    """Install ``source`` as the fleet clock; ``None`` restores real time."""
+    global _source
+    _source = time.perf_counter if source is None else source
+
+
+def time_source() -> Callable[[], float]:
+    """The currently-installed time source (for save/restore in tests)."""
+    return _source

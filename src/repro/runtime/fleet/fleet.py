@@ -8,10 +8,13 @@ compiled plans behind ``submit(model, x)``:
   (:func:`~repro.runtime.fleet.weights.pack_plan_memmap`) and every worker's
   engine reads the same read-only pages — weight memory is O(1) in the
   worker count, and spinning up a worker touches no weight bytes;
-* each worker thread owns its own :class:`~repro.runtime.engine.Engine` per
-  model — a private arena slice — so workers never contend on scratch
-  buffers; numpy kernels release the GIL, so workers overlap on multi-core
-  hosts;
+* workers come in two kinds.  ``kind="thread"`` runs worker threads, each
+  with its own :class:`~repro.runtime.engine.Engine` per model (private
+  arena slice); threads overlap only while numpy kernels release the GIL.
+  ``kind="process"`` runs worker *processes* that cold-start from the same
+  weight packs and are driven over a pipe control protocol
+  (:mod:`~repro.runtime.fleet.worker`) — true core parallelism, heartbeat
+  crash detection, and optional respawn;
 * the :class:`~repro.runtime.fleet.scheduler.FleetScheduler` provides
   continuous batching, bounded-queue admission control, and deadline
   shedding; every decision lands in
@@ -32,11 +35,16 @@ from repro.runtime.fleet.requests import (
     DeadlineExceeded,
     FleetClosed,
     FleetHandle,
+    WorkerCrashed,
     _FleetRequest,
 )
 from repro.runtime.fleet.scheduler import FleetScheduler
 from repro.runtime.fleet.weights import pack_plan_memmap
+from repro.runtime.fleet.worker import ProcessWorker
 from repro.runtime.plan import ExecutionPlan
+
+#: Worker tiers a fleet can run.
+WORKER_KINDS = ("thread", "process")
 
 
 class ServingFleet:
@@ -46,13 +54,29 @@ class ServingFleet:
         plans: Mapping of model name to compiled
             :class:`~repro.runtime.plan.ExecutionPlan`; each becomes a
             routing key for :meth:`submit`.
-        workers: Worker-thread count (``>= 1``).
+        workers: Worker count (``>= 1``).
         max_batch: Largest coalesced batch a worker pulls per model.
         max_queue: Per-model admission bound; submits beyond it raise
             :class:`~repro.runtime.fleet.requests.QueueFull`.
+        kind: ``"thread"`` (in-process workers, GIL-bound) or ``"process"``
+            (one child process per worker: true core scaling, crash
+            isolation, heartbeat supervision).
+        heartbeat_s: Process tier only — child heartbeat interval.
+        max_missed_heartbeats: Process tier only — silent intervals before
+            a worker is declared hung and killed
+            (:class:`~repro.runtime.fleet.requests.WorkerCrashed`).
+        respawn: Process tier only — replace crashed workers with fresh
+            ones (the in-flight batch still fails fast; later traffic is
+            served).  When ``False`` a crashed worker's slot retires and
+            the remaining workers carry the load.
+        start_method: Process tier only — ``multiprocessing`` start method
+            (default ``spawn``; the cold-start path the deploy story uses).
+        fault_scripts: Deterministic fault-injection hook (tests/CI only):
+            per worker slot, a list of actions consumed one per batch —
+            ``"crash"``, ``"hang"``, ``"slow:<seconds>"``, ``"error"``.
 
-    Use as a context manager or call :meth:`close` — worker threads are
-    non-daemonic.
+    Use as a context manager or call :meth:`close` — workers (threads and
+    dispatcher threads alike) are non-daemonic.
     """
 
     def __init__(
@@ -61,33 +85,75 @@ class ServingFleet:
         workers: int = 2,
         max_batch: int = 8,
         max_queue: int = 64,
+        kind: str = "thread",
+        heartbeat_s: float = 0.25,
+        max_missed_heartbeats: int = 8,
+        respawn: bool = True,
+        start_method: str | None = None,
+        fault_scripts: dict[int, list[str]] | None = None,
     ) -> None:
         if not plans:
             raise ValueError("ServingFleet needs at least one plan")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if kind not in WORKER_KINDS:
+            raise ValueError(
+                f"kind must be one of {WORKER_KINDS}, got {kind!r}"
+            )
         self.workers = int(workers)
         self.max_batch = int(max_batch)
+        self.kind = kind
+        self.heartbeat_s = float(heartbeat_s)
+        self.max_missed_heartbeats = int(max_missed_heartbeats)
+        self._respawn_enabled = bool(respawn)
+        self._start_method = start_method
         self._packs = {
             name: pack_plan_memmap(plan) for name, plan in plans.items()
         }
-        # One memmap-backed plan per model, shared by every worker thread.
+        # One memmap-backed plan per model, shared by every worker.
         self._plans = {
             name: pack.restore() for name, pack in self._packs.items()
         }
-        for pack in self._packs.values():
-            pack.unlink()  # pages stay reachable through the live memmaps
+        if kind == "thread":
+            # Pages stay reachable through the live memmaps; process fleets
+            # keep the files until close() so respawned workers can re-map.
+            for pack in self._packs.values():
+                pack.unlink()
         self._scheduler = FleetScheduler(max_queue=max_queue, max_batch=max_batch)
         for name in plans:
             self._scheduler.add_model(name)
         self.metrics = ServingMetrics(self.workers)
         self._closed = False
         self._close_lock = threading.Lock()
-        # Engines are built lazily per (worker, model): a worker allocates a
-        # model's arena only once it actually serves that model's traffic.
+        self._procs: list[ProcessWorker | None] = [None] * self.workers
+        self._restarts = [0] * self.workers
+        if kind == "process":
+            scripts = fault_scripts or {}
+            try:
+                for index in range(self.workers):
+                    self._procs[index] = ProcessWorker(
+                        index,
+                        self._packs,
+                        heartbeat_s=self.heartbeat_s,
+                        max_missed=self.max_missed_heartbeats,
+                        fault_script=scripts.get(index),
+                        start_method=start_method,
+                    )
+            except BaseException:
+                for proc in self._procs:
+                    if proc is not None:
+                        proc.kill()
+                for pack in self._packs.values():
+                    pack.unlink()
+                raise
+            loop = self._process_worker_loop
+        else:
+            loop = self._worker_loop
+        # Engines (thread tier) are built lazily per (worker, model): a
+        # worker allocates a model's arena only once it serves that model.
         self._threads = [
             threading.Thread(
-                target=self._worker_loop,
+                target=loop,
                 args=(index,),
                 name=f"fleet-worker-{index}",
             )
@@ -96,7 +162,16 @@ class ServingFleet:
         for thread in self._threads:
             thread.start()
 
-    # -- worker loop ---------------------------------------------------------
+    # -- shared dequeue handling ---------------------------------------------
+    def _shed_requests(self, model: str, shed: list[_FleetRequest]) -> None:
+        for request in shed:
+            request.fail(DeadlineExceeded(
+                f"request for {model!r} shed after exceeding its deadline"
+            ))
+        if shed:
+            self.metrics.record_shed(model, len(shed))
+
+    # -- thread worker loop --------------------------------------------------
     def _worker_loop(self, worker_index: int) -> None:
         engines: dict[str, Engine] = {}
         while True:
@@ -105,12 +180,7 @@ class ServingFleet:
                 return
             model, live, shed = picked
             start = time.perf_counter()
-            for request in shed:
-                request.fail(DeadlineExceeded(
-                    f"request for {model!r} shed after exceeding its deadline"
-                ))
-            if shed:
-                self.metrics.record_shed(model, len(shed))
+            self._shed_requests(model, shed)
             if not live:
                 self.metrics.record_worker_busy(
                     worker_index, time.perf_counter() - start
@@ -138,6 +208,109 @@ class ServingFleet:
                 worker_index,
                 time.perf_counter() - start,
             )
+
+    # -- process worker loop (parent-side dispatcher) ------------------------
+    def _process_worker_loop(self, worker_index: int) -> None:
+        while True:
+            picked = self._scheduler.next_batch()
+            if picked is None:
+                break
+            model, live, shed = picked
+            start = time.perf_counter()
+            self._shed_requests(model, shed)
+            if not live:
+                self.metrics.record_worker_busy(
+                    worker_index, time.perf_counter() - start
+                )
+                continue
+            batch = np.stack([request.x for request in live])
+            outputs = None
+            crash: WorkerCrashed | None = None
+            error: Exception | None = None
+            attempts = 0
+            while True:
+                worker = self._procs[worker_index]
+                if worker is None:
+                    crash = WorkerCrashed(
+                        f"worker {worker_index} is gone and respawn is off"
+                    )
+                    break
+                try:
+                    outputs = worker.run_batch(model, batch)
+                    break
+                except WorkerCrashed as failure:
+                    self.metrics.record_crash(worker_index)
+                    try:
+                        replacement = self._respawn(worker_index)
+                    except Exception:
+                        # Cold start of the replacement failed: retire the
+                        # slot rather than hang this batch's waiters.
+                        self._procs[worker_index] = None
+                        replacement = None
+                    # A batch the child never received may retry once on
+                    # the fresh worker; anything else fails fast (the
+                    # child may have started computing it).
+                    if (replacement is not None and not failure.delivered
+                            and attempts == 0):
+                        attempts += 1
+                        continue
+                    crash = failure
+                    break
+                except Exception as failure:
+                    error = failure
+                    break
+            if crash is not None:
+                for request in live:
+                    request.fail(crash)
+                self.metrics.record_failed(model, len(live))
+                self.metrics.record_worker_busy(
+                    worker_index, time.perf_counter() - start
+                )
+                if self._procs[worker_index] is None:
+                    # Slot retired: remaining workers keep draining the
+                    # queue; leftovers are failed at close().
+                    return
+                continue
+            if error is not None:
+                for request in live:
+                    request.fail(error)
+                self.metrics.record_failed(model, len(live))
+                self.metrics.record_worker_busy(
+                    worker_index, time.perf_counter() - start
+                )
+                continue
+            for row, request in enumerate(live):
+                request.complete(np.array(outputs[row]), len(live))
+            self.metrics.record_batch(
+                model,
+                [request.latency_ms for request in live],
+                worker_index,
+                time.perf_counter() - start,
+            )
+        # Graceful drain: every batch handed to this dispatcher is resolved;
+        # now let the child exit cleanly.
+        worker = self._procs[worker_index]
+        if worker is not None:
+            worker.shutdown()
+
+    def _respawn(self, worker_index: int) -> ProcessWorker | None:
+        """Replace a crashed worker process, or retire its slot."""
+        old = self._procs[worker_index]
+        if old is not None:
+            old.kill()
+        if not self._respawn_enabled or self._closed:
+            self._procs[worker_index] = None
+            return None
+        replacement = ProcessWorker(
+            worker_index,
+            self._packs,
+            heartbeat_s=self.heartbeat_s,
+            max_missed=self.max_missed_heartbeats,
+            start_method=self._start_method,
+        )
+        self._procs[worker_index] = replacement
+        self._restarts[worker_index] += 1
+        return replacement
 
     # -- client API ----------------------------------------------------------
     def submit(
@@ -167,12 +340,16 @@ class ServingFleet:
                 f"{expected}, got {x.shape}"
             )
         request = _FleetRequest(model, x, deadline_ms)
+        # Acceptance is recorded *before* the enqueue: the moment the
+        # request is visible to a worker it may complete, and the metrics
+        # invariant (accepted >= completed + failed + shed) must hold at
+        # every snapshot, not only at quiescence.
+        self.metrics.record_accepted(model)
         try:
             self._scheduler.submit(request)
         except Exception:
-            self.metrics.record_rejected(model)
+            self.metrics.record_unaccepted(model)
             raise
-        self.metrics.record_accepted(model)
         return FleetHandle(request)
 
     def infer(
@@ -190,18 +367,41 @@ class ServingFleet:
         return sorted(self._plans)
 
     # -- observability -------------------------------------------------------
+    def _worker_info(self, index: int) -> dict:
+        """Process-tier liveness block for one worker slot."""
+        if self.kind == "thread":
+            return {
+                "kind": "thread",
+                "alive": self._threads[index].is_alive(),
+                "restarts": 0,
+                "pid": None,
+            }
+        worker = self._procs[index]
+        return {
+            "kind": "process",
+            "alive": worker.alive if worker is not None else False,
+            "restarts": self._restarts[index],
+            "pid": worker.pid if worker is not None else None,
+        }
+
     def stats(self) -> dict:
         """JSON-serialisable serving state.
 
         Per-model and fleet-wide counters and latency percentiles from
-        :class:`~repro.runtime.fleet.metrics.ServingMetrics`, plus the
-        weight-sharing ledger: bytes of baked weights mapped once per model
-        versus what ``workers`` private copies would have cost.
+        :class:`~repro.runtime.fleet.metrics.ServingMetrics`; per-worker
+        blocks carry the worker kind, liveness, pid and respawn count (the
+        schema is identical across tiers — thread workers report
+        ``pid: None`` and ``restarts: 0``); plus the weight-sharing ledger:
+        bytes of baked weights mapped once per model versus what
+        ``workers`` private copies would have cost.
         """
         snapshot = self.metrics.snapshot(self._scheduler.depths())
+        for index, block in enumerate(snapshot["workers"]):
+            block.update(self._worker_info(index))
         shared = sum(pack.nbytes for pack in self._packs.values())
         snapshot["config"] = {
             "workers": self.workers,
+            "kind": self.kind,
             "max_batch": self.max_batch,
             "max_queue": self._scheduler.max_queue,
             "models": self.models(),
@@ -217,11 +417,14 @@ class ServingFleet:
 
     # -- lifecycle -----------------------------------------------------------
     def close(self, timeout: float = 10.0) -> None:
-        """Shut down: stop admission, join workers, fail leftovers.
+        """Shut down: stop admission, drain workers, fail leftovers.
 
-        Requests still queued when the workers exit are failed with
-        :class:`~repro.runtime.fleet.requests.FleetClosed` — no waiter
-        hangs.  Idempotent.
+        Dispatcher/worker threads finish the batch they hold (graceful
+        drain — in-flight requests are answered, not abandoned), process
+        workers receive SHUTDOWN and are joined (escalating to kill on
+        timeout), and requests still queued when the workers exit are
+        failed with :class:`~repro.runtime.fleet.requests.FleetClosed` — no
+        waiter hangs.  Idempotent.
         """
         with self._close_lock:
             if self._closed:
@@ -230,6 +433,11 @@ class ServingFleet:
         self._scheduler.close()
         for thread in self._threads:
             thread.join(timeout)
+        for proc in self._procs:
+            # Normally shut down by their dispatcher; this catches workers
+            # whose dispatcher thread had to be abandoned on join timeout.
+            if proc is not None and proc.alive:
+                proc.kill()
         leftovers = self._scheduler.drain()
         for request in leftovers:
             request.fail(FleetClosed(
@@ -241,6 +449,9 @@ class ServingFleet:
                 by_model[request.model] = by_model.get(request.model, 0) + 1
             for model, count in by_model.items():
                 self.metrics.record_failed(model, count)
+        if self.kind == "process":
+            for pack in self._packs.values():
+                pack.unlink()
 
     def __enter__(self) -> "ServingFleet":
         return self

@@ -90,6 +90,7 @@ class ServingMetrics:
         self._models: dict[str, _ModelCounters] = {}
         self._worker_busy_s = [0.0] * workers
         self._worker_batches = [0] * workers
+        self._worker_crashes = [0] * workers
         self.started_at = time.perf_counter()
 
     def _model(self, model: str) -> _ModelCounters:
@@ -108,6 +109,20 @@ class ServingMetrics:
         """One request rejected by admission control (queue full/closed)."""
         with self._lock:
             self._model(model).rejected += 1
+
+    def record_unaccepted(self, model: str) -> None:
+        """Atomically reclassify one accepted request as rejected.
+
+        The submit path records acceptance *before* enqueueing so the
+        ``accepted >= completed + failed + shed`` invariant holds at every
+        instant (a worker can serve a request the moment it is queued); when
+        the enqueue itself then fails (queue full, fleet closed), this moves
+        the head-start count over to ``rejected`` in one locked step.
+        """
+        with self._lock:
+            counters = self._model(model)
+            counters.accepted -= 1
+            counters.rejected += 1
 
     # -- serving ------------------------------------------------------------
     def record_shed(self, model: str, count: int = 1) -> None:
@@ -141,6 +156,11 @@ class ServingMetrics:
         with self._lock:
             self._worker_busy_s[worker] += busy_s
 
+    def record_crash(self, worker: int) -> None:
+        """One crash (dead pipe / dead process / missed heartbeats)."""
+        with self._lock:
+            self._worker_crashes[worker] += 1
+
     # -- reporting ----------------------------------------------------------
     def snapshot(self, queue_depths: dict[str, int] | None = None) -> dict[str, Any]:
         """JSON-serialisable state: per-model blocks + fleet aggregate."""
@@ -155,10 +175,13 @@ class ServingMetrics:
                 {
                     "busy_s": busy,
                     "batches": batches,
+                    "crashes": crashes,
                     "utilization": busy / wall_s,
                 }
-                for busy, batches in zip(
-                    self._worker_busy_s, self._worker_batches
+                for busy, batches, crashes in zip(
+                    self._worker_busy_s,
+                    self._worker_batches,
+                    self._worker_crashes,
                 )
             ]
             all_latencies = [

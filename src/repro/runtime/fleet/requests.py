@@ -10,14 +10,18 @@ exception vocabulary is explicit so clients can route on it:
   still queued; the fleet shed it *before* spending compute on it.
 * :class:`FleetClosed` — submitted to a fleet that is shutting down (or a
   request was still queued when shutdown drained the queues).
+* :class:`WorkerCrashed` — the process worker holding this request's batch
+  died (dead pipe) or went silent (missed heartbeats); the fleet failed the
+  batch fast instead of letting its waiters hang.
 """
 
 from __future__ import annotations
 
 import threading
-import time
 
 import numpy as np
+
+from repro.runtime.fleet import clock
 
 
 class QueueFull(RuntimeError):
@@ -30,6 +34,22 @@ class DeadlineExceeded(RuntimeError):
 
 class FleetClosed(RuntimeError):
     """The fleet is shut down (or shut down before serving this request)."""
+
+
+class WorkerCrashed(RuntimeError):
+    """A process worker died or went silent while holding this request.
+
+    Raised to waiters when crash detection (dead pipe, process exit, or
+    ``max_missed_heartbeats`` silent intervals) fires while their batch was
+    in flight.  ``delivered`` records whether the batch was ever handed to
+    the worker: ``False`` means the control frame never left the parent, so
+    the fleet may safely retry the batch on a fresh worker; ``True`` means
+    the worker may have started computing and a retry could double-serve.
+    """
+
+    def __init__(self, message: str, delivered: bool = True) -> None:
+        super().__init__(message)
+        self.delivered = delivered
 
 
 class _FleetRequest:
@@ -48,7 +68,7 @@ class _FleetRequest:
         self.event = threading.Event()
         self.output: np.ndarray | None = None
         self.error: BaseException | None = None
-        self.enqueued_at = time.perf_counter()
+        self.enqueued_at = clock.now()
         self.deadline_at = (
             self.enqueued_at + deadline_ms / 1e3
             if deadline_ms is not None else None
@@ -60,7 +80,7 @@ class _FleetRequest:
         """True once the deadline (if any) has passed."""
         if self.deadline_at is None:
             return False
-        return (time.perf_counter() if now is None else now) >= self.deadline_at
+        return (clock.now() if now is None else now) >= self.deadline_at
 
     def fail(self, error: BaseException) -> None:
         """Complete the request exceptionally and wake the waiter."""
@@ -69,7 +89,7 @@ class _FleetRequest:
 
     def complete(self, output: np.ndarray, batch_size: int) -> None:
         """Complete the request with its logits and wake the waiter."""
-        self.latency_ms = (time.perf_counter() - self.enqueued_at) * 1e3
+        self.latency_ms = (clock.now() - self.enqueued_at) * 1e3
         self.output = output
         self.batch_size = batch_size
         self.event.set()

@@ -24,9 +24,9 @@ worker threads (``next_batch``).  Its policy, in order:
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 
+from repro.runtime.fleet import clock
 from repro.runtime.fleet.requests import (
     FleetClosed,
     QueueFull,
@@ -119,7 +119,7 @@ class FleetScheduler:
                         best = name
                 if best is not None:
                     queue = self._queues[best]
-                    now = time.perf_counter()
+                    now = clock.now()
                     live: list[_FleetRequest] = []
                     shed: list[_FleetRequest] = []
                     while queue and len(live) + len(shed) < self.max_batch:

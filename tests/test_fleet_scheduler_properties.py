@@ -1,0 +1,184 @@
+"""Property tests for FleetScheduler under a deterministic fake clock.
+
+Hypothesis drives randomized submit/advance/dequeue interleavings against a
+transparent mirror model of the scheduler's contract:
+
+* **global FIFO fairness** — ``next_batch`` always serves the model whose
+  head request has waited longest (ties broken by registration order,
+  matching dict iteration);
+* **bounded admission** — ``QueueFull`` fires exactly when a model's queue
+  holds ``max_queue`` requests, never earlier, never later;
+* **deadline shed ordering** — the live/shed split preserves arrival order
+  and classifies each popped request exactly by ``now >= deadline``;
+* **conservation** — ``accepted == completed + shed + queued`` after every
+  single operation (the scheduler neither invents nor loses requests).
+
+Time only moves when the test advances the
+:class:`~repro.runtime.fleet.testing.FakeClock`, so deadline expiry is a
+pure function of the generated script — every failure reproduces.
+"""
+
+import threading
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.fleet import FleetScheduler, QueueFull
+from repro.runtime.fleet.requests import _FleetRequest
+from repro.runtime.fleet.testing import FakeClock
+
+MODELS = ("m0", "m1", "m2")
+MAX_QUEUE = 3
+MAX_BATCH = 2
+
+_submit = st.tuples(
+    st.just("submit"),
+    st.integers(min_value=0, max_value=len(MODELS) - 1),
+    st.one_of(
+        st.none(),
+        st.floats(min_value=1.0, max_value=50.0, allow_nan=False),
+    ),
+)
+_advance = st.tuples(
+    st.just("advance"),
+    st.floats(min_value=0.0, max_value=0.08, allow_nan=False),
+)
+_dequeue = st.tuples(st.just("dequeue"))
+_ops = st.lists(
+    st.one_of(_submit, _advance, _dequeue), min_size=1, max_size=80
+)
+
+
+@given(ops=_ops)
+@settings(max_examples=120, deadline=None)
+def test_scheduler_contract_under_random_interleavings(ops):
+    """FIFO pick, QueueFull timing, shed split and conservation all hold."""
+    with FakeClock() as fake:
+        scheduler = FleetScheduler(max_queue=MAX_QUEUE, max_batch=MAX_BATCH)
+        for model in MODELS:
+            scheduler.add_model(model)
+        mirror = {model: [] for model in MODELS}  # FIFO of live requests
+        accepted = completed = shed = 0
+        sample = np.zeros(1)
+        for op in ops:
+            if op[0] == "submit":
+                model = MODELS[op[1]]
+                request = _FleetRequest(model, sample, deadline_ms=op[2])
+                if len(mirror[model]) >= MAX_QUEUE:
+                    try:
+                        scheduler.submit(request)
+                        raise AssertionError(
+                            f"queue for {model} at {MAX_QUEUE} accepted more"
+                        )
+                    except QueueFull:
+                        pass
+                else:
+                    scheduler.submit(request)
+                    mirror[model].append(request)
+                    accepted += 1
+            elif op[0] == "advance":
+                fake.advance(op[1])
+            else:  # dequeue — only meaningful with work pending
+                if not any(mirror.values()):
+                    continue
+                # Expected pick: oldest head; ties go to the model
+                # registered first (dict order), mirroring the strict `<`.
+                expect_model = min(
+                    (m for m in MODELS if mirror[m]),
+                    key=lambda m: (mirror[m][0].enqueued_at, MODELS.index(m)),
+                )
+                expect_pop = mirror[expect_model][:MAX_BATCH]
+                now = fake.now()
+                expect_live = [r for r in expect_pop if not r.expired(now)]
+                expect_shed = [r for r in expect_pop if r.expired(now)]
+                model, live, shed_out = scheduler.next_batch()
+                assert model == expect_model
+                assert live == expect_live  # arrival order preserved
+                assert shed_out == expect_shed
+                del mirror[model][:len(live) + len(shed_out)]
+                completed += len(live)
+                shed += len(shed_out)
+            queued = sum(len(queue) for queue in mirror.values())
+            assert accepted == completed + shed + queued
+            assert scheduler.depths() == {
+                m: len(mirror[m]) for m in MODELS
+            }
+
+
+@given(
+    deadline_ms=st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+    margin=st.floats(min_value=1e-6, max_value=0.5, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_deadline_expiry_is_exact_under_fake_clock(deadline_ms, margin):
+    """A request sheds iff the clock passes enqueue + deadline, exactly."""
+    with FakeClock() as fake:
+        request = _FleetRequest("m", np.zeros(1), deadline_ms=deadline_ms)
+        assert not request.expired()
+        # One tick before the deadline: still live.
+        before = request.deadline_at - fake.now() - 1e-9
+        if before > 0:
+            fake.advance(before)
+            assert not request.expired()
+        fake.advance(request.deadline_at - fake.now() + margin)
+        assert request.expired()
+
+
+def test_scheduler_conserves_requests_under_real_concurrency():
+    """Threads hammer submit while consumers drain: nothing lost/invented."""
+    scheduler = FleetScheduler(max_queue=64, max_batch=4)
+    for model in MODELS:
+        scheduler.add_model(model)
+    per_thread = 50
+    accepted = []
+    rejected = []
+    served = []
+    lock = threading.Lock()
+    stop = threading.Event()
+
+    def producer(model):
+        sample = np.zeros(1)
+        count = full = 0
+        for _ in range(per_thread):
+            try:
+                scheduler.submit(_FleetRequest(model, sample))
+                count += 1
+            except QueueFull:
+                full += 1
+        with lock:
+            accepted.append(count)
+            rejected.append(full)
+
+    def consumer():
+        count = 0
+        while not stop.is_set():
+            picked = scheduler.next_batch()
+            if picked is None:
+                break
+            _, live, shed_out = picked
+            count += len(live) + len(shed_out)
+        with lock:
+            served.append(count)
+
+    producers = [
+        threading.Thread(target=producer, args=(model,)) for model in MODELS
+    ]
+    consumers = [threading.Thread(target=consumer) for _ in range(2)]
+    for thread in consumers + producers:
+        thread.start()
+    for thread in producers:
+        thread.join()
+    # Let consumers drain what remains, then close to release them.
+    deadline = 5.0
+    import time
+    end = time.monotonic() + deadline
+    while sum(scheduler.depths().values()) and time.monotonic() < end:
+        time.sleep(0.002)
+    stop.set()
+    scheduler.close()
+    for thread in consumers:
+        thread.join(5.0)
+    leftovers = len(scheduler.drain())
+    assert sum(accepted) + sum(rejected) == per_thread * len(MODELS)
+    assert sum(served) + leftovers == sum(accepted)

@@ -225,6 +225,8 @@ class TestServingFleet:
         stats = gated_fleet.stats()
         assert stats["models"]["a"]["rejected"] == 1
         assert stats["fleet"]["rejected"] == 1
+        # The rejected submit's provisional acceptance was rolled back.
+        assert stats["models"]["a"]["accepted"] == 3
 
     def test_deadline_shed_before_compute(self, gated_fleet, sample):
         blocker = gated_fleet.submit("a", sample)  # occupies the one worker
@@ -318,8 +320,13 @@ class TestServingFleet:
         assert weights["unshared_bytes"] == 3 * weights["shared_bytes"]
         assert set(weights["per_model_bytes"]) == {"a", "b"}
         assert stats["config"]["workers"] == 3
+        assert stats["config"]["kind"] == "thread"
         assert stats["config"]["models"] == ["a", "b"]
         assert len(stats["workers"]) == 3
+        for block in stats["workers"]:
+            assert block["crashes"] == 0
+            assert block["kind"] == "thread"
+            assert block["pid"] is None
 
     def test_engine_error_propagates_and_counts_failed(self, plans, sample,
                                                       monkeypatch):

@@ -122,8 +122,12 @@ def collect_missing() -> list[str]:
     from repro.autograd import pool as autograd_pool
     from repro.hw import calibration
     from repro.nas import batched, quantization
+    from repro.runtime.fleet import clock as fleet_clock
+    from repro.runtime.fleet import testing as fleet_testing
 
     extra_names = (
+        (fleet_clock, ("now", "set_time_source", "time_source")),
+        (fleet_testing, ("FakeClock", "ScriptedEngine", "slow")),
         (autograd_pool, ("BufferPool", "buffer_pool", "get_pool")),
         (calibration, (
             "CalibrationFit", "fit_calibration_scale", "fit_from_serving_log",
