@@ -25,6 +25,7 @@ silently.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -75,6 +76,7 @@ __all__ = [
     "serve_fleet",
     "serve_plan",
     "targets",
+    "trace_session",
     "zoo",
 ]
 
@@ -992,3 +994,46 @@ def serve_fleet(
         plans, workers=workers, max_batch=max_batch, max_queue=max_queue,
         kind=worker_kind,
     )
+
+
+@contextlib.contextmanager
+def trace_session(chrome: str | Path | None = None,
+                  jsonl: str | Path | None = None):
+    """Trace everything inside the ``with`` block; write the files on exit.
+
+    Installs a fresh enabled :class:`repro.obs.Tracer` as the process-global
+    tracer, so every instrumented layer — :meth:`Engine.run
+    <repro.runtime.engine.Engine.run>`, the co-search epoch loop and the
+    serving fleet's request lifecycle — records spans into it.  On exit the
+    previous tracer is restored and the collected events are written to
+    ``chrome`` (Chrome trace-event JSON, loadable in ``chrome://tracing`` /
+    Perfetto) and/or ``jsonl`` (one event per line), whichever are given.
+
+    Yields the live tracer, so callers can add their own spans or counters::
+
+        with api.trace_session(chrome="trace.json") as tracer:
+            with tracer.span("my.block"):
+                engine.run(x)
+
+    Honours the ``REPRO_TRACE=0`` kill switch: tracing stays disabled, the
+    block runs untraced, and no file is written.
+    """
+    from repro.obs import (
+        Tracer,
+        set_tracer,
+        write_chrome_trace,
+        write_jsonl_trace,
+    )
+
+    tracer = Tracer(enabled=True)
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+        if tracer.enabled:
+            events = tracer.events()
+            if chrome is not None:
+                write_chrome_trace(events, chrome)
+            if jsonl is not None:
+                write_jsonl_trace(events, jsonl)

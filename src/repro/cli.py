@@ -27,30 +27,44 @@ Commands
              (``.npz``) for cold-start-free deployment.
 ``infer``    compile a model into the inference runtime and time
              ``Engine.run`` (``--compare`` adds the module-forward baseline;
-             ``--plan`` runs a previously saved plan instead).
+             ``--plan`` runs a previously saved plan instead;
+             ``--profile`` prints a per-op table joining measured times
+             against the analytic per-op prediction).
 ``serve``    round-trip requests through the micro-batching inference
              server and report per-request latency next to the analytic
              device-model prediction (``--once`` for CI smoke).
              ``--models a,b --workers N`` serves several models from one
              multi-worker :class:`~repro.runtime.fleet.ServingFleet`
-             (shared baked weights, admission control, fleet stats).
+             (shared baked weights, admission control, fleet stats);
+             ``--trace-out`` records the request lifecycle as a Chrome
+             trace, ``--metrics-out`` dumps Prometheus-style counters.
+``trace``    inspect a trace file: ``trace summary`` prints the top ops by
+             self-time and per-model queue-wait percentiles.
+``calibrate`` refit device calibration constants from a serving log
+             (``--log``) or, at op granularity, from a per-op profile
+             (``--per-op``, written by ``infer --profile --profile-out``).
 
-``tables``, ``zoo``, ``explore``, ``search``, ``bench``, ``infer`` and
-``serve`` accept ``--format json`` for machine-readable output (the
-``to_dict()`` forms from :mod:`repro.api`).  Target and device names come
-from :mod:`repro.hw.registry`; the CLI holds no hardware dispatch of its own.
+``tables``, ``zoo``, ``explore``, ``search``, ``bench``, ``infer``,
+``serve`` and ``trace`` accept ``--format json`` for machine-readable
+output (the ``to_dict()`` forms from :mod:`repro.api`).  Target and device
+names come from :mod:`repro.hw.registry`; the CLI holds no hardware
+dispatch of its own.  The global ``--log-level`` flag (or the
+``REPRO_LOG_LEVEL`` environment variable) sets the ``repro`` logger level.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
+from pathlib import Path
 
 from repro.baselines.model_zoo import MODEL_ZOO
 from repro.core.results import MULTI_SEARCH_OBJECTIVES
 from repro.eval.experiments import EXPERIMENTS, experiment_dict, run_experiment
 from repro.hw.registry import TARGETS, device_names, target_names
+from repro.utils.log import LOG_LEVELS
 from repro.utils.serialization import ReproJSONEncoder
 
 
@@ -336,7 +350,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     engine.run(x)  # warm the arena for this batch size
     samples = []
     for _ in range(args.runs):
-        out = engine.run(x)
+        out = engine.run(x, profile=args.profile)
         samples.append(engine.last_ms)
     payload = {
         "plan": plan.to_dict(),
@@ -374,6 +388,16 @@ def _cmd_infer(args: argparse.Namespace) -> int:
             "forward_latency_ms": forward_summary,
             "speedup": forward_summary["p50"] / payload["latency_ms"]["p50"],
         }
+    if args.profile:
+        from repro.obs import profile_report
+
+        payload["profile"] = profile_report(
+            engine, target=args.target, device=args.device, bits=args.bits
+        )
+        if args.profile_out:
+            Path(args.profile_out).write_text(
+                json.dumps(payload["profile"], indent=2), encoding="utf-8"
+            )
     if args.format == "json":
         _emit_json(payload)
         return 0
@@ -388,25 +412,54 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         print(f"BuiltNetwork.forward p50 "
               f"{cmp['forward_latency_ms']['p50']:.2f} ms "
               f"-> {cmp['speedup']:.1f}x speedup")
+    if args.profile:
+        from repro.obs import render_profile_table
+
+        print(render_profile_table(payload["profile"]))
+        if args.profile_out:
+            print(f"wrote profile to {args.profile_out}")
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.models and args.model:
+        raise ValueError("pass either --model or --models, not both")
+    if not args.models and not args.model:
+        raise ValueError("pass --model NAME or --models a,b,c")
+    if args.metrics_out and not args.models:
+        raise ValueError("--metrics-out reports fleet counters; it needs "
+                         "--models")
+    requests = 1 if args.once else args.requests
+    if requests < 1:
+        raise ValueError(f"--requests must be >= 1, got {requests}")
+    # The trace session wraps the whole serving run so request-lifecycle
+    # spans from every tier land in one file, written when the stack exits.
+    with contextlib.ExitStack() as stack:
+        if args.trace_out:
+            from repro import api
+
+            suffix = Path(args.trace_out).suffix.lower()
+            if suffix in (".jsonl", ".ndjson"):
+                stack.enter_context(api.trace_session(jsonl=args.trace_out))
+            else:
+                stack.enter_context(api.trace_session(chrome=args.trace_out))
+        if args.models:
+            code = _serve_fleet(args, requests)
+        else:
+            code = _serve_single(args, requests)
+    if args.trace_out and code == 0 and args.format != "json":
+        print(f"wrote trace to {args.trace_out}")
+    return code
+
+
+def _serve_single(args: argparse.Namespace, requests: int) -> int:
+    """``repro serve --model``: the single-model micro-batching server."""
     import numpy as np
 
     from repro import api
     from repro.hw.report import predicted_vs_measured
     from repro.runtime import InferenceServer
 
-    if args.models and args.model:
-        raise ValueError("pass either --model or --models, not both")
-    if not args.models and not args.model:
-        raise ValueError("pass --model NAME or --models a,b,c")
-    requests = 1 if args.once else args.requests
-    if requests < 1:
-        raise ValueError(f"--requests must be >= 1, got {requests}")
-    if args.models:
-        return _serve_fleet(args, requests)
     engine = _runtime_engine(args)
     rng = np.random.default_rng(args.seed or 0)
     with InferenceServer(
@@ -488,6 +541,11 @@ def _serve_fleet(args: argparse.Namespace, requests: int) -> int:
         for handle in handles:
             handle.result(timeout=60.0)
         stats = fleet.stats()
+    if args.metrics_out:
+        from repro.obs import prometheus_text
+
+        Path(args.metrics_out).write_text(prometheus_text(stats),
+                                          encoding="utf-8")
     comparisons = {}
     for name in names:
         spec = api._runtime_spec(name, args.width, args.input_size,
@@ -529,13 +587,32 @@ def _serve_fleet(args: argparse.Namespace, requests: int) -> int:
     shared = stats["weights"]["shared_bytes"]
     print(f"weights: {shared / 1024:.0f} KiB mapped once "
           f"(vs {stats['weights']['unshared_bytes'] / 1024:.0f} KiB unshared)")
+    if args.metrics_out:
+        print(f"wrote metrics to {args.metrics_out}")
+    return 0
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    from repro.obs import load_trace, render_trace_summary, summarize_trace
+
+    summary = summarize_trace(load_trace(args.file))
+    if args.format == "json":
+        _emit_json(summary)
+        return 0
+    print(render_trace_summary(summary, top=args.top))
     return 0
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
-    from repro.hw.calibration import fit_from_serving_log
+    from repro.hw.calibration import fit_from_profile, fit_from_serving_log
 
-    fits = fit_from_serving_log(args.log)
+    if bool(args.log) == bool(args.per_op):
+        raise ValueError("pass exactly one of --log (serving log) or "
+                         "--per-op (profile JSON)")
+    if args.per_op:
+        fits = fit_from_profile(args.per_op)
+    else:
+        fits = fit_from_serving_log(args.log)
     if not fits:
         print("no usable records (need predicted_ms and measured_ms)",
               file=sys.stderr)
@@ -559,6 +636,9 @@ def _add_format(parser: argparse.ArgumentParser) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--log-level", choices=LOG_LEVELS, default=None,
+                        help="set the repro logger level (overrides the "
+                             "REPRO_LOG_LEVEL environment variable)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_tables = sub.add_parser("tables", help="regenerate paper tables/figures")
@@ -709,6 +789,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_infer.add_argument("--compare", action="store_true",
                          help="also time BuiltNetwork.forward and report the "
                               "speedup")
+    p_infer.add_argument("--profile", action="store_true",
+                         help="time every plan op and print a per-op table "
+                              "(joined against the analytic per-op "
+                              "prediction when --target is given)")
+    p_infer.add_argument("--profile-out", default=None,
+                         help="also write the per-op profile payload as JSON "
+                              "(consumed by repro calibrate --per-op)")
+    p_infer.add_argument("--target", default=None, choices=target_names(),
+                         help="hardware target for the per-op analytic "
+                              "prediction column (with --profile)")
+    p_infer.add_argument("--device", default=None, choices=device_names(),
+                         help="override the target's default device "
+                              "(with --profile --target)")
     _add_format(p_infer)
     p_infer.set_defaults(fn=_cmd_infer)
 
@@ -750,16 +843,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--calibration-log", default=None,
                          help="append the predicted-vs-measured record to "
                               "this JSONL file (consumed by repro calibrate)")
+    p_serve.add_argument("--trace-out", default=None,
+                         help="record request-lifecycle spans and write them "
+                              "here on exit (.json: Chrome trace-event "
+                              "format, loadable in chrome://tracing or "
+                              "Perfetto; .jsonl: one event per line)")
+    p_serve.add_argument("--metrics-out", default=None,
+                         help="write a Prometheus-style text dump of the "
+                              "fleet counters here (with --models)")
     _add_format(p_serve)
     p_serve.set_defaults(fn=_cmd_serve)
 
+    p_trace = sub.add_parser(
+        "trace", help="inspect a trace file written by serve --trace-out"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tsum = trace_sub.add_parser(
+        "summary",
+        help="top ops by self-time plus per-model queue-wait percentiles",
+    )
+    p_tsum.add_argument("file",
+                        help="Chrome-trace .json or .jsonl events file")
+    p_tsum.add_argument("--top", type=int, default=15,
+                        help="rows in the by-self-time op table")
+    _add_format(p_tsum)
+    p_tsum.set_defaults(fn=_cmd_trace_summary)
+
     p_calibrate = sub.add_parser(
         "calibrate",
-        help="refit device calibration_scale constants from a serving log",
+        help="refit device calibration_scale constants from measurements",
     )
-    p_calibrate.add_argument("--log", required=True,
+    p_calibrate.add_argument("--log", default=None,
                              help="JSONL log written by "
                                   "repro serve --calibration-log")
+    p_calibrate.add_argument("--per-op", default=None, dest="per_op",
+                             help="per-op profile JSON written by repro "
+                                  "infer --profile --profile-out: every op "
+                                  "becomes an independent predicted/measured "
+                                  "calibration record")
     _add_format(p_calibrate)
     p_calibrate.set_defaults(fn=_cmd_calibrate)
     return parser
@@ -767,6 +888,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        from repro.utils.log import set_level
+
+        set_level(args.log_level)
     try:
         return args.fn(args)
     except (ValueError, OSError) as err:

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.autograd.pool import buffer_pool
 from repro.core.results import EpochRecord
+from repro.obs.tracer import get_tracer
 
 PHASES = ("anneal", "weight", "arch", "derive")
 
@@ -161,8 +162,12 @@ class SearchEngine:
 
     # -- timing ----------------------------------------------------------------
     def _timed(self, phase: str, fn: Callable[[], Any]) -> Any:
+        tracer = get_tracer()
         start = time.perf_counter()
         try:
+            if tracer.enabled:
+                with tracer.span(f"search.{phase}", cat="search"):
+                    return fn()
             return fn()
         finally:
             self.phase_seconds[phase] += time.perf_counter() - start
@@ -219,6 +224,8 @@ class SearchEngine:
         # the arrays epoch k allocated (see repro.autograd.pool).
         with buffer_pool(self.use_buffer_pool) as pool:
             for epoch in range(start_epoch, self.epochs):
+                tracer = get_tracer()
+                epoch_start = tracer.clock() if tracer.enabled else 0.0
                 ctx = EpochContext(epoch=epoch)
                 if self.anneal is not None and self.anneal_at == "start":
                     ctx.temperature = float(
@@ -279,6 +286,20 @@ class SearchEngine:
                     ),
                 )
                 history.append(record)
+                if tracer.enabled:
+                    tracer.add_span(
+                        "search.epoch", epoch_start,
+                        tracer.clock() - epoch_start, cat="search",
+                        args={"epoch": epoch},
+                    )
+                    # Counters skip non-finite values (pre-arch epochs report
+                    # NaN losses) inside Tracer.counter.
+                    tracer.counter("search.train_loss", record.train_loss,
+                                   cat="search")
+                    tracer.counter("search.total_loss", record.total_loss,
+                                   cat="search")
+                    tracer.counter("search.temperature", record.temperature,
+                                   cat="search")
                 for callback in self.callbacks:
                     callback(record)
                 # Safety valve: buffers stranded by graphs that never ran

@@ -210,6 +210,64 @@ def fit_from_serving_log(path: str | Path) -> dict[tuple[str, str], CalibrationF
     return fit_calibration_scale(load_serving_log(path))
 
 
+def records_from_profile(profile: dict[str, Any]) -> list[dict[str, Any]]:
+    """Per-op profile payload -> ``predicted_vs_measured``-shaped records.
+
+    ``profile`` is the JSON written by ``repro infer --profile
+    --profile-out`` (see :func:`repro.obs.profile_report`): it must carry
+    ``target``/``device`` and per-op rows joining ``predicted_ms`` against
+    the measured ``mean_ms``.  Each joined row becomes one calibration
+    record (the ``model`` field names the op, e.g. ``net#op3:conv3x3dw``),
+    so :func:`fit_calibration_scale` refits at op granularity — every op is
+    an independent predicted/measured pair instead of one whole-model p50.
+
+    Raises:
+        ValueError: When the payload names no target/device (profile was
+            taken without ``--target``) or joins no rows.
+    """
+    target = profile.get("target")
+    device = profile.get("device")
+    if not target or not device:
+        raise ValueError(
+            "profile payload has no target/device — run "
+            "`repro infer --profile --target <t>` so rows carry predictions"
+        )
+    records: list[dict[str, Any]] = []
+    for row in profile.get("rows", []):
+        predicted = row.get("predicted_ms")
+        measured = row.get("mean_ms")
+        if not predicted or not measured:
+            continue
+        records.append({
+            "model": (
+                f"{profile.get('model', '?')}#op{row.get('index')}:"
+                f"{row.get('label', row.get('kind', '?'))}"
+            ),
+            "target": target,
+            "device": device,
+            "bits": profile.get("bits"),
+            "metric": "latency_ms",
+            "predicted_ms": float(predicted),
+            "measured_ms": float(measured),
+        })
+    if not records:
+        raise ValueError(
+            "profile payload joins no per-op rows (no op has both a "
+            "prediction and a measured mean)"
+        )
+    return records
+
+
+def fit_from_profile(path: str | Path) -> dict[tuple[str, str], CalibrationFit]:
+    """Fit calibration scales from a per-op profile JSON file.
+
+    The op-granular counterpart of :func:`fit_from_serving_log`, backing
+    ``repro calibrate --per-op``.
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return fit_calibration_scale(records_from_profile(payload))
+
+
 def apply_fit(device, fit: CalibrationFit):
     """A copy of ``device`` with the refitted ``calibration_scale``.
 

@@ -159,6 +159,138 @@ def predicted_vs_measured(
     }
 
 
+def plan_op_layer(plan, op) -> ResolvedLayer | None:
+    """Reconstruct the analytic-layer view of one compiled plan op.
+
+    The executable plan (:class:`repro.runtime.plan.ExecutionPlan`) has lost
+    the :class:`ArchSpec` layer list — geometry lives in buffer shapes, baked
+    weight arrays and op attrs.  This rebuilds a :class:`ResolvedLayer` for
+    the ops the analytic device models know how to price (conv / dwconv /
+    fc / pool); data-movement ops (flatten, add, concat) return ``None``.
+
+    Fused ops keep the convolution's geometry: the MAC count only depends on
+    the output extent and the weight shape, so residual-add or pool fusion
+    does not change the compute term.
+    """
+    out_shape = plan.buffer(op.output).shape
+    in_shape = plan.buffer(op.inputs[0]).shape if op.inputs else ()
+    if op.kind == "conv" and op.weight is not None:
+        out_ch, in_per_group, kernel, _ = op.weight.shape
+        groups = int(op.attrs.get("groups", 1))
+        in_ch = in_per_group * groups
+        kind = "dwconv" if groups == in_ch and groups > 1 else "conv"
+        out_h, out_w = (out_shape[1], out_shape[2]) if len(out_shape) == 3 else (1, 1)
+        in_h, in_w = (in_shape[1], in_shape[2]) if len(in_shape) == 3 else (out_h, out_w)
+        return ResolvedLayer(
+            kind=kind, kernel=int(kernel), stride=int(op.attrs.get("stride", 1)),
+            in_ch=int(in_ch), out_ch=int(out_ch), groups=groups,
+            in_h=int(in_h), in_w=int(in_w), out_h=int(out_h), out_w=int(out_w),
+        )
+    if op.kind == "linear" and op.weight is not None:
+        out_features, in_features = op.weight.shape
+        return ResolvedLayer(
+            kind="fc", kernel=1, stride=1,
+            in_ch=int(in_features), out_ch=int(out_features), groups=1,
+            in_h=1, in_w=1, out_h=1, out_w=1,
+        )
+    if op.kind in ("maxpool", "avgpool", "gap"):
+        if len(in_shape) != 3:
+            return None
+        in_ch, in_h, in_w = in_shape
+        if len(out_shape) == 3:
+            out_ch, out_h, out_w = out_shape
+        else:
+            out_ch, out_h, out_w = in_ch, 1, 1
+        kernel = int(op.attrs.get("kernel", in_h))
+        return ResolvedLayer(
+            kind="pool", kernel=kernel, stride=int(op.attrs.get("stride", kernel)),
+            in_ch=int(in_ch), out_ch=int(out_ch), groups=1,
+            in_h=int(in_h), in_w=int(in_w), out_h=int(out_h), out_w=int(out_w),
+        )
+    return None
+
+
+def per_op_predicted_ms(
+    plan,
+    target: str,
+    device: str | None = None,
+    bits: int | None = None,
+) -> dict:
+    """Analytic per-op latency decomposition of a compiled plan.
+
+    Returns a JSON-serialisable dict with ``per_op`` — one predicted
+    millisecond figure (or ``None``) per plan op, aligned by op index — plus
+    the resolved ``target``/``device``/``bits`` and a ``supported`` flag.
+    Only the additive flows decompose: the GPU roofline (per-kernel) and the
+    recursive FPGA schedule (per-IP-invocation; pools are free there, like in
+    :func:`repro.hw.analytic.fpga_recursive_latency_ms`).  The pipelined
+    flow's throughput is set by its bottleneck stage, not a sum, so it — and
+    targets with no analytic estimator — report ``supported: False``.
+
+    The ``measured_over_predicted`` ratio of each joined row feeds
+    :func:`repro.hw.calibration.fit_calibration_scale` at op granularity via
+    ``repro calibrate --per-op``.
+    """
+    from repro.hw import registry
+
+    tspec = registry.get_target(target)
+    dev = tspec.resolve_device(device)
+    requested = tspec.default_deploy_bits if bits is None else bits
+    effective, clamped = tspec.clamp_bits(requested)
+    result: dict = {
+        "target": tspec.name,
+        "device": dev.name,
+        "bits": effective,
+        "clamped": clamped,
+        "metric": "latency_ms",
+        "supported": False,
+        "note": "",
+        "per_op": [None] * len(plan.ops),
+    }
+    per_op = result["per_op"]
+    if tspec.plan_flow == "gpu" and isinstance(dev, GPUDevice):
+        for index, op in enumerate(plan.ops):
+            layer = plan_op_layer(plan, op)
+            if layer is None:
+                continue
+            try:
+                us = _gpu_layer_us(layer, dev, effective)
+            except KeyError:
+                continue
+            per_op[index] = us / 1e3 * dev.calibration_scale
+        result["supported"] = True
+        return result
+    if tspec.plan_flow == "recursive" and isinstance(dev, FPGADevice):
+        macs_per_cycle = dev.macs_per_cycle(effective)
+        for index, op in enumerate(plan.ops):
+            layer = plan_op_layer(plan, op)
+            if layer is None or layer.kind == "pool":
+                continue
+            try:
+                eff = dev.recursive_efficiency[layer_kind_key(layer.kind, layer.kernel)]
+            except KeyError:
+                continue
+            seconds = (
+                layer.macs / (dev.dsp_total * macs_per_cycle * eff) / dev.clock_hz
+            )
+            per_op[index] = (
+                (seconds * 1e6 + dev.per_layer_overhead_us)
+                / 1e3 * dev.calibration_scale
+            )
+        result["supported"] = True
+        return result
+    if tspec.plan_flow == "pipelined":
+        result["note"] = (
+            "pipelined throughput is set by the bottleneck stage and does not "
+            "decompose into additive per-op latencies"
+        )
+    else:
+        result["note"] = (
+            f"target {tspec.name!r} has no per-op latency decomposition"
+        )
+    return result
+
+
 def deployment_plan(
     spec: ArchSpec,
     flow: str,

@@ -1,0 +1,196 @@
+"""Trace sinks: Chrome trace-event JSON, JSONL event log, Prometheus text.
+
+Tracer events carry timestamps in seconds (see :mod:`repro.obs.tracer`);
+both file sinks convert to the Chrome trace-event schema — ``ts``/``dur``
+in **microseconds**, ``ph`` phase codes, ``pid``/``tid`` lanes — so a JSONL
+log holds exactly the same objects as the ``traceEvents`` array of the
+Chrome JSON, one per line.  :func:`load_trace` reads either format back.
+
+:func:`prometheus_text` is the third sink: it renders a fleet
+``stats()`` snapshot (:meth:`repro.runtime.fleet.ServingFleet.stats`) as
+Prometheus text exposition, for scraping or for ``repro serve
+--metrics-out``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping
+
+__all__ = [
+    "export_events",
+    "write_chrome_trace",
+    "write_jsonl_trace",
+    "write_trace",
+    "load_trace",
+    "prometheus_text",
+]
+
+
+def export_events(events: Iterable[Mapping[str, object]]) -> list[dict]:
+    """Convert tracer events (seconds) to Chrome trace-event dicts (µs).
+
+    ``ts``/``dur`` become integer microseconds; all other fields pass
+    through.  Counter events (``ph: "C"``) have no ``dur``.
+    """
+    out: list[dict] = []
+    for event in events:
+        converted = dict(event)
+        converted["ts"] = int(round(float(converted.get("ts", 0.0)) * 1e6))
+        if "dur" in converted:
+            converted["dur"] = int(round(float(converted["dur"]) * 1e6))
+        out.append(converted)
+    return out
+
+
+def write_chrome_trace(events: Iterable[Mapping[str, object]], path: str) -> int:
+    """Write events as Chrome trace-event JSON loadable by ``chrome://tracing``.
+
+    Returns the number of events written.  The file is a single JSON object
+    ``{"traceEvents": [...], "displayTimeUnit": "ms"}``.
+    """
+    exported = export_events(events)
+    payload = {"traceEvents": exported, "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, allow_nan=False)
+        fh.write("\n")
+    return len(exported)
+
+
+def write_jsonl_trace(events: Iterable[Mapping[str, object]], path: str) -> int:
+    """Write events as JSONL (one Chrome-schema event object per line).
+
+    Returns the number of events written.
+    """
+    exported = export_events(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in exported:
+            fh.write(json.dumps(event, allow_nan=False))
+            fh.write("\n")
+    return len(exported)
+
+
+def write_trace(events: Iterable[Mapping[str, object]], path: str) -> int:
+    """Write events picking the format from the file extension.
+
+    ``.jsonl``/``.ndjson`` → JSONL event log; anything else → Chrome
+    trace-event JSON.  Returns the number of events written.
+    """
+    if path.endswith((".jsonl", ".ndjson")):
+        return write_jsonl_trace(events, path)
+    return write_chrome_trace(events, path)
+
+
+def load_trace(path: str) -> list[dict]:
+    """Read a trace written by either file sink; return Chrome-schema events.
+
+    Accepts Chrome trace JSON (``{"traceEvents": [...]}`` or a bare event
+    array) and JSONL.  Timestamps stay in microseconds, as stored.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if not stripped:
+        return []
+    if stripped.startswith("{"):
+        try:
+            payload = json.loads(stripped)
+        except json.JSONDecodeError:
+            payload = None
+        # Only a dict with a traceEvents key is the Chrome wrapper; a lone
+        # event object is a one-line JSONL file and falls through below.
+        if isinstance(payload, dict) and "traceEvents" in payload:
+            events = payload["traceEvents"]
+            if not isinstance(events, list):
+                raise ValueError(f"{path}: traceEvents is not a list")
+            return events
+    if stripped.startswith("["):
+        events = json.loads(stripped)
+        if not isinstance(events, list):
+            raise ValueError(f"{path}: expected a JSON array of events")
+        return events
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def prometheus_text(stats: Mapping[str, object], prefix: str = "repro_fleet") -> str:
+    """Render a fleet ``stats()`` snapshot as Prometheus text exposition.
+
+    Emits per-model admission counters (``<prefix>_requests_total`` with
+    ``model``/``outcome`` labels), queue-depth gauges, latency-quantile
+    gauges, batch counters, and per-worker busy/crash/utilisation series.
+    """
+    lines: list[str] = []
+
+    def metric(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    def sample(name: str, labels: dict[str, object], value: float) -> None:
+        if labels:
+            body = ",".join(
+                f'{key}="{_prom_escape(str(val))}"' for key, val in labels.items()
+            )
+            lines.append(f"{name}{{{body}}} {value}")
+        else:
+            lines.append(f"{name} {value}")
+
+    models = stats.get("models", {}) or {}
+    metric(f"{prefix}_requests_total", "counter",
+           "Requests by model and admission/serving outcome.")
+    for model, block in models.items():
+        for outcome in ("accepted", "rejected", "shed", "completed", "failed"):
+            sample(f"{prefix}_requests_total",
+                   {"model": model, "outcome": outcome},
+                   float(block.get(outcome, 0)))
+
+    metric(f"{prefix}_queue_depth", "gauge", "Requests waiting per model queue.")
+    for model, block in models.items():
+        sample(f"{prefix}_queue_depth", {"model": model},
+               float(block.get("queue_depth", 0)))
+
+    metric(f"{prefix}_latency_ms", "gauge",
+           "Request latency summary per model (milliseconds).")
+    for model, block in models.items():
+        latency = block.get("latency_ms")
+        if not latency:
+            continue
+        for key, label in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+            if key in latency:
+                sample(f"{prefix}_latency_ms",
+                       {"model": model, "quantile": label}, float(latency[key]))
+        if "mean" in latency:
+            sample(f"{prefix}_latency_ms_mean", {"model": model},
+                   float(latency["mean"]))
+        if "max" in latency:
+            sample(f"{prefix}_latency_ms_max", {"model": model},
+                   float(latency["max"]))
+
+    metric(f"{prefix}_batches_total", "counter", "Batches served per model.")
+    for model, block in models.items():
+        sample(f"{prefix}_batches_total", {"model": model},
+               float(block.get("batches", 0)))
+
+    workers = stats.get("workers", []) or []
+    metric(f"{prefix}_worker_busy_seconds_total", "counter",
+           "Cumulative busy time per worker.")
+    for index, block in enumerate(workers):
+        sample(f"{prefix}_worker_busy_seconds_total", {"worker": index},
+               float(block.get("busy_s", 0.0)))
+    metric(f"{prefix}_worker_crashes_total", "counter",
+           "Worker crashes detected by the supervisor.")
+    for index, block in enumerate(workers):
+        sample(f"{prefix}_worker_crashes_total", {"worker": index},
+               float(block.get("crashes", 0)))
+    metric(f"{prefix}_worker_utilization", "gauge",
+           "Busy seconds over wall seconds since fleet start.")
+    for index, block in enumerate(workers):
+        sample(f"{prefix}_worker_utilization", {"worker": index},
+               float(block.get("utilization", 0.0)))
+
+    metric(f"{prefix}_uptime_seconds", "gauge", "Fleet uptime.")
+    sample(f"{prefix}_uptime_seconds", {}, float(stats.get("uptime_s", 0.0)))
+    return "\n".join(lines) + "\n"

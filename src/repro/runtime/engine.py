@@ -19,6 +19,7 @@ import time
 import numpy as np
 
 from repro.autograd import ops_nn
+from repro.obs.tracer import get_tracer
 from repro.runtime.arena import ArenaLayout, plan_arena
 from repro.runtime.plan import ExecutionPlan, PlanOp
 
@@ -42,6 +43,9 @@ class Engine:
         self.run_count = 0
         self.total_ms = 0.0
         self.last_ms = 0.0
+        self.profiled_runs = 0
+        self._op_total_ms = [0.0] * len(plan.ops)
+        self._op_calls = [0] * len(plan.ops)
 
     # -- memory -------------------------------------------------------------
     def arena_bytes(self, batch: int = 1) -> int:
@@ -65,11 +69,18 @@ class Engine:
         return views
 
     # -- execution ----------------------------------------------------------
-    def run(self, x: np.ndarray) -> np.ndarray:
+    def run(self, x: np.ndarray, profile: bool = False) -> np.ndarray:
         """Execute the plan on ``x``; returns the logits.
 
         ``x`` may be one sample (no batch axis) or a batch; the output keeps
         the same convention.  Input is cast to the plan dtype.
+
+        With ``profile=True`` each op is timed individually into the per-op
+        table returned by :meth:`op_profile` (one extra clock read per op —
+        leave it off on the serving hot path).  When the global tracer
+        (:func:`repro.obs.get_tracer`) is enabled, every call also emits one
+        ``engine.run`` span; when it is disabled the only cost is a single
+        attribute check.
         """
         x = np.asarray(x, dtype=self.plan.dtype)
         single = x.ndim == len(self.plan.input_shape)
@@ -80,15 +91,35 @@ class Engine:
                 f"input shape {x.shape[1:]} does not match plan input "
                 f"{self.plan.input_shape}"
             )
+        tracer = get_tracer()
+        traced = tracer.enabled
+        if traced:
+            trace_start = tracer.clock()
         start = time.perf_counter()
         views = self._views_for(x.shape[0])
         np.copyto(views[self.plan.input_buffer], x)
-        for op in self.plan.ops:
-            _OP_TABLE[op.kind](op, views)
+        if profile:
+            op_ms = self._op_total_ms
+            op_calls = self._op_calls
+            for index, op in enumerate(self.plan.ops):
+                op_start = time.perf_counter()
+                _OP_TABLE[op.kind](op, views)
+                op_ms[index] += (time.perf_counter() - op_start) * 1e3
+                op_calls[index] += 1
+            self.profiled_runs += 1
+        else:
+            for op in self.plan.ops:
+                _OP_TABLE[op.kind](op, views)
         out = views[self.plan.output_buffer].copy()
         self.last_ms = (time.perf_counter() - start) * 1e3
         self.total_ms += self.last_ms
         self.run_count += 1
+        if traced:
+            tracer.add_span(
+                "engine.run", trace_start, tracer.clock() - trace_start,
+                cat="runtime",
+                args={"plan": self.plan.name, "batch": int(x.shape[0])},
+            )
         return out[0] if single else out
 
     def stats(self) -> dict[str, float]:
@@ -99,6 +130,36 @@ class Engine:
             "mean_ms": self.total_ms / self.run_count if self.run_count else 0.0,
             "last_ms": self.last_ms,
         }
+
+    # -- profiling ----------------------------------------------------------
+    def op_profile(self) -> list[dict]:
+        """Per-op timing table accumulated by ``run(..., profile=True)`` calls.
+
+        One row per plan op (aligned by index, including ops never profiled):
+        ``{index, label, kind, calls, total_ms, mean_ms}`` with ``mean_ms``
+        being milliseconds per profiled call (``None`` before any profiled
+        run).  Join against the analytic estimate with
+        :func:`repro.obs.profile_report`.
+        """
+        rows = []
+        for index, op in enumerate(self.plan.ops):
+            calls = self._op_calls[index]
+            total = self._op_total_ms[index]
+            rows.append({
+                "index": index,
+                "label": op.label or op.kind,
+                "kind": op.kind,
+                "calls": calls,
+                "total_ms": total,
+                "mean_ms": total / calls if calls else None,
+            })
+        return rows
+
+    def reset_profile(self) -> None:
+        """Zero the per-op profile accumulators."""
+        self.profiled_runs = 0
+        self._op_total_ms = [0.0] * len(self.plan.ops)
+        self._op_calls = [0] * len(self.plan.ops)
 
 
 # -- op implementations -----------------------------------------------------

@@ -29,7 +29,9 @@ import time
 
 import numpy as np
 
+from repro.obs.tracer import Tracer, get_tracer, reanchor_spans
 from repro.runtime.engine import Engine
+from repro.runtime.fleet import clock
 from repro.runtime.fleet.metrics import ServingMetrics
 from repro.runtime.fleet.requests import (
     DeadlineExceeded,
@@ -163,13 +165,75 @@ class ServingFleet:
             thread.start()
 
     # -- shared dequeue handling ---------------------------------------------
-    def _shed_requests(self, model: str, shed: list[_FleetRequest]) -> None:
+    def _shed_requests(
+        self, model: str, shed: list[_FleetRequest], worker_index: int
+    ) -> None:
+        tracer = get_tracer()
         for request in shed:
             request.fail(DeadlineExceeded(
                 f"request for {model!r} shed after exceeding its deadline"
             ))
+            if tracer.enabled:
+                tracer.add_span(
+                    "request.shed", request.enqueued_at,
+                    request.dispatched_at - request.enqueued_at,
+                    cat="fleet", tid=worker_index,
+                    args={"model": model, "req": request.req_id},
+                )
         if shed:
             self.metrics.record_shed(model, len(shed))
+
+    def _emit_request_spans(
+        self,
+        tracer: Tracer,
+        model: str,
+        live: list[_FleetRequest],
+        compute_start: float,
+        compute_end: float,
+        worker_index: int,
+    ) -> None:
+        """Lifecycle spans for a completed batch, on the worker's trace lane.
+
+        Per request (joined by the ``req`` arg): ``request`` (enqueue →
+        completion), ``request.queued`` (enqueue → scheduler dispatch),
+        ``request.dispatch`` (dispatch → compute start: shed filtering plus
+        batch assembly) and ``request.compute`` (the batch's compute
+        interval).  All timestamps come from the fleet clock
+        (:mod:`repro.runtime.fleet.clock`), so traces are deterministic
+        under ``FakeClock``.
+        """
+        for request in live:
+            queued_s = request.dispatched_at - request.enqueued_at
+            args = {
+                "model": model,
+                "req": request.req_id,
+                "queue_wait_ms": queued_s * 1e3,
+                "batch": request.batch_size,
+            }
+            tracer.add_span(
+                "request", request.enqueued_at, request.latency_ms / 1e3,
+                cat="fleet", tid=worker_index, args=args,
+            )
+            tracer.add_span(
+                "request.queued", request.enqueued_at, queued_s,
+                cat="fleet", tid=worker_index,
+                args={"model": model, "req": request.req_id},
+            )
+            tracer.add_span(
+                "request.dispatch", request.dispatched_at,
+                compute_start - request.dispatched_at,
+                cat="fleet", tid=worker_index,
+                args={"model": model, "req": request.req_id},
+            )
+            tracer.add_span(
+                "request.compute", compute_start,
+                compute_end - compute_start,
+                cat="fleet", tid=worker_index,
+                args={
+                    "model": model, "req": request.req_id,
+                    "batch": request.batch_size,
+                },
+            )
 
     # -- thread worker loop --------------------------------------------------
     def _worker_loop(self, worker_index: int) -> None:
@@ -180,7 +244,8 @@ class ServingFleet:
                 return
             model, live, shed = picked
             start = time.perf_counter()
-            self._shed_requests(model, shed)
+            tracer = get_tracer()
+            self._shed_requests(model, shed, worker_index)
             if not live:
                 self.metrics.record_worker_busy(
                     worker_index, time.perf_counter() - start
@@ -191,7 +256,9 @@ class ServingFleet:
                 engine = engines[model] = Engine(self._plans[model])
             try:
                 batch = np.stack([request.x for request in live])
+                compute_start = clock.now()
                 outputs = engine.run(batch)
+                compute_end = clock.now()
             except Exception as error:  # engine failures reach the callers
                 for request in live:
                     request.fail(error)
@@ -202,6 +269,11 @@ class ServingFleet:
                 continue
             for row, request in enumerate(live):
                 request.complete(np.array(outputs[row]), len(live))
+            if tracer.enabled:
+                self._emit_request_spans(
+                    tracer, model, live, compute_start, compute_end,
+                    worker_index,
+                )
             self.metrics.record_batch(
                 model,
                 [request.latency_ms for request in live],
@@ -217,7 +289,8 @@ class ServingFleet:
                 break
             model, live, shed = picked
             start = time.perf_counter()
-            self._shed_requests(model, shed)
+            tracer = get_tracer()
+            self._shed_requests(model, shed, worker_index)
             if not live:
                 self.metrics.record_worker_busy(
                     worker_index, time.perf_counter() - start
@@ -225,6 +298,8 @@ class ServingFleet:
                 continue
             batch = np.stack([request.x for request in live])
             outputs = None
+            child_spans: list[dict] | None = None
+            compute_start = compute_end = 0.0
             crash: WorkerCrashed | None = None
             error: Exception | None = None
             attempts = 0
@@ -236,7 +311,11 @@ class ServingFleet:
                     )
                     break
                 try:
-                    outputs = worker.run_batch(model, batch)
+                    compute_start = clock.now()
+                    outputs, child_spans = worker.run_batch(
+                        model, batch, trace=tracer.enabled
+                    )
+                    compute_end = clock.now()
                     break
                 except WorkerCrashed as failure:
                     self.metrics.record_crash(worker_index)
@@ -281,6 +360,29 @@ class ServingFleet:
                 continue
             for row, request in enumerate(live):
                 request.complete(np.array(outputs[row]), len(live))
+            if tracer.enabled:
+                # The SUBMIT round trip is the batch's compute interval on
+                # the parent timeline; the child's relative spans re-anchor
+                # to its start, so they nest inside ``fleet.submit``.
+                tracer.add_span(
+                    "fleet.submit", compute_start,
+                    compute_end - compute_start,
+                    cat="fleet", tid=worker_index,
+                    args={
+                        "model": model, "batch": len(live),
+                        "worker": worker_index,
+                    },
+                )
+                if child_spans:
+                    tracer.extend(reanchor_spans(
+                        child_spans, compute_start,
+                        pid=tracer.pid, tid=worker_index,
+                        extra_args={"worker": worker_index},
+                    ))
+                self._emit_request_spans(
+                    tracer, model, live, compute_start, compute_end,
+                    worker_index,
+                )
             self.metrics.record_batch(
                 model,
                 [request.latency_ms for request in live],

@@ -13,11 +13,17 @@ holds per model and fleet-wide at every quiescent point.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from typing import Any
 
 import numpy as np
+
+#: Default reservoir capacity for latency samples.  2048 points keep the
+#: p99 estimate within a fraction of a percentile rank of the exact value
+#: while bounding a long-running fleet's memory at O(capacity) per model.
+LATENCY_RESERVOIR = 2048
 
 
 def latency_percentiles(samples_ms) -> dict[str, float]:
@@ -38,22 +44,104 @@ def latency_percentiles(samples_ms) -> dict[str, float]:
     }
 
 
+class ReservoirSample:
+    """Bounded uniform sample (Algorithm R) with exact count/mean/max.
+
+    Replaces the unbounded per-model latency lists: a long-running fleet
+    records millions of latencies, but percentile estimates only need a
+    uniform sample.  Count, sum (hence mean) and max stay exact; the
+    percentiles in :meth:`summary` come from the reservoir, which holds a
+    uniform random subset of everything ever added.  Deterministically
+    seeded so metrics snapshots are reproducible in tests.
+    """
+
+    __slots__ = ("capacity", "count", "total", "max_value", "_values", "_rng")
+
+    def __init__(self, capacity: int = LATENCY_RESERVOIR, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.count = 0
+        self.total = 0.0
+        self.max_value = float("-inf")
+        self._values: list[float] = []
+        self._rng = random.Random(0x5EED ^ seed)
+
+    def add(self, value: float) -> None:
+        """Record one observation (kept with probability capacity/count)."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+        if len(self._values) < self.capacity:
+            self._values.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                self._values[slot] = value
+
+    def extend(self, values) -> None:
+        """Record every observation in ``values``."""
+        for value in values:
+            self.add(value)
+
+    def values(self) -> list[float]:
+        """Copy of the current reservoir contents (unordered)."""
+        return list(self._values)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def summary(self) -> dict[str, float]:
+        """Exact mean/max plus reservoir-estimated p50/p95/p99.
+
+        Matches the :func:`latency_percentiles` schema.  Raises
+        ``ValueError`` when empty, like :func:`latency_percentiles`.
+        """
+        if self.count == 0:
+            raise ValueError("ReservoirSample.summary needs at least one sample")
+        arr = np.asarray(self._values, dtype=np.float64)
+        return {
+            "mean": self.total / self.count,
+            "p50": float(np.percentile(arr, 50)),
+            "p95": float(np.percentile(arr, 95)),
+            "p99": float(np.percentile(arr, 99)),
+            "max": self.max_value,
+        }
+
+
 class _ModelCounters:
-    """Mutable per-model tallies (guarded by the owning metrics lock)."""
+    """Mutable per-model tallies (guarded by the owning metrics lock).
+
+    Latencies live in a bounded :class:`ReservoirSample`; batch sizes are
+    tallied straight into a histogram.  Memory per model is O(reservoir
+    capacity) no matter how long the fleet serves, and a snapshot costs one
+    percentile pass over the reservoir instead of a full re-sort of every
+    latency ever recorded.
+    """
 
     __slots__ = (
         "accepted", "rejected", "shed", "completed", "failed",
-        "latencies_ms", "batch_sizes",
+        "latency_sample", "batches", "batch_total", "batch_hist",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, seed: int = 0) -> None:
         self.accepted = 0
         self.rejected = 0
         self.shed = 0
         self.completed = 0
         self.failed = 0
-        self.latencies_ms: list[float] = []
-        self.batch_sizes: list[int] = []
+        self.latency_sample = ReservoirSample(seed=seed)
+        self.batches = 0
+        self.batch_total = 0
+        self.batch_hist: dict[str, int] = {}
+
+    def record_batch_size(self, size: int) -> None:
+        self.batches += 1
+        self.batch_total += size
+        key = str(size)
+        self.batch_hist[key] = self.batch_hist.get(key, 0) + 1
 
     def snapshot(self, queue_depth: int) -> dict[str, Any]:
         out: dict[str, Any] = {
@@ -64,15 +152,12 @@ class _ModelCounters:
             "failed": self.failed,
             "queue_depth": queue_depth,
         }
-        if self.latencies_ms:
-            out["latency_ms"] = latency_percentiles(self.latencies_ms)
-        if self.batch_sizes:
-            hist: dict[str, int] = {}
-            for size in self.batch_sizes:
-                hist[str(size)] = hist.get(str(size), 0) + 1
-            out["batches"] = len(self.batch_sizes)
-            out["mean_batch"] = float(np.mean(self.batch_sizes))
-            out["batch_hist"] = hist
+        if self.latency_sample.count:
+            out["latency_ms"] = self.latency_sample.summary()
+        if self.batches:
+            out["batches"] = self.batches
+            out["mean_batch"] = self.batch_total / self.batches
+            out["batch_hist"] = dict(self.batch_hist)
         return out
 
 
@@ -96,7 +181,9 @@ class ServingMetrics:
     def _model(self, model: str) -> _ModelCounters:
         counters = self._models.get(model)
         if counters is None:
-            counters = self._models[model] = _ModelCounters()
+            counters = self._models[model] = _ModelCounters(
+                seed=len(self._models)
+            )
         return counters
 
     # -- admission ----------------------------------------------------------
@@ -146,8 +233,8 @@ class ServingMetrics:
         with self._lock:
             counters = self._model(model)
             counters.completed += len(latencies_ms)
-            counters.latencies_ms.extend(latencies_ms)
-            counters.batch_sizes.append(len(latencies_ms))
+            counters.latency_sample.extend(latencies_ms)
+            counters.record_batch_size(len(latencies_ms))
             self._worker_busy_s[worker] += busy_s
             self._worker_batches[worker] += 1
 
@@ -184,18 +271,34 @@ class ServingMetrics:
                     self._worker_crashes,
                 )
             ]
-            all_latencies = [
-                lat
-                for counters in self._models.values()
-                for lat in counters.latencies_ms
-            ]
+            # Fleet-wide latency: count/mean/max are exact (merged from the
+            # per-model exact tallies); percentiles are estimated over the
+            # pooled reservoirs.
+            pooled: list[float] = []
+            lat_count = 0
+            lat_total = 0.0
+            lat_max = float("-inf")
+            for counters in self._models.values():
+                sample = counters.latency_sample
+                if sample.count:
+                    pooled.extend(sample.values())
+                    lat_count += sample.count
+                    lat_total += sample.total
+                    lat_max = max(lat_max, sample.max_value)
         fleet = {
             key: sum(block[key] for block in per_model.values())
             for key in ("accepted", "rejected", "shed", "completed", "failed")
         }
         fleet["queue_depth"] = sum(depths.values())
-        if all_latencies:
-            fleet["latency_ms"] = latency_percentiles(all_latencies)
+        if lat_count:
+            arr = np.asarray(pooled, dtype=np.float64)
+            fleet["latency_ms"] = {
+                "mean": lat_total / lat_count,
+                "p50": float(np.percentile(arr, 50)),
+                "p95": float(np.percentile(arr, 95)),
+                "p99": float(np.percentile(arr, 99)),
+                "max": lat_max,
+            }
         return {
             "uptime_s": wall_s,
             "fleet": fleet,

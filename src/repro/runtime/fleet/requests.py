@@ -17,11 +17,17 @@ exception vocabulary is explicit so clients can route on it:
 
 from __future__ import annotations
 
+import itertools
 import threading
 
 import numpy as np
 
 from repro.runtime.fleet import clock
+
+#: Monotonic request ids — stable join key between a request's lifecycle
+#: spans (``request`` / ``request.queued`` / ``request.compute`` share the
+#: same ``req`` arg in the trace).
+_REQUEST_IDS = itertools.count(1)
 
 
 class QueueFull(RuntimeError):
@@ -57,7 +63,7 @@ class _FleetRequest:
 
     __slots__ = (
         "model", "x", "event", "output", "error", "enqueued_at",
-        "deadline_at", "batch_size", "latency_ms",
+        "dispatched_at", "deadline_at", "batch_size", "latency_ms", "req_id",
     )
 
     def __init__(
@@ -68,7 +74,11 @@ class _FleetRequest:
         self.event = threading.Event()
         self.output: np.ndarray | None = None
         self.error: BaseException | None = None
+        self.req_id = next(_REQUEST_IDS)
         self.enqueued_at = clock.now()
+        # Stamped by the scheduler when a worker pops the request; the
+        # enqueue→dispatch gap is the queue wait the trace layer reports.
+        self.dispatched_at = self.enqueued_at
         self.deadline_at = (
             self.enqueued_at + deadline_ms / 1e3
             if deadline_ms is not None else None

@@ -124,6 +124,7 @@ class FleetScheduler:
                     shed: list[_FleetRequest] = []
                     while queue and len(live) + len(shed) < self.max_batch:
                         request = queue.popleft()
+                        request.dispatched_at = now
                         (shed if request.expired(now) else live).append(request)
                     return best, live, shed
                 if self._closed:

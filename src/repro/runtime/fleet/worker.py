@@ -13,10 +13,16 @@ child →   ``READY``    cold start finished: every plan's weights are
                        and every sibling worker), pid attached
 child →   ``HB``       heartbeat — sent every ``heartbeat_s`` by a
                        background thread; silence is how hangs are caught
-child →   ``RESULT``   ``(seq, outputs)`` for an earlier ``SUBMIT``
+child →   ``RESULT``   ``(seq, outputs, spans)`` for an earlier ``SUBMIT``;
+                       ``spans`` is ``None`` unless tracing was requested,
+                       else a list of span events with timestamps relative
+                       to the child's receipt of the batch (the parent
+                       re-anchors them — :func:`repro.obs.reanchor_spans`)
 child →   ``ERROR``    ``(seq, exception)`` — engine-side failure; the
                        worker is still healthy and keeps serving
-parent →  ``SUBMIT``   ``(seq, model, batch)`` — run one coalesced batch
+parent →  ``SUBMIT``   ``(seq, model, batch, trace)`` — run one coalesced
+                       batch; ``trace`` asks the child to time its work
+                       into RESULT's span list
 parent →  ``SHUTDOWN`` graceful drain: finish nothing new, exit cleanly
 ========= =========== ===================================================
 
@@ -121,7 +127,11 @@ def worker_main(
                 return
             if frame[0] == SHUTDOWN:
                 return
-            _, seq, model, batch = frame
+            _, seq, model, batch, trace = frame
+            # Span timestamps are relative to batch receipt (the child's
+            # time zero); the parent re-anchors them onto its own timeline.
+            received = time.perf_counter()
+            spans: list[dict] | None = [] if trace else None
             action = faults.pop(0) if faults else "ok"
             _apply_fault(action, stop_heartbeat)
             try:
@@ -131,8 +141,26 @@ def worker_main(
                     )
                 engine = engines.get(model)
                 if engine is None:
+                    build_start = time.perf_counter()
                     engine = engines[model] = Engine(plans[model])
+                    if spans is not None:
+                        spans.append({
+                            "ph": "X", "name": "worker.engine_build",
+                            "cat": "fleet", "ts": build_start - received,
+                            "dur": time.perf_counter() - build_start,
+                            "pid": os.getpid(), "tid": 0,
+                            "args": {"model": model},
+                        })
+                run_start = time.perf_counter()
                 outputs = np.asarray(engine.run(batch))
+                if spans is not None:
+                    spans.append({
+                        "ph": "X", "name": "worker.compute", "cat": "fleet",
+                        "ts": run_start - received,
+                        "dur": time.perf_counter() - run_start,
+                        "pid": os.getpid(), "tid": 0,
+                        "args": {"model": model, "batch": int(len(batch))},
+                    })
             except Exception as error:
                 try:
                     _send((ERROR, seq, error))
@@ -140,7 +168,7 @@ def worker_main(
                     # Unpicklable exception: ship the repr instead.
                     _send((ERROR, seq, RuntimeError(repr(error))))
                 continue
-            _send((RESULT, seq, outputs))
+            _send((RESULT, seq, outputs, spans))
     finally:
         stop_heartbeat.set()
         try:
@@ -235,12 +263,19 @@ class ProcessWorker:
                 )
 
     # -- batch execution -----------------------------------------------------
-    def run_batch(self, model: str, batch: np.ndarray) -> np.ndarray:
+    def run_batch(
+        self, model: str, batch: np.ndarray, trace: bool = False
+    ) -> tuple[np.ndarray, list[dict] | None]:
         """Ship one batch and block for its result.
 
         Multiplexes heartbeats while waiting; a slow batch that keeps
         heartbeating waits indefinitely, a silent one is killed after
         ``max_missed`` intervals.
+
+        Returns ``(outputs, spans)``: with ``trace=True`` the child times
+        its engine build/compute into ``spans`` (timestamps relative to its
+        receipt of the batch, for the parent to re-anchor); otherwise
+        ``spans`` is ``None``.
 
         Raises:
             WorkerCrashed: Dead pipe / dead process / missed heartbeats.
@@ -251,7 +286,7 @@ class ProcessWorker:
         self.seq += 1
         seq = self.seq
         try:
-            self.conn.send((SUBMIT, seq, model, batch))
+            self.conn.send((SUBMIT, seq, model, batch, bool(trace)))
         except (OSError, ValueError) as error:
             self.kill()
             raise WorkerCrashed(
@@ -277,7 +312,7 @@ class ProcessWorker:
             if frame[0] == HEARTBEAT:
                 continue
             if frame[0] == RESULT and frame[1] == seq:
-                return frame[2]
+                return frame[2], frame[3]
             if frame[0] == ERROR and frame[1] == seq:
                 error = frame[2]
                 if isinstance(error, BaseException):

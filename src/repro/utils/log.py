@@ -4,14 +4,55 @@ The library logs through standard :mod:`logging` under the ``repro`` root so
 applications can silence or redirect it with one handler.  ``get_logger``
 installs a single stderr handler on first use and never touches the root
 logger configuration of the host application.
+
+The root level defaults to ``INFO`` and is configurable two ways: the
+``REPRO_LOG_LEVEL`` environment variable (read once, at first configure) and
+:func:`set_level` (what the global ``repro --log-level`` CLI flag calls).
 """
 
 from __future__ import annotations
 
 import logging
+import os
 
 _ROOT_NAME = "repro"
 _configured = False
+
+#: Accepted level names (case-insensitive) for ``REPRO_LOG_LEVEL``,
+#: :func:`set_level` and the ``--log-level`` CLI flag.
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+def _parse_level(level: str | int) -> int:
+    """Level name/number -> :mod:`logging` numeric level.
+
+    Raises:
+        ValueError: For a name outside :data:`LOG_LEVELS`.
+    """
+    if isinstance(level, int):
+        return level
+    name = level.strip().lower()
+    if name not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {'/'.join(LOG_LEVELS)}"
+        )
+    return getattr(logging, name.upper())
+
+
+def _env_level() -> int:
+    """Level from ``REPRO_LOG_LEVEL``; INFO when unset or unparsable.
+
+    A bad value must not crash library import, so it falls back silently —
+    the CLI flag, which can afford to be strict, validates via argparse
+    choices instead.
+    """
+    raw = os.environ.get("REPRO_LOG_LEVEL", "")
+    if not raw.strip():
+        return logging.INFO
+    try:
+        return _parse_level(raw)
+    except ValueError:
+        return logging.INFO
 
 
 def _configure_root() -> None:
@@ -25,9 +66,21 @@ def _configure_root() -> None:
             logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
         )
         root.addHandler(handler)
-    root.setLevel(logging.INFO)
+    root.setLevel(_env_level())
     root.propagate = False
     _configured = True
+
+
+def set_level(level: str | int) -> int:
+    """Set the ``repro`` root logger level; returns the numeric level set.
+
+    Accepts a :data:`LOG_LEVELS` name (case-insensitive) or a numeric level.
+    Overrides whatever ``REPRO_LOG_LEVEL`` configured.
+    """
+    parsed = _parse_level(level)
+    _configure_root()
+    logging.getLogger(_ROOT_NAME).setLevel(parsed)
+    return parsed
 
 
 def get_logger(name: str) -> logging.Logger:

@@ -116,6 +116,16 @@ def collect_missing() -> list[str]:
         if inspect.isclass(obj):
             missing.extend(_missing_in_class(obj, label))
 
+    import repro.obs as obs
+
+    for name in obs.__all__:
+        obj = getattr(obs, name)
+        label = f"repro.obs.{name}"
+        if not _has_doc(obj):
+            missing.append(label)
+        if inspect.isclass(obj):
+            missing.extend(_missing_in_class(obj, label))
+
     # Training-hot-path surface: the autograd buffer pool, the serving-log
     # calibration refit, and the batched soft-mode evaluator.
     from repro.autograd import ops_nn
@@ -132,6 +142,7 @@ def collect_missing() -> list[str]:
         (calibration, (
             "CalibrationFit", "fit_calibration_scale", "fit_from_serving_log",
             "append_serving_record", "load_serving_log", "apply_fit",
+            "records_from_profile", "fit_from_profile",
         )),
         (ops_nn, (
             "stack_conv_weights", "residual_add_shared", "mix_candidates",

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Summarise a trace file: top ops by self-time, per-model queue waits.
+
+Thin command-line wrapper over :func:`repro.obs.summarize_trace` — the same
+code path as ``repro trace summary`` — kept as a standalone script so CI
+jobs can inspect trace artifacts without installing the package entry
+point.  Accepts both trace formats ``repro serve --trace-out`` writes:
+Chrome trace-event JSON and one-event-per-line JSONL.
+
+Run directly::
+
+    PYTHONPATH=src python tools/trace_summary.py trace.json --top 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Print the summary; exit non-zero when the file holds no events."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", help="Chrome-trace .json or .jsonl file")
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows in the by-self-time op table")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    args = parser.parse_args(argv)
+
+    from repro.obs import load_trace, render_trace_summary, summarize_trace
+
+    summary = summarize_trace(load_trace(args.file))
+    if not summary["events"]:
+        print(f"{args.file}: no trace events", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps(summary, indent=2))
+    else:
+        print(render_trace_summary(summary, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
