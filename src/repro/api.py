@@ -31,6 +31,7 @@ import hashlib
 import json
 import os
 import pickle
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -58,6 +59,7 @@ from repro.hw import registry
 from repro.hw.report import deployment_plan as _render_plan
 from repro.nas.arch_spec import ArchSpec, scale_spec
 from repro.nas.space import SearchSpaceConfig
+from repro.resilience import DivergenceGuard, PreemptionCallback, RetryPolicy
 
 __all__ = [
     "DeployPlan",
@@ -65,6 +67,7 @@ __all__ = [
     "EstimateReport",
     "EstimateRequest",
     "MultiSearchResult",
+    "RetryPolicy",
     "SearchReport",
     "SearchRequest",
     "compile_model",
@@ -314,6 +317,15 @@ class SearchRequest:
     snapshotted every ``checkpoint_every`` epochs.  With ``resume=True`` the
     search restarts from the newest checkpoint in that directory (if any) and
     finishes bit-identically to an uninterrupted run with the same seed.
+
+    ``max_rollbacks > 0`` arms the divergence guard
+    (:class:`repro.resilience.DivergenceGuard`): an epoch with non-finite
+    losses or parameters is rolled back to the last good checkpoint and
+    replayed with both learning rates scaled by ``rollback_lr_scale``;
+    interventions land in :attr:`SearchReport.interventions`, and exceeding
+    the budget raises :class:`repro.resilience.DivergenceError`.  Without a
+    ``checkpoint_dir`` the guard keeps its checkpoints in a private
+    temporary directory.
     """
 
     target: str = "gpu"
@@ -331,6 +343,8 @@ class SearchRequest:
     checkpoint_dir: str | None = None
     checkpoint_every: int = 1
     resume: bool = False
+    max_rollbacks: int = 0
+    rollback_lr_scale: float = 0.5
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-JSON form of the request (subset echoed into reports)."""
@@ -346,6 +360,8 @@ class SearchRequest:
             "checkpoint_dir": self.checkpoint_dir,
             "checkpoint_every": self.checkpoint_every,
             "resume": self.resume,
+            "max_rollbacks": self.max_rollbacks,
+            "rollback_lr_scale": self.rollback_lr_scale,
         }
 
 
@@ -367,6 +383,9 @@ class SearchReport:
     #: True when :func:`search_many` killed this run at the probe stage as
     #: dominated — the report then covers only the probe epochs.
     early_stopped: bool = False
+    #: Divergence-guard interventions (rollback epoch, LR scaling) applied
+    #: during the run; empty for a run that never diverged.
+    interventions: list[dict] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-JSON form (what ``repro search --format json`` prints)."""
@@ -380,6 +399,7 @@ class SearchReport:
             "final_theta_perplexity": self.final_theta_perplexity,
             "resumed_from": self.resumed_from,
             "early_stopped": self.early_stopped,
+            "interventions": list(self.interventions),
             "search": self.result.to_dict(),
             "retrain": self.retrain.to_dict() if self.retrain else None,
         }
@@ -413,6 +433,10 @@ def search(request: SearchRequest | None = None, **kwargs: Any) -> SearchReport:
     """
     if request is None:
         request = SearchRequest(**kwargs)
+    if request.max_rollbacks < 0:
+        raise ValueError(
+            f"max_rollbacks must be >= 0, got {request.max_rollbacks}"
+        )
     tspec = registry.get_target(request.target)
     device = tspec.resolve_device(request.device)
     space = SearchSpaceConfig.reduced(
@@ -444,28 +468,53 @@ def search(request: SearchRequest | None = None, **kwargs: Any) -> SearchReport:
     start_epoch = 0
     initial_history: list[Any] = []
     resumed_from = None
-    if request.checkpoint_dir is not None:
-        checkpoint_dir = Path(request.checkpoint_dir)
-        if request.resume:
-            latest = find_latest_checkpoint(checkpoint_dir)
-            if latest is not None:
-                state = restore_search_state(searcher, latest)
-                start_epoch = state.epoch
-                initial_history = state.history
-                resumed_from = str(latest)
-        callbacks.append(
-            CheckpointCallback(
+    guard: DivergenceGuard | None = None
+    checkpoint_callback: CheckpointCallback | None = None
+    with contextlib.ExitStack() as stack:
+        checkpoint_dir: Path | None = None
+        if request.checkpoint_dir is not None:
+            checkpoint_dir = Path(request.checkpoint_dir)
+            if request.resume:
+                latest = find_latest_checkpoint(checkpoint_dir)
+                if latest is not None:
+                    state = restore_search_state(searcher, latest)
+                    start_epoch = state.epoch
+                    initial_history = state.history
+                    resumed_from = str(latest)
+        elif request.max_rollbacks > 0:
+            # Rollback needs checkpoints to roll back *to*; without a
+            # user-visible directory they live in a private tempdir.
+            checkpoint_dir = Path(
+                stack.enter_context(
+                    tempfile.TemporaryDirectory(prefix="repro-rollback-")
+                )
+            )
+        if checkpoint_dir is not None:
+            checkpoint_callback = CheckpointCallback(
                 searcher, checkpoint_dir,
                 every=request.checkpoint_every,
                 history=initial_history,
             )
+            callbacks.append(checkpoint_callback)
+        if request.max_rollbacks > 0:
+            guard = DivergenceGuard(
+                searcher, checkpoint_dir,
+                callback=checkpoint_callback,
+                max_rollbacks=request.max_rollbacks,
+                lr_scale=request.rollback_lr_scale,
+            )
+            guard.prepare(start_epoch=start_epoch, history=initial_history)
+        # Preemption (SIGTERM/SIGINT under an active PreemptionGuard):
+        # checkpoint at the epoch boundary, then raise Preempted.  A no-op
+        # when no guard is installed.
+        callbacks.append(PreemptionCallback(checkpoint_callback))
+        result = searcher.search(
+            name=request.name or f"api-{tspec.name}",
+            callbacks=callbacks,
+            start_epoch=start_epoch,
+            initial_history=initial_history,
+            divergence_guard=guard,
         )
-    result = searcher.search(
-        name=request.name or f"api-{tspec.name}",
-        callbacks=callbacks,
-        start_epoch=start_epoch,
-        initial_history=initial_history,
-    )
     summary = summarize(result.history)
     retrain = None
     if request.retrain_epochs > 0:
@@ -484,6 +533,7 @@ def search(request: SearchRequest | None = None, **kwargs: Any) -> SearchReport:
         retrain=retrain,
         seed=request.seed,
         resumed_from=resumed_from,
+        interventions=list(guard.interventions) if guard is not None else [],
     )
 
 
@@ -543,6 +593,8 @@ def search_many(
     cache_dir: str | None = None,
     early_stop_after: int | None = None,
     early_stop_keep: int = 1,
+    task_timeout: float | None = None,
+    retry_policy: RetryPolicy | None = None,
     **kwargs: Any,
 ) -> MultiSearchResult:
     """Batched multi-seed co-search sharing one configuration.
@@ -589,6 +641,14 @@ def search_many(
             full run).
         early_stop_keep: How many probe-stage leaders survive to the full
             epoch count (the rest are early-stopped).
+        task_timeout: Optional per-seed wall-clock budget in seconds for
+            the parallel fan-out; a wedged worker is killed, the pool
+            rebuilt, and the seed retried within ``retry_policy``'s budget
+            (see :class:`repro.core.parallel.ParallelEvaluator`).
+        retry_policy: Optional :class:`RetryPolicy` granting crashed/
+            failed seeds bounded retries with deterministic backoff.
+            Because every seed is self-contained, retries never change
+            results or rankings.
         **kwargs: Shared :class:`SearchRequest` fields (``target``,
             ``epochs``, ``blocks``, ``resume``, ...).  ``seed`` and
             ``checkpoint_dir`` are managed per run and cannot be passed here.
@@ -639,6 +699,9 @@ def search_many(
         if early_stop_after >= full_epochs:
             early_stop_after = None  # probing the whole run kills nothing
     start = time.perf_counter()
+    evaluator = ParallelEvaluator(
+        workers=workers, task_timeout=task_timeout, retry=retry_policy
+    )
     if early_stop_after is not None:
         return _search_many_early_stop(
             seeds,
@@ -649,6 +712,7 @@ def search_many(
             keep=early_stop_keep,
             kwargs=kwargs,
             start=start,
+            evaluator=evaluator,
         )
     cached: dict[int, SearchReport] = {}
     digest = ""
@@ -672,8 +736,7 @@ def search_many(
             SearchRequest(seed=seed, checkpoint_dir=per_seed_dir, **kwargs)
         )
     fresh = (
-        list(ParallelEvaluator(workers=workers).map(_search_worker, requests))
-        if requests else []
+        list(evaluator.map(_search_worker, requests)) if requests else []
     )
     by_seed = dict(cached)
     by_seed.update(zip(pending, fresh))
@@ -703,6 +766,7 @@ def _search_many_early_stop(
     keep: int,
     kwargs: dict[str, Any],
     start: float,
+    evaluator: ParallelEvaluator | None = None,
 ) -> MultiSearchResult:
     """Two-stage :func:`search_many`: probe every seed, finish the leaders.
 
@@ -717,6 +781,8 @@ def _search_many_early_stop(
     import contextlib
     import tempfile
 
+    if evaluator is None:
+        evaluator = ParallelEvaluator(workers=workers)
     context = (
         contextlib.nullcontext(checkpoint_dir)
         if checkpoint_dir is not None
@@ -736,11 +802,7 @@ def _search_many_early_stop(
                           **probe_kwargs)
             for seed in seeds
         ]
-        probes = list(
-            ParallelEvaluator(workers=workers).map(
-                _search_worker, probe_requests
-            )
-        )
+        probes = list(evaluator.map(_search_worker, probe_requests))
         ranked = []
         for report in probes:
             history = report.result.history
@@ -759,11 +821,7 @@ def _search_many_early_stop(
                           resume=True, **full_kwargs)
             for index in survivor_indices
         ]
-        finished = list(
-            ParallelEvaluator(workers=workers).map(
-                _search_worker, full_requests
-            )
-        )
+        finished = list(evaluator.map(_search_worker, full_requests))
     by_index = dict(zip(survivor_indices, finished))
     runs = []
     early_stopped_seeds = []

@@ -186,6 +186,23 @@ def _resolve_seeds(args: argparse.Namespace) -> list[int]:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.resilience import PREEMPTION_EXIT_CODE, Preempted, PreemptionGuard
+
+    # "defer" mode: the first SIGINT/SIGTERM only sets a flag; the engine
+    # finishes the epoch in flight, checkpoints (when --checkpoint-dir is
+    # set) and raises Preempted — a second signal interrupts hard.
+    try:
+        with PreemptionGuard(mode="defer"):
+            return _run_search(args)
+    except Preempted as err:
+        print(f"\n{err}", file=sys.stderr)
+        if err.checkpoint is not None:
+            print("resume with the same command plus --resume",
+                  file=sys.stderr)
+        return PREEMPTION_EXIT_CODE
+
+
+def _run_search(args: argparse.Namespace) -> int:
     from repro import api
     from repro.eval.figures import render_architecture
     from repro.eval.trajectory import render_trajectory
@@ -201,6 +218,11 @@ def _cmd_search(args: argparse.Namespace) -> int:
         name=f"cli-{args.target}",
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
+        max_rollbacks=args.max_rollbacks,
+    )
+    retry_policy = (
+        api.RetryPolicy(max_retries=args.max_retries)
+        if args.max_retries > 0 else None
     )
 
     if args.seeds:
@@ -212,6 +234,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             early_stop_after=args.early_stop_after,
             early_stop_keep=args.early_stop_keep,
+            task_timeout=args.task_timeout,
+            retry_policy=retry_policy,
             **shared,
         )
         if args.format == "json":
@@ -432,21 +456,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     requests = 1 if args.once else args.requests
     if requests < 1:
         raise ValueError(f"--requests must be >= 1, got {requests}")
-    # The trace session wraps the whole serving run so request-lifecycle
-    # spans from every tier land in one file, written when the stack exits.
-    with contextlib.ExitStack() as stack:
-        if args.trace_out:
-            from repro import api
+    from repro.resilience import PREEMPTION_EXIT_CODE, Preempted, PreemptionGuard
 
-            suffix = Path(args.trace_out).suffix.lower()
-            if suffix in (".jsonl", ".ndjson"):
-                stack.enter_context(api.trace_session(jsonl=args.trace_out))
-            else:
-                stack.enter_context(api.trace_session(chrome=args.trace_out))
-        if args.models:
-            code = _serve_fleet(args, requests)
-        else:
-            code = _serve_single(args, requests)
+    # "raise" mode: SIGINT/SIGTERM raises Preempted at the signal point so
+    # the with-blocks below unwind — the fleet drains in-flight requests via
+    # close() and the trace session flushes its sinks — before we exit.
+    try:
+        with PreemptionGuard(mode="raise"):
+            # The trace session wraps the whole serving run so
+            # request-lifecycle spans from every tier land in one file,
+            # written when the stack exits.
+            with contextlib.ExitStack() as stack:
+                if args.trace_out:
+                    from repro import api
+
+                    suffix = Path(args.trace_out).suffix.lower()
+                    if suffix in (".jsonl", ".ndjson"):
+                        stack.enter_context(
+                            api.trace_session(jsonl=args.trace_out))
+                    else:
+                        stack.enter_context(
+                            api.trace_session(chrome=args.trace_out))
+                if args.models:
+                    code = _serve_fleet(args, requests)
+                else:
+                    code = _serve_single(args, requests)
+    except Preempted as err:
+        print(f"\ninterrupted ({err.signame}); fleet drained, sinks flushed",
+              file=sys.stderr)
+        return PREEMPTION_EXIT_CODE
     if args.trace_out and code == 0 and args.format != "json":
         print(f"wrote trace to {args.trace_out}")
     return code
@@ -534,8 +572,11 @@ def _serve_fleet(args: argparse.Namespace, requests: int) -> int:
             spec = api._runtime_spec(name, args.width, args.input_size,
                                      args.classes)
             shape = (spec.input_channels, spec.input_size, spec.input_size)
+            # submit_with_retry: an open-loop submit burst can outrun the
+            # bounded per-model queues; backpressure is transient, so back
+            # off and retry instead of dying on QueueFull.
             handles += [
-                fleet.submit(name, rng.normal(size=shape))
+                fleet.submit_with_retry(name, rng.normal(size=shape))
                 for _ in range(requests)
             ]
         for handle in handles:
@@ -718,6 +759,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--early-stop-keep", type=int, default=1,
                           metavar="K",
                           help="probe-stage survivors (default 1)")
+    p_search.add_argument("--max-rollbacks", type=int, default=0,
+                          help="on a diverged epoch (non-finite loss or "
+                               "parameters) roll back to the last good "
+                               "checkpoint and retry with a scaled-down "
+                               "learning rate, at most this many times "
+                               "(default 0: fail fast)")
+    p_search.add_argument("--max-retries", type=int, default=0,
+                          help="with --seeds: retry a crashed or timed-out "
+                               "seed evaluation this many times before "
+                               "giving up on it (default 0)")
+    p_search.add_argument("--task-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="with --seeds: kill and retry a seed "
+                               "evaluation that exceeds this wall-clock "
+                               "budget")
     _add_format(p_search)
     p_search.set_defaults(fn=_cmd_search)
 
@@ -900,6 +956,15 @@ def main(argv: list[str] | None = None) -> int:
         # user input errors, not crashes.
         print(f"error: {err}", file=sys.stderr)
         return 2
+    except Exception as err:
+        from repro.resilience import DivergenceError
+
+        if isinstance(err, DivergenceError):
+            # The rollback budget is spent (or there was nothing to roll
+            # back to) — report it as a run failure, not a traceback.
+            print(f"error: {err}", file=sys.stderr)
+            return 3
+        raise
 
 
 if __name__ == "__main__":

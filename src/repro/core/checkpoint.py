@@ -10,10 +10,19 @@ therefore produces the same final :class:`~repro.core.results.SearchResult`
 arrays as the uninterrupted run (``tests/test_core_checkpoint.py`` asserts
 exact equality).
 
-Format: a single ``.npz`` (version 2).  Version-1 files (pre-RNG/history)
-still load; they restore parameters and optimiser state only, so resumed
-trajectories from v1 files are equivalent in distribution rather than
-bit-identical.
+Format: a single ``.npz`` (version 3).  Saves are **durable**: the payload
+is written to a temp file in the same directory, fsynced, and atomically
+``os.replace``d into place, so a ``kill -9`` at any instant leaves either
+the old checkpoint or the new one — never a half-written corpse shadowing
+good state.  Each file embeds a SHA-256 content checksum
+(``meta::checksum``); :func:`verify_checkpoint`/:func:`load_checkpoint`
+raise a typed :class:`~repro.resilience.errors.CorruptCheckpoint` on
+truncation or bit-rot, and :func:`find_latest_checkpoint` skips corrupt
+files (with a warning) and falls back to the previous good epoch.
+Version-2 files (pre-checksum) still load and resume bit-identically;
+version-1 files (pre-RNG/history) restore parameters and optimiser state
+only, so their resumed trajectories are equivalent in distribution rather
+than bit-identical.
 
 Typical use goes through :func:`repro.api.search` (``checkpoint_dir=...`` /
 ``resume=True``) or the CLI's ``repro search --checkpoint-dir ... --resume``;
@@ -28,6 +37,8 @@ the pieces here are the building blocks:
 
 from __future__ import annotations
 
+import hashlib
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -35,7 +46,11 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core.results import EpochRecord
+from repro.resilience.errors import CorruptCheckpoint
+from repro.utils.log import get_logger
 from repro.utils.rng import capture_rng_state, restore_rng_state
+
+logger = get_logger("checkpoint")
 
 if TYPE_CHECKING:  # import cycle: cosearch drives the engine that calls us
     from repro.core.cosearch import EDDSearcher
@@ -59,7 +74,21 @@ EPOCH_RECORD_FIELDS = (
     "theta_perplexity",
 )
 
-CHECKPOINT_FORMAT_VERSION = 2
+CHECKPOINT_FORMAT_VERSION = 3
+
+_CHECKSUM_KEY = "meta::checksum"
+
+
+def _content_checksum(arrays: dict[str, np.ndarray]) -> np.ndarray:
+    """SHA-256 over every array's name, dtype, shape and bytes (sorted by name)."""
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        arr = np.asarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(arr.dtype.str.encode("ascii"))
+        digest.update(repr(arr.shape).encode("ascii"))
+        digest.update(np.ascontiguousarray(arr).tobytes())
+    return np.frombuffer(digest.digest(), dtype=np.uint8).copy()
 
 
 def _history_to_array(history: list[EpochRecord]) -> np.ndarray:
@@ -96,6 +125,13 @@ def save_checkpoint(
 
     Returns:
         The written path (parent directories are created as needed).
+
+    The write is atomic: the payload goes to a same-directory temp file
+    (fsynced), then ``os.replace`` publishes it — a crash at any instant
+    leaves either the previous file or the complete new one.  The payload
+    embeds a SHA-256 content checksum so later readers can detect
+    corruption that atomicity cannot prevent (bit-rot, truncation by
+    other tools).
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -121,8 +157,55 @@ def save_checkpoint(
     payload["rng::train_loader"] = searcher.train_loader.rng_state()
     payload["rng::val_loader"] = searcher.val_loader.rng_state()
     payload["hist::records"] = _history_to_array(list(history))
-    np.savez(path, **payload)
+    payload[_CHECKSUM_KEY] = _content_checksum(payload)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
     return path
+
+
+def verify_checkpoint(path: str | Path) -> int:
+    """Verify a checkpoint's structure and content checksum.
+
+    Args:
+        path: ``.npz`` file written by :func:`save_checkpoint`.
+
+    Returns:
+        The checkpoint's format version.
+
+    Raises:
+        CorruptCheckpoint: If the file is unreadable/truncated, lacks its
+            metadata, or the embedded SHA-256 does not match the stored
+            arrays.  Pre-checksum (version < 3) files pass on structural
+            integrity alone.
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as data:
+            files = set(data.files)
+            if "meta::format" not in files:
+                raise CorruptCheckpoint(str(path), "missing meta::format")
+            version = int(data["meta::format"])
+            if _CHECKSUM_KEY in files:
+                stored = np.asarray(data[_CHECKSUM_KEY]).tobytes()
+                arrays = {key: data[key] for key in files if key != _CHECKSUM_KEY}
+                if stored != _content_checksum(arrays).tobytes():
+                    raise CorruptCheckpoint(str(path), "content checksum mismatch")
+            elif version >= 3:
+                raise CorruptCheckpoint(
+                    str(path), f"version {version} file missing its checksum"
+                )
+            return version
+    except CorruptCheckpoint:
+        raise
+    except Exception as err:  # BadZipFile / OSError / EOFError / pickle noise
+        raise CorruptCheckpoint(str(path), f"{type(err).__name__}: {err}") from err
 
 
 def load_checkpoint(searcher: EDDSearcher, path: str | Path) -> int:
@@ -143,9 +226,12 @@ def load_checkpoint(searcher: EDDSearcher, path: str | Path) -> int:
         The number of completed epochs stored in the checkpoint.
 
     Raises:
+        CorruptCheckpoint: If the file fails :func:`verify_checkpoint`
+            (truncated, unreadable, or checksum mismatch).
         KeyError: If the checkpoint names a parameter the searcher lacks.
         ValueError: If a stored array's shape does not match its parameter.
     """
+    verify_checkpoint(path)
     with np.load(Path(path)) as data:
         named = dict(searcher.supernet.named_parameters())
         for key in data.files:
@@ -233,30 +319,87 @@ def checkpoint_path(directory: str | Path, epoch: int, prefix: str = "ckpt") -> 
     return Path(directory) / f"{prefix}-epoch-{epoch:04d}.npz"
 
 
-def find_latest_checkpoint(directory: str | Path, prefix: str = "ckpt") -> Path | None:
-    """Newest checkpoint in ``directory`` by completed-epoch count.
+def _checkpoint_epoch(path: Path) -> int | None:
+    """Epoch number embedded in a ``<prefix>-epoch-NNNN.npz`` name, or ``None``."""
+    try:
+        return int(path.stem.rsplit("-", 1)[1])
+    except (IndexError, ValueError):
+        return None
+
+
+def find_latest_checkpoint(
+    directory: str | Path, prefix: str = "ckpt", verify: bool = True
+) -> Path | None:
+    """Newest *verified* checkpoint in ``directory`` by completed-epoch count.
 
     Args:
         directory: Directory that :class:`CheckpointCallback` wrote into.
         prefix: File-name prefix used when saving.
+        verify: Run :func:`verify_checkpoint` on each candidate, newest
+            first, skipping corrupt/truncated files with a warning and
+            falling back to the previous good epoch.  This is what makes
+            ``kill -9`` mid-write survivable: a half-written newest file
+            never shadows the older good state.
 
     Returns:
-        The path with the highest epoch number, or ``None`` if the directory
-        holds no matching files (or does not exist).
+        The verified path with the highest epoch number, or ``None`` if no
+        matching (valid) file exists.
     """
     directory = Path(directory)
     if not directory.is_dir():
         return None
-    best: tuple[int, Path] | None = None
+    candidates: list[tuple[int, Path]] = []
     for candidate in directory.glob(f"{prefix}-epoch-*.npz"):
-        stem = candidate.stem  # ckpt-epoch-0007
+        epoch = _checkpoint_epoch(candidate)
+        if epoch is not None:
+            candidates.append((epoch, candidate))
+    for epoch, candidate in sorted(candidates, reverse=True):
+        if not verify:
+            return candidate
         try:
-            epoch = int(stem.rsplit("-", 1)[1])
-        except (IndexError, ValueError):
-            continue
-        if best is None or epoch > best[0]:
-            best = (epoch, candidate)
-    return best[1] if best else None
+            verify_checkpoint(candidate)
+            return candidate
+        except CorruptCheckpoint as err:
+            logger.warning(
+                "skipping corrupt checkpoint %s (%s); falling back to an "
+                "earlier epoch",
+                candidate,
+                err.reason,
+            )
+    return None
+
+
+def prune_corrupt_checkpoints(
+    directory: str | Path, prefix: str = "ckpt"
+) -> list[Path]:
+    """Delete corrupt checkpoints and stale temp files from ``directory``.
+
+    Every ``<prefix>-epoch-*.npz`` failing :func:`verify_checkpoint` is
+    removed with a logged warning (it would otherwise shadow older good
+    checkpoints for naive listers), along with leftover
+    ``.<name>.tmp-<pid>`` files from interrupted atomic writes.
+
+    Returns:
+        The removed paths, sorted.
+    """
+    directory = Path(directory)
+    removed: list[Path] = []
+    if not directory.is_dir():
+        return removed
+    for candidate in sorted(directory.glob(f"{prefix}-epoch-*.npz")):
+        try:
+            verify_checkpoint(candidate)
+        except CorruptCheckpoint as err:
+            logger.warning(
+                "pruning corrupt checkpoint %s (%s)", candidate, err.reason
+            )
+            candidate.unlink(missing_ok=True)
+            removed.append(candidate)
+    for stale in sorted(directory.glob(f".{prefix}-epoch-*.npz.tmp-*")):
+        logger.warning("pruning stale checkpoint temp file %s", stale)
+        stale.unlink(missing_ok=True)
+        removed.append(stale)
+    return removed
 
 
 class CheckpointCallback:
@@ -299,14 +442,51 @@ class CheckpointCallback:
         self.history: list[EpochRecord] = list(history)
         #: Paths written so far, oldest first.
         self.saved: list[Path] = []
+        self._pruned = False
+
+    def _save(self, completed: int) -> Path:
+        if not self._pruned:
+            # One-time sweep: corpses from an earlier crashed run must not
+            # shadow the files this run is about to write.
+            prune_corrupt_checkpoints(self.directory, self.prefix)
+            self._pruned = True
+        path = checkpoint_path(self.directory, completed, self.prefix)
+        save_checkpoint(self.searcher, path, epoch=completed, history=self.history)
+        self.saved.append(path)
+        return path
 
     def __call__(self, record: EpochRecord) -> None:
         """Record ``record`` and checkpoint if its epoch completes a period."""
         self.history.append(record)
         completed = record.epoch + 1
         if completed % self.every == 0:
-            path = checkpoint_path(self.directory, completed, self.prefix)
-            save_checkpoint(
-                self.searcher, path, epoch=completed, history=self.history
-            )
-            self.saved.append(path)
+            self._save(completed)
+
+    def save_now(self) -> Path:
+        """Checkpoint the current state regardless of the ``every`` cadence.
+
+        Used by the preemption path (checkpoint-then-exit): returns the
+        existing file when this epoch's cadence save already happened,
+        otherwise force-writes one for ``len(self.history)`` completed
+        epochs.
+        """
+        completed = len(self.history)
+        path = checkpoint_path(self.directory, completed, self.prefix)
+        if self.saved and self.saved[-1] == path:
+            return path
+        return self._save(completed)
+
+    def rollback(self, state: SearchCheckpoint) -> None:
+        """Rewind internal history to a restored checkpoint's position.
+
+        Called by :class:`repro.resilience.DivergenceGuard` after it
+        restores the searcher from ``state``: records past the restored
+        epoch are dropped so post-recovery saves carry a consistent
+        history, and bookkeeping for newer files is discarded.
+        """
+        self.history = list(state.history)
+        self.saved = [
+            p
+            for p in self.saved
+            if (_checkpoint_epoch(p) or 0) <= state.epoch
+        ]

@@ -359,6 +359,7 @@ class EDDSearcher:
         self,
         name: str = "EDD-searched",
         extra_callbacks: tuple | list = (),
+        divergence_guard=None,
     ) -> SearchEngine:
         """The :class:`~repro.core.engine.SearchEngine` behind :meth:`search`.
 
@@ -367,6 +368,9 @@ class EDDSearcher:
             extra_callbacks: Additional per-epoch callbacks (e.g. a
                 :class:`~repro.core.checkpoint.CheckpointCallback`) appended
                 after the built-in logging callback.
+            divergence_guard: Optional :class:`repro.resilience.
+                DivergenceGuard` giving the engine rollback-and-retry
+                recovery from non-finite epochs.
 
         Returns:
             A configured engine; ``engine.run(...)`` executes the search.
@@ -385,6 +389,7 @@ class EDDSearcher:
             # training batches.
             buffer_train_batches=self.config.bilevel_order == 2,
             callbacks=[self._log_epoch, *extra_callbacks],
+            divergence_guard=divergence_guard,
         )
 
     # -- main loop --------------------------------------------------------------
@@ -394,6 +399,7 @@ class EDDSearcher:
         callbacks: tuple | list = (),
         start_epoch: int = 0,
         initial_history: tuple | list = (),
+        divergence_guard=None,
     ) -> SearchResult:
         """Run the bilevel co-search and derive the final architecture.
 
@@ -405,6 +411,10 @@ class EDDSearcher:
                 :meth:`resume` rather than passing this by hand).
             initial_history: Records of the already-completed epochs on a
                 resume; they are prepended to the result's history.
+            divergence_guard: Optional :class:`repro.resilience.
+                DivergenceGuard` — non-finite epochs roll back to the last
+                good checkpoint and replay with a scaled-down LR instead
+                of poisoning the result.
 
         Returns:
             The :class:`~repro.core.results.SearchResult`.  On a resumed run
@@ -415,7 +425,9 @@ class EDDSearcher:
         start = time.perf_counter()  # includes alpha calibration, as before
         if not self._alpha_calibrated:
             self.calibrate_alpha()
-        run = self.build_engine(name, extra_callbacks=callbacks).run(
+        run = self.build_engine(
+            name, extra_callbacks=callbacks, divergence_guard=divergence_guard
+        ).run(
             self.train_loader,
             self.val_loader,
             start_epoch=start_epoch,

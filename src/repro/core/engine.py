@@ -125,6 +125,16 @@ class SearchEngine:
     callbacks:
         Called with every completed :class:`EpochRecord` (logging, live
         trajectory plots, checkpoint triggers, ...).
+    divergence_guard:
+        Optional recovery policy (see :class:`repro.resilience.
+        DivergenceGuard`, or any object with the same two methods).  After
+        each epoch the engine calls ``check(record, arch_ran=...)``; a
+        non-``None`` reason means the epoch went non-finite, and the
+        engine then calls ``recover(epoch, reason)`` — which restores
+        rolled-back state and returns the epoch index to resume from (or
+        raises a typed error once its budget is spent).  The diverged
+        record is discarded, history is truncated to the resume point and
+        the loop replays from there; callbacks never see diverged epochs.
     """
 
     def __init__(
@@ -141,6 +151,7 @@ class SearchEngine:
         buffer_train_batches: bool = False,
         use_buffer_pool: bool = True,
         callbacks: Sequence[EpochCallback] = (),
+        divergence_guard: Any = None,
     ) -> None:
         if epochs < 0:
             raise ValueError(f"epochs must be >= 0, got {epochs}")
@@ -157,6 +168,7 @@ class SearchEngine:
         self.buffer_train_batches = buffer_train_batches
         self.use_buffer_pool = use_buffer_pool
         self.callbacks = list(callbacks)
+        self.divergence_guard = divergence_guard
         self.phase_seconds: dict[str, float] = dict.fromkeys(PHASES, 0.0)
         self.phase_calls: dict[str, int] = dict.fromkeys(PHASES, 0)
 
@@ -223,7 +235,11 @@ class SearchEngine:
         # checkout/checkin on persistent free lists — epoch k+1 trains in
         # the arrays epoch k allocated (see repro.autograd.pool).
         with buffer_pool(self.use_buffer_pool) as pool:
-            for epoch in range(start_epoch, self.epochs):
+            # A while-loop rather than range(): the divergence guard may
+            # roll the epoch counter *backwards* to replay from the last
+            # good checkpoint.
+            epoch = start_epoch
+            while epoch < self.epochs:
                 tracer = get_tracer()
                 epoch_start = tracer.clock() if tracer.enabled else 0.0
                 ctx = EpochContext(epoch=epoch)
@@ -285,6 +301,29 @@ class SearchEngine:
                         else float("nan")
                     ),
                 )
+                if self.divergence_guard is not None:
+                    reason = self.divergence_guard.check(
+                        record, arch_ran=bool(arch_stats)
+                    )
+                    if reason is not None:
+                        # Diverged: drop the poisoned record, restore from
+                        # the last good checkpoint and replay.  recover()
+                        # raises once its rollback budget is spent.
+                        resume_epoch = int(
+                            self.divergence_guard.recover(epoch, reason)
+                        )
+                        del history[resume_epoch:]
+                        if tracer.enabled:
+                            tracer.add_span(
+                                "search.rollback", epoch_start,
+                                tracer.clock() - epoch_start, cat="search",
+                                args={"epoch": epoch, "reason": reason,
+                                      "resume_epoch": resume_epoch},
+                            )
+                        pool.sweep()
+                        epoch = resume_epoch
+                        continue
+
                 history.append(record)
                 if tracer.enabled:
                     tracer.add_span(
@@ -306,6 +345,7 @@ class SearchEngine:
                 # backward (exception paths, eval forwards missing no_grad)
                 # rejoin the free lists once their graphs are collected.
                 pool.sweep()
+                epoch += 1
 
             derived = None
             if self.derive is not None:

@@ -19,6 +19,18 @@ wraps ``concurrent.futures`` with the three properties that make that safe:
 pickling — so the serial path stays the reference semantics and the parallel
 path is a pure speed-up.
 
+The evaluator is also the search tier's **fault boundary**: with a
+:class:`repro.resilience.RetryPolicy` and/or ``task_timeout`` it retries
+failed tasks with deterministic decorrelated-jitter backoff, kills and
+rebuilds the pool on worker crashes (``BrokenProcessPool``) or per-task
+timeouts, and quarantines a task that keeps failing as a typed
+:class:`~repro.resilience.errors.PoisonTask` instead of wedging the map.
+Because results are keyed by submission order and every payload carries its
+own seed, none of this changes *values*: a run with injected crashes,
+hangs and flaky errors returns bit-identical results (hence rankings) to
+the fault-free run — asserted by ``tests/test_core_parallel_faults.py``
+via the :mod:`repro.resilience.testing` harness.
+
 Bulk context crosses the process boundary once per worker via the executor
 initializer; when it is the synthetic task's :class:`DatasetSplits`, the
 arrays additionally travel as a tempfile ``np.memmap``
@@ -30,12 +42,29 @@ from __future__ import annotations
 
 import os
 import tempfile
+import time
 from collections.abc import Callable, Sequence
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
 from typing import Any, TypeVar
 
 import numpy as np
+
+from repro.obs.tracer import get_tracer
+from repro.resilience.errors import PoisonTask
+from repro.resilience.retry import RetryPolicy
+from repro.utils.log import get_logger
+
+logger = get_logger("parallel")
+
+# Sentinel marking a task whose result has not settled yet.
+_PENDING = object()
 
 _P = TypeVar("_P")
 _R = TypeVar("_R")
@@ -143,18 +172,70 @@ class ParallelEvaluator:
         kind: ``"process"`` (default; true CPU parallelism, payloads and
             results must pickle) or ``"thread"`` (shared memory; useful when
             the work releases the GIL or for tests that must not fork).
+        task_timeout: Optional per-task wall-clock budget in seconds.  A
+            task exceeding it has its (process-kind) pool terminated and
+            rebuilt, the hung attempt counted as a failure, and — budget
+            permitting — is resubmitted.  Thread workers cannot be killed:
+            the timeout still fires, but the wedged thread leaks until its
+            work returns, so hang-prone work belongs on process workers.
+        retry: Optional :class:`repro.resilience.RetryPolicy` granting each
+            task ``max_retries`` extra attempts (crash, timeout, or raise)
+            with deterministic decorrelated-jitter backoff.  ``None`` keeps
+            the historical fail-fast behaviour.
+        quarantine_after: Optional hard cap on failed attempts per task
+            before it is quarantined as a :class:`~repro.resilience.errors.
+            PoisonTask`, even if ``retry`` would allow more.
 
     Raises:
-        ValueError: If ``workers < 1`` or ``kind`` is unknown.
+        ValueError: If ``workers < 1``, ``kind`` is unknown, or a
+            non-positive ``task_timeout``/``quarantine_after`` is given.
     """
 
-    def __init__(self, workers: int = 1, kind: str = "process") -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        kind: str = "process",
+        *,
+        task_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        quarantine_after: int | None = None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if kind not in EXECUTOR_KINDS:
             raise ValueError(f"kind must be one of {EXECUTOR_KINDS}, got {kind!r}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
+        if quarantine_after is not None and quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {quarantine_after}"
+            )
         self.workers = workers
         self.kind = kind
+        self.task_timeout = task_timeout
+        self.retry = retry
+        self.quarantine_after = quarantine_after
+
+    @property
+    def _resilient(self) -> bool:
+        return (
+            self.task_timeout is not None
+            or self.retry is not None
+            or self.quarantine_after is not None
+        )
+
+    def _attempt_budget(self) -> int:
+        budget = (self.retry.max_retries if self.retry else 0) + 1
+        if self.quarantine_after is not None:
+            budget = min(budget, self.quarantine_after)
+        return budget
+
+    def _backoff(self, schedule: list[float], attempt_failures: int) -> None:
+        if not schedule:
+            return
+        delay = schedule[min(attempt_failures - 1, len(schedule) - 1)]
+        if delay > 0:
+            time.sleep(delay)
 
     def _make_executor(self, tasks: int, shared: Any) -> Executor:
         size = min(self.workers, tasks)
@@ -186,15 +267,23 @@ class ParallelEvaluator:
             serial loop, regardless of worker count or completion order.
 
         Raises:
-            Exception: The first payload's exception (by submission order) is
-                re-raised; later results are discarded.
+            PoisonTask: When resilience is configured (``retry`` /
+                ``task_timeout`` / ``quarantine_after``) and one task
+                exhausted its attempt budget.
+            Exception: Without resilience, the first payload's exception
+                (by submission order) is re-raised; later results are
+                discarded.
         """
         payloads = list(payloads)
         previous = get_shared()
         if self.workers <= 1 or len(payloads) <= 1:
             _install_shared(shared)
             try:
-                return [fn(p) for p in payloads]
+                if not self._resilient:
+                    return [fn(p) for p in payloads]
+                return [
+                    self._call_serial(fn, p, i) for i, p in enumerate(payloads)
+                ]
             finally:
                 _install_shared(previous)
         pack: MemmapSplits | None = None
@@ -208,6 +297,8 @@ class ParallelEvaluator:
             pack = pack_splits_memmap(shared)
             shared = pack
         try:
+            if self._resilient:
+                return self._map_resilient(fn, payloads, shared)
             with self._make_executor(len(payloads), shared) as executor:
                 futures = [executor.submit(fn, p) for p in payloads]
                 return [future.result() for future in futures]
@@ -222,6 +313,146 @@ class ParallelEvaluator:
                 except OSError:
                     pass
 
+    # -- fault-tolerant path ---------------------------------------------------
+    def _call_serial(self, fn: Callable[[_P], _R], payload: _P, index: int) -> _R:
+        """Serial-path evaluation with the same retry/quarantine budget."""
+        budget = self._attempt_budget()
+        schedule = self.retry.schedule() if self.retry else []
+        failures: list[str] = []
+        while True:
+            try:
+                return fn(payload)
+            except Exception as err:
+                failures.append(f"{type(err).__name__}: {err}")
+                if len(failures) >= budget:
+                    raise PoisonTask(index, failures) from err
+                self._backoff(schedule, len(failures))
+
+    def _rebuild(
+        self, executor: Executor, tasks: int, shared: Any, kill: bool
+    ) -> Executor:
+        """Tear an executor down (terminating its workers if asked) and replace it."""
+        if kill:
+            # A hung worker never returns on its own; SIGTERM the pool's
+            # children before abandoning it (process kind only — threads
+            # cannot be killed and simply leak until their work returns).
+            processes = getattr(executor, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:  # pragma: no cover - already-dead race
+                    pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken pools may refuse
+            pass
+        return self._make_executor(tasks, shared)
+
+    def _map_resilient(
+        self, fn: Callable[[_P], _R], payloads: list[_P], shared: Any
+    ) -> list[_R]:
+        """Order-preserving map with retries, timeouts and pool rebuilds.
+
+        Results settle in submission order; a pool rebuild resubmits every
+        task without a settled result, but only the task that actually
+        crashed/timed out has the failure counted against its budget —
+        innocent tasks get their re-run for free, and since every payload
+        is self-seeded the values (and any ranking built on them) stay
+        bit-identical to a fault-free run.
+        """
+        tracer = get_tracer()
+        budget = self._attempt_budget()
+        schedule = self.retry.schedule() if self.retry else []
+        n = len(payloads)
+        executor = self._make_executor(n, shared)
+        futures = [executor.submit(fn, p) for p in payloads]
+        results: list[Any] = [_PENDING] * n
+        failures: list[list[str]] = [[] for _ in range(n)]
+        totals = {"retries": 0, "timeouts": 0, "rebuilds": 0}
+        clean_exit = False
+        try:
+            for i in range(n):
+                while results[i] is _PENDING:
+                    try:
+                        results[i] = futures[i].result(timeout=self.task_timeout)
+                        continue
+                    except BrokenExecutor as err:
+                        kind, caught = "crash", err
+                        failures[i].append(
+                            f"worker crashed ({type(err).__name__})"
+                        )
+                    except FuturesTimeout as err:
+                        # In 3.11+ futures.TimeoutError is the builtin
+                        # TimeoutError, so a task *raising* TimeoutError
+                        # lands here too — done() tells the cases apart.
+                        if futures[i].done():
+                            kind, caught = "error", err
+                            failures[i].append(f"{type(err).__name__}: {err}")
+                        else:
+                            kind, caught = "timeout", err
+                            totals["timeouts"] += 1
+                            failures[i].append(
+                                f"timeout after {self.task_timeout}s"
+                            )
+                    except Exception as err:
+                        kind, caught = "error", err
+                        failures[i].append(f"{type(err).__name__}: {err}")
+
+                    retryable = len(failures[i]) < budget
+                    logger.warning(
+                        "task %d attempt %d failed (%s): %s%s",
+                        i, len(failures[i]), kind, failures[i][-1],
+                        "; retrying" if retryable else "; quarantining",
+                    )
+                    if kind in ("crash", "timeout"):
+                        # The pool is unusable (broken, or its workers were
+                        # just terminated): rebuild it and resubmit every
+                        # task whose result has not settled.
+                        totals["rebuilds"] += 1
+                        executor = self._rebuild(
+                            executor, n, shared, kill=kind == "timeout"
+                        )
+                        if tracer.enabled:
+                            tracer.counter(
+                                "parallel.pool_rebuilds",
+                                float(totals["rebuilds"]), cat="parallel",
+                            )
+                        for j in range(i, n):
+                            if results[j] is not _PENDING:
+                                continue
+                            future = futures[j]
+                            settled_ok = future.done() and (
+                                future.exception() is None
+                            )
+                            if j == i:
+                                if retryable:
+                                    futures[j] = executor.submit(
+                                        fn, payloads[j]
+                                    )
+                            elif not settled_ok:
+                                futures[j] = executor.submit(fn, payloads[j])
+                    elif retryable:
+                        futures[i] = executor.submit(fn, payloads[i])
+
+                    if not retryable:
+                        raise PoisonTask(i, failures[i]) from caught
+                    totals["retries"] += 1
+                    if tracer.enabled:
+                        tracer.counter(
+                            "parallel.retries", float(totals["retries"]),
+                            cat="parallel",
+                        )
+                        if kind == "timeout":
+                            tracer.counter(
+                                "parallel.timeouts", float(totals["timeouts"]),
+                                cat="parallel",
+                            )
+                    self._backoff(schedule, len(failures[i]))
+            clean_exit = True
+            return results
+        finally:
+            executor.shutdown(wait=clean_exit, cancel_futures=not clean_exit)
+
 
 def evaluate_parallel(
     fn: Callable[[_P], _R],
@@ -229,6 +460,8 @@ def evaluate_parallel(
     workers: int = 1,
     kind: str = "process",
     shared: Any = None,
+    task_timeout: float | None = None,
+    retry: RetryPolicy | None = None,
 ) -> list[_R]:
     """One-shot convenience wrapper around :meth:`ParallelEvaluator.map`.
 
@@ -238,13 +471,17 @@ def evaluate_parallel(
         workers: Worker count (``<= 1`` = serial reference path).
         kind: ``"process"`` or ``"thread"``.
         shared: Bulk read-only context for :func:`get_shared`.
+        task_timeout: Optional per-task timeout in seconds (see
+            :class:`ParallelEvaluator`).
+        retry: Optional :class:`repro.resilience.RetryPolicy` for bounded
+            retries with backoff.
 
     Returns:
         Results in payload order.
     """
-    return ParallelEvaluator(workers=workers, kind=kind).map(
-        fn, payloads, shared=shared
-    )
+    return ParallelEvaluator(
+        workers=workers, kind=kind, task_timeout=task_timeout, retry=retry
+    ).map(fn, payloads, shared=shared)
 
 
 def train_spec_payload(spec: Any, epochs: int, batch_size: int, seed: int) -> tuple:

@@ -1,0 +1,133 @@
+"""Typed failure taxonomy for the crash-safe search tier.
+
+Resilience only works when every failure mode has a *name*: callers can
+catch ``CorruptCheckpoint`` and fall back to an older epoch, catch
+``DivergenceError`` and report a clean budget-exhausted result instead of
+an NaN-poisoned one, and catch ``Preempted`` to translate a SIGTERM into a
+checkpoint-then-exit with a distinct exit code.  Anonymous ``RuntimeError``
+soup would force ``except Exception`` at every call site — the opposite of
+fault tolerance.
+
+This module is a leaf: it imports nothing from the rest of ``repro`` so
+that ``core.checkpoint``, ``core.parallel`` and the CLI can all share the
+same exception types without import cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CorruptCheckpoint",
+    "DivergenceError",
+    "PoisonTask",
+    "Preempted",
+]
+
+
+class CorruptCheckpoint(RuntimeError):
+    """A checkpoint file failed structural or checksum verification.
+
+    Raised by :func:`repro.core.checkpoint.load_checkpoint` (and
+    :func:`~repro.core.checkpoint.verify_checkpoint`) when a ``.npz``
+    checkpoint is truncated, unreadable, or its embedded content checksum
+    does not match the stored arrays — the signature of a crash mid-write
+    or on-disk corruption.  ``find_latest_checkpoint`` catches this and
+    falls back to the previous good epoch.
+    """
+
+    def __init__(self, path: str, reason: str) -> None:
+        super().__init__(f"corrupt checkpoint {path}: {reason}")
+        #: Path of the offending checkpoint file.
+        self.path = str(path)
+        #: Human-readable verification failure.
+        self.reason = reason
+
+
+class DivergenceError(RuntimeError):
+    """Search diverged and the rollback budget is exhausted.
+
+    Raised by the divergence guard when non-finite losses/parameters keep
+    recurring after ``max_rollbacks`` rollback-and-retry interventions.
+    Carries the full intervention history so the caller can report *what
+    was tried* instead of a bare NaN.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        epoch: int,
+        rollbacks: int,
+        interventions: list[dict] | None = None,
+    ) -> None:
+        super().__init__(
+            f"search diverged at epoch {epoch} ({reason}); "
+            f"rollback budget exhausted after {rollbacks} rollback(s)"
+        )
+        #: Divergence reason from the detector (e.g. ``"non-finite train loss"``).
+        self.reason = reason
+        #: Epoch index at which the final divergence was detected.
+        self.epoch = epoch
+        #: Rollbacks attempted before giving up.
+        self.rollbacks = rollbacks
+        #: Interventions applied so far (same dicts as ``SearchReport.interventions``).
+        self.interventions = list(interventions or [])
+
+
+class PoisonTask(RuntimeError):
+    """A parallel task kept failing and was quarantined.
+
+    Raised by :class:`repro.core.parallel.ParallelEvaluator` once a single
+    task has exhausted its retry budget (or hit ``quarantine_after``
+    failures): the task is declared poison rather than allowed to wedge
+    the whole map in a retry loop.  Carries the per-attempt failure
+    reasons for the post-mortem.
+    """
+
+    def __init__(self, index: int, failures: list[str]) -> None:
+        attempts = len(failures)
+        super().__init__(
+            f"task {index} quarantined after {attempts} failed attempt(s): "
+            f"{failures[-1] if failures else 'unknown'}"
+        )
+        #: Position of the poison payload in the submitted batch.
+        self.index = index
+        #: One reason string per failed attempt, oldest first.
+        self.failures = list(failures)
+
+
+class Preempted(RuntimeError):
+    """The process received SIGTERM/SIGINT and is exiting cooperatively.
+
+    Raised at a safe point (an epoch boundary for ``repro search``, the
+    wait loop for ``repro serve``) after a
+    :class:`~repro.resilience.preemption.PreemptionGuard` recorded the
+    signal.  ``checkpoint`` names the state saved on the way out, if any;
+    the CLI maps this exception to
+    :data:`~repro.resilience.preemption.PREEMPTION_EXIT_CODE`.
+    """
+
+    def __init__(
+        self,
+        signum: int,
+        *,
+        checkpoint: str | None = None,
+        epoch: int | None = None,
+    ) -> None:
+        import signal as _signal
+
+        try:
+            name = _signal.Signals(signum).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            name = str(signum)
+        detail = f"preempted by {name}"
+        if checkpoint is not None:
+            detail += f"; checkpoint saved to {checkpoint}"
+        super().__init__(detail)
+        #: Raw signal number that triggered preemption.
+        self.signum = signum
+        #: Signal name (``"SIGTERM"``/``"SIGINT"``).
+        self.signame = name
+        #: Path of the checkpoint written before exiting, or ``None``.
+        self.checkpoint = checkpoint
+        #: Last completed epoch at preemption time, or ``None``.
+        self.epoch = epoch

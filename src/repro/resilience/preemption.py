@@ -1,0 +1,162 @@
+"""Cooperative SIGTERM/SIGINT handling: checkpoint-then-exit, never a corpse.
+
+Long searches run under schedulers (and humans) that send SIGTERM before
+SIGKILL.  The default Python behaviour — ``KeyboardInterrupt`` mid-kernel,
+or instant death — wastes every epoch since the last checkpoint and can
+leave half-written artefacts.  :class:`PreemptionGuard` converts the first
+signal into a *request* that the work loop honours at its next safe point:
+
+* ``mode="defer"`` (``repro search``) — the handler only sets a flag;
+  :func:`preemption_requested` is polled at epoch boundaries, where the
+  engine checkpoints and raises :class:`~repro.resilience.errors.Preempted`.
+* ``mode="raise"`` (``repro serve``) — the handler raises
+  :class:`~repro.resilience.errors.Preempted` immediately in the main
+  thread, unwinding ``with`` blocks so the fleet's graceful ``close()``
+  drains in-flight batches and trace/metrics sinks flush on the way out.
+
+A second signal in ``defer`` mode escalates to an ordinary
+``KeyboardInterrupt`` — the user can always insist.  The CLI maps
+``Preempted`` to :data:`PREEMPTION_EXIT_CODE` (75, ``EX_TEMPFAIL``: "try
+again later", which a resumable search genuinely is).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from types import FrameType
+from typing import Callable, Iterable
+
+from repro.resilience.errors import Preempted
+from repro.utils.log import get_logger
+
+__all__ = [
+    "PREEMPTION_EXIT_CODE",
+    "PreemptionCallback",
+    "PreemptionGuard",
+    "preemption_requested",
+]
+
+logger = get_logger("resilience")
+
+#: Process exit code for a clean preemption exit (``EX_TEMPFAIL``): the run
+#: was interrupted but is resumable — schedulers treat it as "retry later".
+PREEMPTION_EXIT_CODE = 75
+
+_DEFAULT_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+#: The innermost active guard, consulted by :func:`preemption_requested`.
+_ACTIVE: "PreemptionGuard | None" = None
+
+
+def preemption_requested() -> bool:
+    """True when an active :class:`PreemptionGuard` has caught a signal.
+
+    Cheap enough to poll every epoch; always ``False`` when no guard is
+    installed (library use stays signal-agnostic by default).
+    """
+    guard = _ACTIVE
+    return guard is not None and guard.requested
+
+
+class PreemptionGuard:
+    """Context manager installing cooperative SIGINT/SIGTERM handlers.
+
+    Handlers can only be installed from the main thread; elsewhere the
+    guard degrades to an inert no-op (with a debug log) rather than
+    failing — worker threads simply do not get preemption handling.
+    Restores the previous handlers on exit and supports nesting in the
+    trivial way: the innermost guard wins.
+    """
+
+    def __init__(
+        self,
+        mode: str = "defer",
+        signals: Iterable[signal.Signals] = _DEFAULT_SIGNALS,
+    ) -> None:
+        if mode not in ("defer", "raise"):
+            raise ValueError(f"mode must be 'defer' or 'raise', got {mode!r}")
+        self.mode = mode
+        self._signals = tuple(signals)
+        self._previous: dict[int, object] = {}
+        self._outer: "PreemptionGuard | None" = None
+        self._installed = False
+        #: Signal number of the first caught signal, or ``None``.
+        self.signum: int | None = None
+
+    @property
+    def requested(self) -> bool:
+        """True once a signal has been caught by this guard."""
+        return self.signum is not None
+
+    def _handle(self, signum: int, frame: FrameType | None) -> None:
+        if self.signum is not None and self.mode == "defer":
+            # Second signal: the user insists — escalate to a hard interrupt.
+            logger.warning("second signal %d: escalating to KeyboardInterrupt", signum)
+            raise KeyboardInterrupt
+        self.signum = signum
+        logger.warning(
+            "received signal %d: %s",
+            signum,
+            "will checkpoint and exit at the next safe point"
+            if self.mode == "defer"
+            else "raising Preempted",
+        )
+        if self.mode == "raise":
+            raise Preempted(signum)
+
+    def __enter__(self) -> "PreemptionGuard":
+        global _ACTIVE
+        if threading.current_thread() is threading.main_thread():
+            try:
+                for sig in self._signals:
+                    self._previous[int(sig)] = signal.signal(sig, self._handle)
+                self._installed = True
+            except (ValueError, OSError):  # pragma: no cover - platform quirk
+                self._previous.clear()
+        if not self._installed:
+            logger.debug("preemption guard inert (not on the main thread)")
+        self._outer, _ACTIVE = _ACTIVE, self
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _ACTIVE
+        if self._installed:
+            for signum, previous in self._previous.items():
+                signal.signal(signum, previous)  # type: ignore[arg-type]
+            self._previous.clear()
+            self._installed = False
+        _ACTIVE = self._outer
+        self._outer = None
+
+
+class PreemptionCallback:
+    """Epoch callback: on a pending preemption request, checkpoint and raise.
+
+    Appended after the :class:`~repro.core.checkpoint.CheckpointCallback`
+    in the engine's callback list so a cadence save for this epoch has
+    already happened; ``save_now()`` then either reuses that file or
+    force-saves one, and the callback raises
+    :class:`~repro.resilience.errors.Preempted` carrying the path.  With
+    no checkpoint callback configured the raise still happens — the run
+    exits cleanly at the epoch boundary, it just has nothing to save.
+    """
+
+    def __init__(self, checkpoint_callback: object | None = None) -> None:
+        self._checkpoint = checkpoint_callback
+
+    def __call__(self, record: object) -> None:
+        """Raise :class:`Preempted` (after saving) if a signal is pending."""
+        if not preemption_requested():
+            return
+        path: str | None = None
+        save_now: Callable[[], object] | None = getattr(
+            self._checkpoint, "save_now", None
+        )
+        if save_now is not None:
+            path = str(save_now())
+        guard = _ACTIVE
+        signum = guard.signum if guard is not None and guard.signum else signal.SIGTERM
+        raise Preempted(
+            int(signum), checkpoint=path, epoch=getattr(record, "epoch", None)
+        )

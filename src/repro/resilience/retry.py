@@ -1,0 +1,99 @@
+"""Reusable bounded-retry policy with decorrelated-jitter backoff.
+
+One policy object serves every retry site in the system — the parallel
+evaluator's task retries, the fleet client's ``submit_with_retry``, and
+anything users build on ``api`` — so retry behaviour is configured once
+and stays consistent.  The backoff schedule uses *decorrelated jitter*
+(each delay drawn uniformly from ``[base, prev * 3]``, capped at
+``max_delay_s``): it spreads synchronized retriers apart like full jitter
+while still growing roughly exponentially.  The draw comes from a private
+``random.Random(seed)``, so a given policy always produces the same
+schedule — retries stay deterministic, which the bit-identical-ranking
+guarantees of :class:`repro.core.parallel.ParallelEvaluator` depend on.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic decorrelated-jitter backoff.
+
+    ``max_retries`` counts *re*-tries: a task gets ``max_retries + 1``
+    total attempts.  ``max_retries=0`` disables retrying while keeping the
+    policy object usable as a marker.  The schedule is a pure function of
+    the dataclass fields (seeded RNG), so two policies with equal fields
+    sleep identically.
+    """
+
+    #: Retries after the first attempt (total attempts = ``max_retries + 1``).
+    max_retries: int = 2
+    #: Floor of every backoff delay, seconds.
+    base_delay_s: float = 0.05
+    #: Ceiling of every backoff delay, seconds.
+    max_delay_s: float = 2.0
+    #: Seed for the jitter RNG — equal policies back off identically.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay_s < 0:
+            raise ValueError(f"base_delay_s must be >= 0, got {self.base_delay_s}")
+        if self.max_delay_s < self.base_delay_s:
+            raise ValueError(
+                f"max_delay_s ({self.max_delay_s}) must be >= "
+                f"base_delay_s ({self.base_delay_s})"
+            )
+
+    def delays(self) -> Iterator[float]:
+        """Yield the infinite decorrelated-jitter delay sequence.
+
+        ``d[0] = base``; ``d[n+1] = min(max, uniform(base, d[n] * 3))``.
+        Deterministic for a given ``seed``.
+        """
+        rng = random.Random(self.seed)
+        delay = self.base_delay_s
+        while True:
+            yield delay
+            delay = min(self.max_delay_s, rng.uniform(self.base_delay_s, delay * 3.0))
+
+    def schedule(self) -> list[float]:
+        """Return the concrete delay before each retry (len == ``max_retries``)."""
+        it = self.delays()
+        return [next(it) for _ in range(self.max_retries)]
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        *,
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ):
+        """Call ``fn`` with bounded retries on ``retry_on`` exceptions.
+
+        ``sleep`` is injectable so tests (and callers with their own
+        pacing) never wall-clock-wait; ``on_retry(attempt, error)`` fires
+        before each backoff sleep.  The final failure is re-raised
+        unchanged once the budget is spent.
+        """
+        delays = iter(self.schedule())
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except retry_on as err:
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, err)
+                sleep(next(delays))

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import threading
 import time
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -37,6 +38,7 @@ from repro.runtime.fleet.requests import (
     DeadlineExceeded,
     FleetClosed,
     FleetHandle,
+    QueueFull,
     WorkerCrashed,
     _FleetRequest,
 )
@@ -44,6 +46,9 @@ from repro.runtime.fleet.scheduler import FleetScheduler
 from repro.runtime.fleet.weights import pack_plan_memmap
 from repro.runtime.fleet.worker import ProcessWorker
 from repro.runtime.plan import ExecutionPlan
+
+if TYPE_CHECKING:  # runtime import is deferred inside submit_with_retry
+    from repro.resilience.retry import RetryPolicy
 
 #: Worker tiers a fleet can run.
 WORKER_KINDS = ("thread", "process")
@@ -453,6 +458,49 @@ class ServingFleet:
             self.metrics.record_unaccepted(model)
             raise
         return FleetHandle(request)
+
+    def submit_with_retry(
+        self,
+        model: str,
+        x: np.ndarray,
+        deadline_ms: float | None = None,
+        retry: "RetryPolicy | None" = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> FleetHandle:
+        """:meth:`submit` with bounded, backed-off retries on ``QueueFull``.
+
+        Backpressure is transient by design — a full queue drains as
+        workers pull batches — so the client-side answer is a few spaced
+        retries rather than instant failure.  Uses the shared
+        :class:`repro.resilience.RetryPolicy` (default:
+        ``RetryPolicy()``, 2 retries with decorrelated-jitter backoff) and
+        re-raises ``QueueFull`` once the budget is spent.  Only
+        ``QueueFull`` is retried: ``FleetClosed`` (and every other error)
+        propagates immediately — retrying a shut-down fleet can never
+        succeed.  ``sleep`` is injectable for deterministic tests.
+
+        Raises:
+            QueueFull: When the queue is still full after the last retry.
+            FleetClosed: Immediately after :meth:`close` — never retried.
+            ValueError: For unknown models or bad shapes — never retried.
+        """
+        from repro.resilience.retry import RetryPolicy
+
+        policy = retry if retry is not None else RetryPolicy()
+        tracer = get_tracer()
+        delays = iter(policy.schedule())
+        attempt = 0
+        while True:
+            try:
+                return self.submit(model, x, deadline_ms)
+            except QueueFull:
+                attempt += 1
+                if attempt > policy.max_retries:
+                    raise
+                if tracer.enabled:
+                    tracer.counter("fleet.submit_retries", float(attempt),
+                                   cat="fleet")
+                sleep(next(delays))
 
     def infer(
         self,

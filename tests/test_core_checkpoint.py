@@ -191,7 +191,11 @@ class TestCheckpointCallback:
         (tmp_path / "ckpt-epoch-0002.npz").touch()
         (tmp_path / "ckpt-epoch-0010.npz").touch()
         (tmp_path / "unrelated.npz").touch()
-        assert find_latest_checkpoint(tmp_path).name == "ckpt-epoch-0010.npz"
+        # Unverified listing ranks purely by epoch number...
+        latest = find_latest_checkpoint(tmp_path, verify=False)
+        assert latest.name == "ckpt-epoch-0010.npz"
+        # ...but the default verifying path refuses truncated corpses.
+        assert find_latest_checkpoint(tmp_path) is None
 
     def test_checkpoint_path_format(self, tmp_path):
         assert checkpoint_path(tmp_path, 7).name == "ckpt-epoch-0007.npz"
@@ -215,6 +219,137 @@ class TestRestoreSearchState:
         assert state.epoch == 1
         assert len(state.history) == 1
         assert state.history[0].to_dict() == record.to_dict()
+
+
+class TestDurability:
+    """Atomic writes, checksums, corruption fallback and pruning."""
+
+    def test_truncated_file_is_typed_corrupt(self, searcher, tmp_path):
+        from repro.core.checkpoint import verify_checkpoint
+        from repro.resilience import CorruptCheckpoint
+
+        path = save_checkpoint(searcher, tmp_path / "ck.npz")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CorruptCheckpoint) as err:
+            verify_checkpoint(path)
+        assert err.value.path == str(path)
+        with pytest.raises(CorruptCheckpoint):
+            load_checkpoint(searcher, path)
+
+    def test_checksum_detects_bitrot(self, searcher, tmp_path):
+        from repro.core.checkpoint import verify_checkpoint
+        from repro.resilience import CorruptCheckpoint
+
+        path = save_checkpoint(searcher, tmp_path / "ck.npz")
+        with np.load(path) as data:
+            payload = {key: data[key].copy() for key in data.files}
+        # Flip stored state without refreshing the embedded checksum — the
+        # on-disk signature of silent corruption.
+        payload["meta::epoch"] = np.asarray(999)
+        np.savez(path, **payload)
+        with pytest.raises(CorruptCheckpoint, match="checksum mismatch"):
+            verify_checkpoint(path)
+
+    def test_version2_files_still_verify_and_load(self, searcher, tiny_space,
+                                                  tiny_splits, tmp_path):
+        from repro.core.checkpoint import verify_checkpoint
+
+        path = save_checkpoint(searcher, tmp_path / "ck.npz", epoch=2)
+        with np.load(path) as data:
+            payload = {
+                key: data[key].copy()
+                for key in data.files
+                if key != "meta::checksum"
+            }
+        payload["meta::format"] = np.asarray(2)
+        np.savez(path, **payload)
+        assert verify_checkpoint(path) == 2
+        other = fresh_like(searcher, tiny_space, tiny_splits)
+        assert load_checkpoint(other, path) == 2
+        np.testing.assert_array_equal(other.supernet.theta.data,
+                                      searcher.supernet.theta.data)
+
+    def test_v3_without_checksum_is_corrupt(self, searcher, tmp_path):
+        from repro.core.checkpoint import verify_checkpoint
+        from repro.resilience import CorruptCheckpoint
+
+        path = save_checkpoint(searcher, tmp_path / "ck.npz")
+        with np.load(path) as data:
+            payload = {
+                key: data[key].copy()
+                for key in data.files
+                if key != "meta::checksum"
+            }
+        np.savez(path, **payload)
+        with pytest.raises(CorruptCheckpoint, match="missing its checksum"):
+            verify_checkpoint(path)
+
+    def test_find_latest_falls_back_past_corrupt_newest(self, searcher,
+                                                        tmp_path):
+        save_checkpoint(searcher, checkpoint_path(tmp_path, 1), epoch=1)
+        good = save_checkpoint(searcher, checkpoint_path(tmp_path, 2), epoch=2)
+        corpse = checkpoint_path(tmp_path, 3)
+        corpse.write_bytes(good.read_bytes()[:100])  # kill -9 mid-write corpse
+        assert find_latest_checkpoint(tmp_path) == good
+        assert find_latest_checkpoint(tmp_path, verify=False) == corpse
+
+    def test_save_leaves_no_temp_files(self, searcher, tmp_path):
+        save_checkpoint(searcher, checkpoint_path(tmp_path, 1), epoch=1)
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name != "ckpt-epoch-0001.npz"]
+        assert leftovers == []
+
+    def test_prune_removes_corpses_and_stale_temps(self, searcher, tmp_path):
+        from repro.core.checkpoint import prune_corrupt_checkpoints
+
+        good = save_checkpoint(searcher, checkpoint_path(tmp_path, 1), epoch=1)
+        corpse = checkpoint_path(tmp_path, 2)
+        corpse.write_bytes(b"not a zip")
+        stale = tmp_path / ".ckpt-epoch-0003.npz.tmp-12345"
+        stale.write_bytes(b"partial")
+        removed = prune_corrupt_checkpoints(tmp_path)
+        assert sorted(removed) == sorted([corpse, stale])
+        assert good.exists()
+        assert not corpse.exists() and not stale.exists()
+
+    def test_callback_prunes_corpses_on_first_save(self, tiny_space,
+                                                   tiny_splits, tmp_path):
+        searcher = EDDSearcher(tiny_space, tiny_splits, _search_config(epochs=1))
+        ckdir = tmp_path / "ck"
+        ckdir.mkdir()
+        corpse = ckdir / "ckpt-epoch-0009.npz"
+        corpse.write_bytes(b"crashed run corpse")
+        searcher.search(name="prune",
+                        callbacks=[CheckpointCallback(searcher, ckdir)])
+        assert not corpse.exists()
+        latest = find_latest_checkpoint(ckdir)
+        assert latest is not None and latest.name == "ckpt-epoch-0001.npz"
+
+    def test_save_now_reuses_cadence_save(self, tiny_space, tiny_splits,
+                                          tmp_path):
+        searcher = EDDSearcher(tiny_space, tiny_splits, _search_config(epochs=2))
+        callback = CheckpointCallback(searcher, tmp_path, every=1)
+        searcher.search(name="now", callbacks=[callback])
+        before = list(callback.saved)
+        path = callback.save_now()  # epoch-2 save just happened: no new file
+        assert path == before[-1]
+        assert callback.saved == before
+
+    def test_save_now_forces_between_cadence(self, tiny_space, tiny_splits,
+                                             tmp_path):
+        searcher = EDDSearcher(tiny_space, tiny_splits, _search_config(epochs=3))
+        callback = CheckpointCallback(searcher, tmp_path, every=2)
+        searcher.search(name="now", callbacks=[callback])
+        # 3 epochs, every=2: only epoch-2 saved on cadence; epoch 3 pending.
+        assert [p.name for p in callback.saved] == ["ckpt-epoch-0002.npz"]
+        path = callback.save_now()
+        assert path.name == "ckpt-epoch-0003.npz"
+        state = restore_search_state(
+            EDDSearcher(tiny_space, tiny_splits, _search_config(epochs=3)), path
+        )
+        assert state.epoch == 3
+        assert [r.epoch for r in state.history] == [0, 1, 2]
 
 
 class TestValidation:

@@ -1,0 +1,206 @@
+"""Fault-path tests for the resilient parallel evaluator.
+
+Faults are injected with the deterministic :mod:`repro.resilience.testing`
+harness: each task carries a per-attempt script (crash / hang / error / ok)
+and an on-disk attempt ledger that survives worker death and pool rebuilds.
+The load-bearing assertion throughout is *value equality with the
+fault-free run* — retries, timeouts and rebuilds may change wall-clock,
+never results or rankings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import ParallelEvaluator
+from repro.resilience import PoisonTask, RetryPolicy
+from repro.resilience.testing import (
+    CRASH,
+    ERROR,
+    HANG,
+    OK,
+    FaultInjected,
+    FaultyTask,
+    attempts_made,
+)
+
+# No-sleep policy: fault tests exercise the retry logic, not the pacing.
+FAST = RetryPolicy(max_retries=2, base_delay_s=0.0, max_delay_s=0.0)
+
+
+def _score(payload):
+    """Deterministic per-seed score — the payload *is* the seed."""
+    rng = np.random.default_rng(payload)
+    return float(rng.normal())
+
+
+TASK = FaultyTask(_score)
+
+
+def _scripted(ledger, scripts):
+    """Payloads for seeds ``0..len(scripts)-1`` with the given fault scripts."""
+    return [
+        TASK.payload(i, ledger, i, faults=script)
+        for i, script in enumerate(scripts)
+    ]
+
+
+def _reference(n):
+    """The fault-free serial answer every faulted run must reproduce."""
+    return [_score(i) for i in range(n)]
+
+
+class TestCrashRecovery:
+    def test_worker_crash_is_retried_to_the_right_answer(self, tmp_path):
+        scripts = [(), (CRASH, OK), ()]
+        evaluator = ParallelEvaluator(workers=2, retry=FAST)
+        results = evaluator.map(TASK, _scripted(tmp_path, scripts))
+        assert results == _reference(3)
+        assert attempts_made(tmp_path, 1) == 2  # crashed once, then clean
+
+    def test_innocent_tasks_survive_pool_rebuild(self, tmp_path):
+        # One crash breaks the shared pool; every unfinished task is
+        # resubmitted, but only the crasher's budget is charged.
+        scripts = [(CRASH, OK), (), (), (), ()]
+        evaluator = ParallelEvaluator(
+            workers=2, retry=RetryPolicy(max_retries=1, base_delay_s=0.0,
+                                         max_delay_s=0.0)
+        )
+        results = evaluator.map(TASK, _scripted(tmp_path, scripts))
+        assert results == _reference(5)
+
+    def test_repeated_crasher_is_quarantined(self, tmp_path):
+        scripts = [(), (CRASH, CRASH, CRASH, CRASH)]
+        evaluator = ParallelEvaluator(
+            workers=2, retry=RetryPolicy(max_retries=1, base_delay_s=0.0,
+                                         max_delay_s=0.0)
+        )
+        with pytest.raises(PoisonTask) as err:
+            evaluator.map(TASK, _scripted(tmp_path, scripts))
+        assert err.value.index == 1
+        assert len(err.value.failures) == 2
+        assert "crash" in err.value.failures[0]
+
+
+class TestTimeouts:
+    def test_hung_task_is_killed_and_retried(self, tmp_path):
+        scripts = [(), (HANG, OK)]
+        evaluator = ParallelEvaluator(
+            workers=2, task_timeout=1.0, retry=FAST
+        )
+        results = evaluator.map(TASK, _scripted(tmp_path, scripts))
+        assert results == _reference(2)
+        assert attempts_made(tmp_path, 1) == 2
+
+    def test_permanent_hang_quarantines_without_wedging(self, tmp_path):
+        scripts = [(HANG, HANG, HANG, HANG), ()]
+        evaluator = ParallelEvaluator(
+            workers=2, task_timeout=0.5,
+            retry=RetryPolicy(max_retries=1, base_delay_s=0.0, max_delay_s=0.0),
+        )
+        with pytest.raises(PoisonTask) as err:
+            evaluator.map(TASK, _scripted(tmp_path, scripts))
+        assert err.value.index == 0
+        assert all("timeout" in f for f in err.value.failures)
+
+    def test_task_raising_timeouterror_is_an_error_not_a_timeout(self):
+        # 3.11+ folds futures.TimeoutError into builtin TimeoutError; a task
+        # *raising* it must be treated as a task failure, not a hung worker.
+        evaluator = ParallelEvaluator(
+            workers=2, kind="thread", task_timeout=30.0, quarantine_after=1
+        )
+        with pytest.raises(PoisonTask) as err:
+            evaluator.map(_raise_timeout, [0, 1])
+        assert "TimeoutError" in err.value.failures[0]
+        assert "timeout after" not in err.value.failures[0]
+
+
+def _raise_timeout(_payload):
+    raise TimeoutError("task-level deadline")
+
+
+class TestFlakyErrors:
+    @pytest.mark.parametrize("kind", ["process", "thread"])
+    def test_flaky_errors_retry_in_place(self, tmp_path, kind):
+        scripts = [(), (ERROR, ERROR, OK), (ERROR, OK)]
+        evaluator = ParallelEvaluator(workers=2, kind=kind, retry=FAST)
+        results = evaluator.map(TASK, _scripted(tmp_path, scripts))
+        assert results == _reference(3)
+
+    def test_serial_path_retries_identically(self, tmp_path):
+        scripts = [(), (ERROR, OK)]
+        serial = ParallelEvaluator(workers=1, retry=FAST)
+        assert serial.map(TASK, _scripted(tmp_path, scripts)) == _reference(2)
+        assert attempts_made(tmp_path, 1) == 2
+
+    def test_serial_poison_matches_parallel_contract(self, tmp_path):
+        scripts = [(ERROR, ERROR, ERROR, ERROR)]
+        serial = ParallelEvaluator(
+            workers=1, retry=RetryPolicy(max_retries=2, base_delay_s=0.0,
+                                         max_delay_s=0.0)
+        )
+        with pytest.raises(PoisonTask) as err:
+            serial.map(TASK, _scripted(tmp_path, scripts))
+        assert err.value.index == 0
+        assert len(err.value.failures) == 3
+        assert isinstance(err.value.__cause__, FaultInjected)
+
+    def test_without_retry_errors_still_fail_fast(self, tmp_path):
+        scripts = [(ERROR,)]
+        evaluator = ParallelEvaluator(workers=2, kind="thread")
+        with pytest.raises(FaultInjected):
+            evaluator.map(TASK, _scripted(tmp_path, scripts))
+
+    def test_quarantine_after_caps_retry_budget(self, tmp_path):
+        scripts = [(ERROR, ERROR, ERROR, ERROR)]
+        evaluator = ParallelEvaluator(
+            workers=2, kind="thread",
+            retry=RetryPolicy(max_retries=10, base_delay_s=0.0,
+                              max_delay_s=0.0),
+            quarantine_after=2,
+        )
+        with pytest.raises(PoisonTask) as err:
+            evaluator.map(TASK, _scripted(tmp_path, scripts))
+        assert len(err.value.failures) == 2
+
+
+class TestRankingEquality:
+    """The headline guarantee: faults never change values or rankings."""
+
+    def test_faulted_parallel_equals_fault_free_serial(self, tmp_path):
+        n = 6
+        scripts = [()] * n
+        scripts[1] = (ERROR, OK)
+        scripts[3] = (CRASH, OK)
+        scripts[4] = (ERROR, ERROR, OK)
+        evaluator = ParallelEvaluator(workers=3, retry=FAST)
+        faulted = evaluator.map(TASK, _scripted(tmp_path, scripts))
+        clean = _reference(n)
+        assert faulted == clean  # bit-identical values...
+        assert list(np.argsort(faulted)) == list(np.argsort(clean))  # ...and rank
+
+    def test_worker_count_invariance_under_faults(self, tmp_path):
+        scripts = [(), (ERROR, OK), (), (ERROR, OK)]
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        one = ParallelEvaluator(workers=1, retry=FAST).map(
+            TASK, _scripted(tmp_path / "a", scripts)
+        )
+        many = ParallelEvaluator(workers=4, kind="thread", retry=FAST).map(
+            TASK, _scripted(tmp_path / "b", scripts)
+        )
+        assert one == many == _reference(4)
+
+
+class TestValidation:
+    def test_rejects_bad_task_timeout(self):
+        with pytest.raises(ValueError, match="task_timeout"):
+            ParallelEvaluator(workers=2, task_timeout=0)
+
+    def test_rejects_bad_quarantine(self):
+        with pytest.raises(ValueError, match="quarantine_after"):
+            ParallelEvaluator(workers=2, quarantine_after=0)
+
+    def test_plain_evaluator_is_not_resilient(self):
+        assert not ParallelEvaluator(workers=2)._resilient
+        assert ParallelEvaluator(workers=2, retry=FAST)._resilient
+        assert ParallelEvaluator(workers=2, task_timeout=1.0)._resilient

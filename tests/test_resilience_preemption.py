@@ -1,0 +1,158 @@
+"""SIGTERM/SIGINT preemption: checkpoint-then-exit at a safe point."""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import CheckpointCallback, find_latest_checkpoint
+from repro.core.config import EDDConfig
+from repro.core.cosearch import EDDSearcher
+from repro.resilience import (
+    PREEMPTION_EXIT_CODE,
+    Preempted,
+    PreemptionCallback,
+    PreemptionGuard,
+    preemption_requested,
+)
+
+
+def _config(epochs=3):
+    return EDDConfig(target="fpga_pipelined", epochs=epochs, batch_size=8,
+                     arch_start_epoch=0, seed=0, resource_fraction=0.5)
+
+
+def _signal_self(signum=signal.SIGTERM):
+    os.kill(os.getpid(), signum)
+
+
+class TestGuard:
+    def test_defer_mode_records_without_raising(self):
+        with PreemptionGuard(mode="defer") as guard:
+            assert not preemption_requested()
+            _signal_self()
+            assert preemption_requested()
+            assert guard.signum == signal.SIGTERM
+        assert not preemption_requested()  # guard gone, flag with it
+
+    def test_second_signal_escalates(self):
+        with PreemptionGuard(mode="defer"):
+            _signal_self()
+            with pytest.raises(KeyboardInterrupt):
+                _signal_self()
+
+    def test_raise_mode_unwinds_immediately(self):
+        entered, exited = [], []
+
+        class _Tracked:
+            def __enter__(self):
+                entered.append(True)
+                return self
+
+            def __exit__(self, *exc):
+                exited.append(True)
+
+        with pytest.raises(Preempted) as err:
+            with PreemptionGuard(mode="raise"):
+                with _Tracked():
+                    _signal_self(signal.SIGINT)
+        assert err.value.signame == "SIGINT"
+        assert entered and exited  # the inner context manager drained
+
+    def test_handlers_restored_on_exit(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with PreemptionGuard(mode="defer"):
+            assert signal.getsignal(signal.SIGTERM) != before
+        assert signal.getsignal(signal.SIGTERM) == before
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            PreemptionGuard(mode="panic")
+
+    def test_requested_false_without_guard(self):
+        assert not preemption_requested()
+
+
+class _StubCheckpoint:
+    def __init__(self, path="/tmp/stub.npz"):
+        self.path = path
+        self.calls = 0
+
+    def save_now(self):
+        self.calls += 1
+        return self.path
+
+
+class TestCallback:
+    def test_noop_without_pending_signal(self):
+        stub = _StubCheckpoint()
+        callback = PreemptionCallback(stub)
+        callback(object())  # no guard, no signal: must not raise
+        assert stub.calls == 0
+
+    def test_saves_then_raises_on_pending_signal(self):
+        stub = _StubCheckpoint()
+        callback = PreemptionCallback(stub)
+        record = type("R", (), {"epoch": 5})()
+        with PreemptionGuard(mode="defer"):
+            _signal_self()
+            with pytest.raises(Preempted) as err:
+                callback(record)
+        assert stub.calls == 1
+        assert err.value.checkpoint == stub.path
+        assert err.value.epoch == 5
+        assert err.value.signum == signal.SIGTERM
+
+    def test_raises_cleanly_without_checkpointer(self):
+        callback = PreemptionCallback(None)
+        with PreemptionGuard(mode="defer"):
+            _signal_self()
+            with pytest.raises(Preempted) as err:
+                callback(type("R", (), {"epoch": 0})())
+        assert err.value.checkpoint is None
+
+
+class TestSearchPreemption:
+    """A preempted search checkpoints at the epoch boundary and the resumed
+    run is bit-identical to the uninterrupted one."""
+
+    def _preempt_at(self, tiny_space, tiny_splits, ckdir, kill_epoch):
+        searcher = EDDSearcher(tiny_space, tiny_splits, _config())
+        checkpoint = CheckpointCallback(searcher, ckdir, every=1)
+
+        def deliver(record):
+            if record.epoch == kill_epoch:
+                _signal_self()
+
+        with PreemptionGuard(mode="defer"):
+            with pytest.raises(Preempted) as err:
+                searcher.search(
+                    name="pre",
+                    callbacks=[deliver, checkpoint,
+                               PreemptionCallback(checkpoint)],
+                )
+        return err.value
+
+    def test_preempted_search_saves_and_resumes_identically(
+        self, tiny_space, tiny_splits, tmp_path
+    ):
+        full = EDDSearcher(tiny_space, tiny_splits, _config()).search(name="pre")
+        ckdir = tmp_path / "ck"
+        err = self._preempt_at(tiny_space, tiny_splits, ckdir, kill_epoch=1)
+        assert err.checkpoint is not None
+        assert err.epoch == 1
+        latest = find_latest_checkpoint(ckdir)
+        assert str(latest) == err.checkpoint
+        resumed = EDDSearcher(tiny_space, tiny_splits, _config()).resume(
+            latest, name="pre"
+        )
+        np.testing.assert_array_equal(resumed.theta, full.theta)
+        np.testing.assert_array_equal(resumed.phi, full.phi)
+        np.testing.assert_equal(
+            [r.to_dict() for r in resumed.history],
+            [r.to_dict() for r in full.history],
+        )
+
+    def test_exit_code_is_ex_tempfail(self):
+        assert PREEMPTION_EXIT_CODE == 75

@@ -1,0 +1,102 @@
+"""Unit tests for the shared bounded-retry policy."""
+
+import pytest
+
+from repro.resilience import RetryPolicy
+
+
+class TestSchedule:
+    def test_deterministic_for_equal_fields(self):
+        a = RetryPolicy(max_retries=5, base_delay_s=0.1, max_delay_s=2.0, seed=3)
+        b = RetryPolicy(max_retries=5, base_delay_s=0.1, max_delay_s=2.0, seed=3)
+        assert a.schedule() == b.schedule()
+        assert a.schedule() == a.schedule()  # re-derivation, not consumption
+
+    def test_seed_changes_schedule(self):
+        a = RetryPolicy(max_retries=5, seed=0).schedule()
+        b = RetryPolicy(max_retries=5, seed=1).schedule()
+        assert a[0] == b[0]  # first delay is always base
+        assert a != b
+
+    def test_length_matches_max_retries(self):
+        assert len(RetryPolicy(max_retries=0).schedule()) == 0
+        assert len(RetryPolicy(max_retries=4).schedule()) == 4
+
+    def test_delays_stay_within_bounds(self):
+        policy = RetryPolicy(max_retries=50, base_delay_s=0.05, max_delay_s=0.4)
+        for delay in policy.schedule():
+            assert 0.05 <= delay <= 0.4
+
+    def test_first_delay_is_base(self):
+        policy = RetryPolicy(max_retries=1, base_delay_s=0.25)
+        assert policy.schedule() == [0.25]
+
+
+class TestValidation:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError, match="base_delay_s"):
+            RetryPolicy(base_delay_s=-0.1)
+
+    def test_max_below_base_rejected(self):
+        with pytest.raises(ValueError, match="max_delay_s"):
+            RetryPolicy(base_delay_s=1.0, max_delay_s=0.5)
+
+
+class _Flaky:
+    """Callable failing ``failures`` times before returning ``value``."""
+
+    def __init__(self, failures, value="ok", exc=RuntimeError):
+        self.failures = failures
+        self.value = value
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"attempt {self.calls}")
+        return self.value
+
+
+class TestCall:
+    def test_returns_after_transient_failures(self):
+        slept = []
+        fn = _Flaky(failures=2)
+        policy = RetryPolicy(max_retries=2, base_delay_s=0.1)
+        assert policy.call(fn, sleep=slept.append) == "ok"
+        assert fn.calls == 3
+        assert slept == policy.schedule()
+
+    def test_reraises_once_budget_spent(self):
+        fn = _Flaky(failures=10)
+        with pytest.raises(RuntimeError, match="attempt 3"):
+            RetryPolicy(max_retries=2).call(fn, sleep=lambda _: None)
+        assert fn.calls == 3
+
+    def test_zero_retries_fails_fast(self):
+        fn = _Flaky(failures=1)
+        with pytest.raises(RuntimeError):
+            RetryPolicy(max_retries=0).call(fn)
+        assert fn.calls == 1
+
+    def test_retry_on_filters_exception_types(self):
+        fn = _Flaky(failures=1, exc=KeyError)
+        with pytest.raises(KeyError):
+            RetryPolicy(max_retries=3).call(
+                fn, retry_on=(OSError,), sleep=lambda _: None
+            )
+        assert fn.calls == 1
+
+    def test_on_retry_observes_attempts(self):
+        seen = []
+        fn = _Flaky(failures=2)
+        RetryPolicy(max_retries=2).call(
+            fn,
+            sleep=lambda _: None,
+            on_retry=lambda attempt, err: seen.append((attempt, str(err))),
+        )
+        assert seen == [(1, "attempt 1"), (2, "attempt 2")]

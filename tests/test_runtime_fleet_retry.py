@@ -1,0 +1,101 @@
+"""Backpressure retries: ``ServingFleet.submit_with_retry``.
+
+The retry loop is pure client-side policy, so it is tested against a
+scripted stand-in fleet (``submit`` plays a queue of outcomes) via the
+unbound method — no worker processes, no timing, fully deterministic.
+"""
+
+import pytest
+
+from repro.resilience import RetryPolicy
+from repro.runtime.fleet import FleetClosed, QueueFull, ServingFleet
+
+
+class _ScriptedFleet:
+    """Minimal ``submit`` double: pops one scripted outcome per call."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.calls = 0
+
+    def submit(self, model, x, deadline_ms=None):
+        self.calls += 1
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+def _submit(fake, retry, sleeps=None):
+    return ServingFleet.submit_with_retry(
+        fake, "m", None, retry=retry,
+        sleep=(sleeps.append if sleeps is not None else (lambda _d: None)),
+    )
+
+
+class TestSubmitWithRetry:
+    def test_first_try_success_never_sleeps(self):
+        fake = _ScriptedFleet(["handle"])
+        sleeps = []
+        assert _submit(fake, RetryPolicy(max_retries=3), sleeps) == "handle"
+        assert fake.calls == 1
+        assert sleeps == []
+
+    def test_queue_full_is_retried_with_policy_backoff(self):
+        fake = _ScriptedFleet([QueueFull("full"), QueueFull("full"), "handle"])
+        policy = RetryPolicy(max_retries=3, base_delay_s=0.01, seed=7)
+        sleeps = []
+        assert _submit(fake, policy, sleeps) == "handle"
+        assert fake.calls == 3
+        assert sleeps == policy.schedule()[:2]
+
+    def test_reraises_once_budget_spent(self):
+        fake = _ScriptedFleet([QueueFull("full")] * 3)
+        with pytest.raises(QueueFull):
+            _submit(fake, RetryPolicy(max_retries=2))
+        assert fake.calls == 3
+
+    def test_fleet_closed_is_never_retried(self):
+        fake = _ScriptedFleet([FleetClosed("closed")])
+        with pytest.raises(FleetClosed):
+            _submit(fake, RetryPolicy(max_retries=5))
+        assert fake.calls == 1
+
+    def test_value_error_is_never_retried(self):
+        fake = _ScriptedFleet([ValueError("unknown model")])
+        with pytest.raises(ValueError):
+            _submit(fake, RetryPolicy(max_retries=5))
+        assert fake.calls == 1
+
+    def test_queue_full_then_closed_stops_retrying(self):
+        # The fleet shut down between attempts: the retry loop must not
+        # keep hammering a closed fleet.
+        fake = _ScriptedFleet([QueueFull("full"), FleetClosed("closed")])
+        with pytest.raises(FleetClosed):
+            _submit(fake, RetryPolicy(max_retries=5))
+        assert fake.calls == 2
+
+    def test_default_policy_used_when_none_given(self):
+        fake = _ScriptedFleet([QueueFull("full"), "handle"])
+        handle = ServingFleet.submit_with_retry(
+            fake, "m", None, sleep=lambda _d: None
+        )
+        assert handle == "handle"
+        assert fake.calls == 2  # RetryPolicy() default allows retries
+
+
+class TestRealFleetIntegration:
+    def test_submit_with_retry_round_trips(self):
+        """On a live fleet the wrapper is just ``submit`` when nothing is full."""
+        import numpy as np
+
+        from repro import api
+
+        spec = api.search(epochs=1, blocks=2, batch_size=8, seed=0).result.spec
+        from repro.runtime import compile_spec
+
+        plan = compile_spec(spec)
+        with ServingFleet({"m": plan}, workers=1) as fleet:
+            x = np.zeros(plan.input_shape, dtype=np.float32)
+            out = fleet.submit_with_retry("m", x).result(timeout=30.0)
+        assert out.shape[-1] == plan.output_shape[-1]

@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""CI chaos smoke: kill -9 a checkpointed search, resume bit-identically.
+
+Replays the crash-safety claims of ``docs/resilience.md`` end to end, with
+real processes and real signals:
+
+* **Phase A (kill -9)** — a child process runs a checkpointed search and is
+  SIGKILLed mid-run, right after its second checkpoint lands.  The parent
+  then litters the checkpoint directory with a truncated higher-epoch
+  corpse and a stale atomic-write temp file (what a harsher crash could
+  leave), resumes, and asserts the resumed run's ``theta``/``phi``/history
+  are **bit-identical** to an uninterrupted reference run.
+* **Phase B (preemption)** — a child runs ``repro search`` through the real
+  CLI and receives SIGTERM after its first checkpoint; it must exit with
+  ``PREEMPTION_EXIT_CODE`` (75, ``EX_TEMPFAIL``), not a traceback, and
+  leave a resumable directory behind.
+* **Phase C (fault-injected evaluator)** — a parallel evaluation with
+  scripted worker crashes, hangs-free flaky errors and retries must return
+  values (and therefore rankings) identical to the fault-free serial run.
+
+Must run as a real file (not ``python - <<heredoc``): process pools and
+the child re-invocation both need an importable ``__main__``.
+
+Run::
+
+    PYTHONPATH=src python tools/chaos_smoke.py
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+# The shared search configuration: big enough that the kill lands mid-run,
+# small enough to stay CI-cheap.
+REQUEST = dict(target="gpu", epochs=10, blocks=2, batch_size=8, seed=0)
+
+
+def _child_search(ckdir: str) -> None:
+    """Child body for phase A: a checkpointed search, killed externally."""
+    from repro import api
+
+    api.search(api.SearchRequest(checkpoint_dir=ckdir, **REQUEST))
+
+
+def _spawn(mode: str, ckdir: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    return subprocess.Popen(
+        [sys.executable, os.path.abspath(__file__), mode, ckdir],
+        env=env, cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+
+
+def _wait_for_checkpoint(ckdir: Path, epoch: int, proc: subprocess.Popen,
+                         timeout: float = 120.0) -> None:
+    """Block until ``ckpt-epoch-{epoch:04d}.npz`` exists in ``ckdir``."""
+    target = ckdir / f"ckpt-epoch-{epoch:04d}.npz"
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if target.exists():
+            return
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"child exited (rc={proc.returncode}) before {target.name} "
+                f"appeared:\n{proc.stderr.read()}"
+            )
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {target}")
+
+
+def phase_a_kill9_resume() -> None:
+    """SIGKILL mid-search; resume past planted corpses; assert bit-equality."""
+    from repro import api
+
+    reference = api.search(api.SearchRequest(**REQUEST))
+    with tempfile.TemporaryDirectory(prefix="chaos-a-") as tmp:
+        ckdir = Path(tmp) / "ck"
+        proc = _spawn("child-search", str(ckdir))
+        try:
+            _wait_for_checkpoint(ckdir, 2, proc)
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+        assert proc.returncode == -signal.SIGKILL, proc.returncode
+        # Harsher-crash debris: a truncated higher-epoch corpse that must
+        # not shadow the good state, and a stale atomic-write temp file.
+        survivors = sorted(ckdir.glob("ckpt-epoch-*.npz"))
+        assert survivors, "no checkpoint survived the kill"
+        corpse = ckdir / "ckpt-epoch-0099.npz"
+        corpse.write_bytes(survivors[-1].read_bytes()[:64])
+        (ckdir / ".ckpt-epoch-0098.npz.tmp-12345").write_bytes(b"partial")
+
+        resumed = api.search(
+            api.SearchRequest(checkpoint_dir=str(ckdir), resume=True, **REQUEST)
+        )
+        assert resumed.resumed_from is not None
+        assert "0099" not in resumed.resumed_from, resumed.resumed_from
+        np.testing.assert_array_equal(
+            resumed.result.theta, reference.result.theta
+        )
+        np.testing.assert_array_equal(resumed.result.phi, reference.result.phi)
+        np.testing.assert_equal(  # NaN-aware exact history equality
+            [r.to_dict() for r in resumed.result.history],
+            [r.to_dict() for r in reference.result.history],
+        )
+    print("phase A ok: kill -9 resumed bit-identically past planted corpses")
+
+
+def phase_b_sigterm_exit_code() -> None:
+    """SIGTERM the real CLI: clean exit 75, resumable checkpoint behind."""
+    from repro.resilience import PREEMPTION_EXIT_CODE
+
+    with tempfile.TemporaryDirectory(prefix="chaos-b-") as tmp:
+        ckdir = Path(tmp) / "ck"
+        proc = _spawn("child-cli", str(ckdir))
+        try:
+            _wait_for_checkpoint(ckdir, 1, proc)
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == PREEMPTION_EXIT_CODE, (
+            proc.returncode, out, err,
+        )
+        assert "Traceback" not in err, err
+        assert "preempted by SIGTERM" in err, err
+        from repro.core.checkpoint import find_latest_checkpoint
+
+        assert find_latest_checkpoint(ckdir) is not None
+    print(f"phase B ok: SIGTERM exited {PREEMPTION_EXIT_CODE} with a "
+          "resumable checkpoint")
+
+
+def _score(payload: int) -> float:
+    """Deterministic per-seed candidate score for phase C."""
+    rng = np.random.default_rng(payload)
+    return float(rng.normal())
+
+
+def phase_c_faulted_rankings() -> None:
+    """Crashy/flaky parallel evaluation ranks identically to fault-free."""
+    from repro.core.parallel import ParallelEvaluator
+    from repro.resilience import RetryPolicy
+    from repro.resilience.testing import CRASH, ERROR, OK, FaultyTask
+
+    task = FaultyTask(_score)
+    n = 8
+    scripts = [()] * n
+    scripts[1] = (ERROR, OK)
+    scripts[3] = (CRASH, OK)
+    scripts[5] = (ERROR, ERROR, OK)
+    with tempfile.TemporaryDirectory(prefix="chaos-c-") as ledger:
+        payloads = [
+            task.payload(i, ledger, i, faults=scripts[i]) for i in range(n)
+        ]
+        evaluator = ParallelEvaluator(
+            workers=3,
+            retry=RetryPolicy(max_retries=2, base_delay_s=0.0, max_delay_s=0.0),
+        )
+        faulted = evaluator.map(task, payloads)
+    clean = [_score(i) for i in range(n)]
+    assert faulted == clean, (faulted, clean)
+    assert list(np.argsort(faulted)) == list(np.argsort(clean))
+    print("phase C ok: crash/flaky evaluator ranked identically to fault-free")
+
+
+def main() -> None:
+    phase_a_kill9_resume()
+    phase_b_sigterm_exit_code()
+    phase_c_faulted_rankings()
+    print("chaos smoke passed")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 3 and sys.argv[1] == "child-search":
+        _child_search(sys.argv[2])
+    elif len(sys.argv) == 3 and sys.argv[1] == "child-cli":
+        from repro.cli import main as cli_main
+
+        sys.exit(cli_main([
+            "search", "--target", "gpu", "--epochs", "30", "--blocks", "2",
+            "--checkpoint-dir", sys.argv[2],
+        ]))
+    else:
+        main()

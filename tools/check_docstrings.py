@@ -126,18 +126,33 @@ def collect_missing() -> list[str]:
         if inspect.isclass(obj):
             missing.extend(_missing_in_class(obj, label))
 
+    import repro.resilience as resilience
+
+    for name in resilience.__all__:
+        obj = getattr(resilience, name)
+        label = f"repro.resilience.{name}"
+        if not _has_doc(obj):
+            missing.append(label)
+        if inspect.isclass(obj):
+            missing.extend(_missing_in_class(obj, label))
+
     # Training-hot-path surface: the autograd buffer pool, the serving-log
     # calibration refit, and the batched soft-mode evaluator.
     from repro.autograd import ops_nn
     from repro.autograd import pool as autograd_pool
     from repro.hw import calibration
     from repro.nas import batched, quantization
+    from repro.resilience import testing as resilience_testing
     from repro.runtime.fleet import clock as fleet_clock
     from repro.runtime.fleet import testing as fleet_testing
 
     extra_names = (
         (fleet_clock, ("now", "set_time_source", "time_source")),
         (fleet_testing, ("FakeClock", "ScriptedEngine", "slow")),
+        (resilience_testing, (
+            "FaultInjected", "FaultyPayload", "FaultyTask", "attempts_made",
+            "slow",
+        )),
         (autograd_pool, ("BufferPool", "buffer_pool", "get_pool")),
         (calibration, (
             "CalibrationFit", "fit_calibration_scale", "fit_from_serving_log",
